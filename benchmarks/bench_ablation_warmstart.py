@@ -1,0 +1,81 @@
+"""E10 (ablation) — incremental ranking updates via warm starts.
+
+Section III: "Pagerank scores need to be updated regularly as new
+metadata pages are continuously created. Thus, it is necessary to
+evaluate the convergence and calculation time of several methods." This
+ablation measures the other half of that operational story: re-solving
+after a small graph change starting from the previous solution vs. from
+scratch — the warm start that :class:`repro.core.ranking.PageRankRanker`
+applies on refresh.
+"""
+
+import pytest
+
+from repro.pagerank import combine_link_structures, solve_pagerank
+from repro.workloads.webgraphs import paired_link_structures
+
+N = 1500
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def before_and_after():
+    web, semantic = paired_link_structures(N, seed=23)
+    before = combine_link_structures(web, semantic)
+    # A realistic increment: a handful of new links appear.
+    for src, dst in [(5, 900), (901, 6), (44, 1000), (1001, 45), (77, 1100)]:
+        web.add_edge(src, dst)
+    after = combine_link_structures(web, semantic)
+    return before, after
+
+
+@pytest.fixture(scope="module")
+def previous_solution(before_and_after):
+    before, _ = before_and_after
+    return solve_pagerank(before, method="gauss_seidel", tol=TOL, max_iter=5000)
+
+
+def _warm_vector(problem, scores):
+    teleport = problem.teleport
+    k = (1.0 - teleport) + teleport * float(scores[problem.dangling].sum())
+    return scores / k
+
+
+def test_warmstart_cold_solve(before_and_after, benchmark):
+    _, after = before_and_after
+    result = benchmark(
+        lambda: solve_pagerank(after, method="gauss_seidel", tol=TOL, max_iter=5000)
+    )
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_warmstart_warm_solve(before_and_after, previous_solution, benchmark):
+    _, after = before_and_after
+    x0 = _warm_vector(after, previous_solution.scores)
+    result = benchmark(
+        lambda: solve_pagerank(after, method="gauss_seidel", tol=TOL, max_iter=5000, x0=x0)
+    )
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_warmstart_shape(before_and_after, previous_solution, write_result):
+    _, after = before_and_after
+    cold = solve_pagerank(after, method="gauss_seidel", tol=TOL, max_iter=5000)
+    warm = solve_pagerank(
+        after,
+        method="gauss_seidel",
+        tol=TOL,
+        max_iter=5000,
+        x0=_warm_vector(after, previous_solution.scores),
+    )
+    write_result(
+        "ablation_warmstart.txt",
+        f"cold_iterations={cold.iterations} warm_iterations={warm.iterations} "
+        f"speedup={cold.iterations / warm.iterations:.2f}x\n",
+    )
+    assert warm.converged and cold.converged
+    assert warm.iterations < cold.iterations
+    # Both reach the same ranking.
+    assert float(abs(warm.scores - cold.scores).sum()) < 1e-7

@@ -1,0 +1,114 @@
+"""E3 — Fig. 2: every visualization type, generated from live search results.
+
+The demo's snapshot figure shows tabular output, bar/pie diagrams, a
+clustered map with match-degree colors, a semantic relation graph, a
+hypergraph and a tag cloud. Each benchmark builds one of those artifacts
+from the shared synthetic corpus; the artifacts themselves are written to
+``results/fig2_*.{svg,txt,dot}``.
+"""
+
+import pytest
+
+from repro.tagging import TagCloudBuilder, TagStore
+from repro.viz import (
+    BarChart,
+    GraphRenderer,
+    Hypergraph,
+    HypergraphRenderer,
+    MapMarker,
+    MapRenderer,
+    PieChart,
+    render_tag_cloud_svg,
+    render_text_table,
+    to_dot,
+)
+from repro.workloads import generate_tag_workload
+
+
+@pytest.fixture(scope="module")
+def station_results(engine):
+    return engine.search(engine.parse("kind=station limit=0"))
+
+
+@pytest.fixture(scope="module")
+def sensor_results(engine):
+    return engine.search(engine.parse("kind=sensor limit=0"))
+
+
+def test_fig2_tabular(engine, station_results, benchmark, write_result):
+    table = benchmark(
+        lambda: render_text_table(
+            ["title", "kind", "score", "elevation_m", "status"],
+            station_results.rows(("elevation_m", "status")),
+        )
+    )
+    write_result("fig2_table.txt", table + "\n")
+    assert "Station:" in table
+
+
+def test_fig2_bar_diagram(engine, sensor_results, benchmark, write_result):
+    facets = engine.facets(sensor_results, "sensor_type")[:10]
+    svg = benchmark(lambda: BarChart(facets, title="Sensors by type").to_svg())
+    write_result("fig2_bar.svg", svg)
+    assert "<svg" in svg
+
+
+def test_fig2_pie_diagram(engine, station_results, benchmark, write_result):
+    facets = engine.facets(station_results, "status")
+    svg = benchmark(lambda: PieChart(facets, title="Station status").to_svg())
+    write_result("fig2_pie.svg", svg)
+    assert "<svg" in svg
+
+
+def test_fig2_clustered_map_with_match_degrees(engine, benchmark, write_result):
+    # Relaxed search yields partial match degrees -> different colors.
+    results = engine.search(
+        engine.parse("kind=station elevation_m>=2500 status=online relaxed=true limit=0")
+    )
+    markers = [MapMarker(r.location, r.title, r.match_degree) for r in results.located()]
+    assert len({m.match_degree for m in markers}) >= 2, "need several colors"
+    svg = benchmark(lambda: MapRenderer(cluster_grid=8).render(markers, title="stations"))
+    write_result("fig2_map.svg", svg)
+    assert "match degree" in svg
+
+
+def test_fig2_semantic_graph(engine, benchmark, write_result):
+    deployments = engine.search(engine.parse("kind=deployment limit=8"))
+    nodes, edges, groups = [], [], {}
+    for result in deployments:
+        nodes.append(result.title)
+        groups[result.title] = "deployment"
+        for prop in ("field_site", "institution"):
+            target = result.get(prop)
+            if target:
+                if target not in groups:
+                    nodes.append(target)
+                    groups[target] = prop
+                edges.append((result.title, target, prop))
+    svg = benchmark(
+        lambda: GraphRenderer(seed=1).render(nodes, edges, node_groups=groups)
+    )
+    write_result("fig2_graph.svg", svg)
+    write_result("fig2_graph.dot", to_dot(nodes, edges, node_groups=groups))
+    assert svg.count("<circle") == len(nodes)
+
+
+def test_fig2_hypergraph(engine, benchmark, write_result):
+    links = {
+        title: [t for t in engine.smr.wiki.parsed(title).links if engine.smr.wiki.has(t)]
+        for title in engine.smr.titles("deployment")
+    }
+    graph = Hypergraph.from_link_structure(links)
+    popular, _ = graph.popular_pages(1)[0]
+    svg = benchmark(lambda: HypergraphRenderer().render_focus(graph, popular))
+    write_result("fig2_hypergraph.svg", svg)
+    assert "Hypergraph around" in svg
+
+
+def test_fig2_tag_cloud(benchmark, write_result):
+    store = TagStore()
+    store.import_assignments(generate_tag_workload(pages=120, seed=2).assignments)
+    cloud = TagCloudBuilder().build(store, top=30)
+    svg = benchmark(lambda: render_tag_cloud_svg(cloud))
+    write_result("fig2_tagcloud.svg", svg)
+    assert "<svg" in svg

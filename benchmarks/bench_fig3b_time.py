@@ -1,0 +1,65 @@
+"""E2 — Fig. 3(b): computation time per PageRank solver.
+
+pytest-benchmark times one full solve per solver on the n = 2000
+double-link graph; the cross-size wall-clock table is written to
+``results/fig3b_time.txt``.
+
+Paper shape: Gauss–Seidel is the most efficient stationary method (its
+halved iteration count amortizes the sweep cost); Jacobi is slowest.
+"""
+
+import pytest
+
+from repro.pagerank import ConvergenceStudy, combine_link_structures, solve_pagerank
+from repro.pagerank.solvers import SOLVERS
+from repro.workloads.webgraphs import paired_link_structures
+
+SIZES = [500, 1000, 2000]
+TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def problem():
+    web, semantic = paired_link_structures(2000, seed=2000)
+    return combine_link_structures(web, semantic, alpha=0.5)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def time_table(write_result):
+    study = ConvergenceStudy(tol=TOL, max_iter=5000)
+    for n in SIZES:
+        web, semantic = paired_link_structures(n, seed=n)
+        study.run(combine_link_structures(web, semantic, alpha=0.5), label=f"n={n}")
+    lines = ["Fig. 3(b) — seconds per solve (cols: " + ", ".join(f"n={n}" for n in SIZES) + ")"]
+    for solver, times in sorted(study.time_series().items()):
+        lines.append(f"{solver:<14}" + "  ".join(f"{t:>9.5f}" for t in times))
+    write_result("fig3b_time.txt", "\n".join(lines) + "\n")
+
+    from repro.viz import LineChart
+
+    chart = LineChart(
+        title="PageRank solve time (c=0.85, tol=1e-8)",
+        x_label="pages",
+        y_label="seconds",
+        log_y=True,
+    )
+    for solver, times in sorted(study.time_series().items()):
+        chart.add_series(solver, list(zip(SIZES, times)))
+    write_result("fig3b_curves.svg", chart.to_svg())
+    return study
+
+
+@pytest.mark.parametrize("method", sorted(SOLVERS))
+def test_fig3b_solver_time(method, problem, benchmark):
+    result = benchmark(
+        lambda: solve_pagerank(problem, method=method, tol=TOL, max_iter=5000)
+    )
+    assert result.converged
+
+
+def test_fig3b_shape_gauss_seidel_beats_jacobi(time_table):
+    """Time shape within the stationary family: GS faster than Jacobi."""
+    times = time_table.time_series()
+    gs_total = sum(times["gauss_seidel"])
+    jacobi_total = sum(times["jacobi"])
+    assert gs_total < jacobi_total

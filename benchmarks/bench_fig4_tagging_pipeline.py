@@ -1,0 +1,91 @@
+"""E5 — Fig. 4: throughput of the dynamic tagging pipeline, stage by stage.
+
+Benchmarks each module of the tagging architecture (Parser import,
+Matrix Transformation, Graph, Max Clique, Font Size) and the end-to-end
+cloud build, plus the cache's effect on repeat visualizations — the
+reason the paper includes a Cache module at all.
+"""
+
+import pytest
+
+from repro.tagging import (
+    LruTtlCache,
+    TagCloudBuilder,
+    TagGraph,
+    TagStore,
+    TaggingSystem,
+    bron_kerbosch,
+    build_similarity,
+    font_sizes,
+)
+from repro.workloads import generate_tag_workload
+
+
+@pytest.fixture(scope="module")
+def store():
+    built = TagStore()
+    built.import_assignments(
+        generate_tag_workload(pages=200, topics=5, bridges=3, seed=3).assignments
+    )
+    return built
+
+
+@pytest.fixture(scope="module")
+def similarity(store):
+    return build_similarity(store)
+
+
+@pytest.fixture(scope="module")
+def graph(similarity):
+    return TagGraph.from_similarity(similarity)
+
+
+def test_fig4_parser_import(benchmark):
+    workload = generate_tag_workload(pages=200, topics=5, seed=4)
+
+    def run():
+        fresh = TagStore()
+        return fresh.import_assignments(workload.assignments)
+
+    added = benchmark(run)
+    assert added > 0
+
+
+def test_fig4_matrix_transformation(store, benchmark):
+    matrix = benchmark(lambda: build_similarity(store))
+    assert matrix.similarities.shape[0] == store.tag_count
+
+
+def test_fig4_graph_module(similarity, benchmark):
+    graph = benchmark(lambda: TagGraph.from_similarity(similarity))
+    assert graph.node_count == len(similarity.tags)
+
+
+def test_fig4_max_clique_module(graph, benchmark):
+    cliques = benchmark(lambda: bron_kerbosch(graph))
+    assert cliques
+
+
+def test_fig4_font_size_module(store, graph, benchmark):
+    cliques = bron_kerbosch(graph)
+    sizes = benchmark(lambda: font_sizes(store.counts(), cliques))
+    assert set(sizes) == set(store.counts())
+
+
+def test_fig4_end_to_end_cloud(store, benchmark):
+    cloud = benchmark(lambda: TagCloudBuilder().build(store, top=40))
+    assert cloud.entries
+
+
+def test_fig4_cache_speedup(store, benchmark, write_result):
+    system = TaggingSystem(store=store, cache=LruTtlCache(capacity=8))
+    system.cloud(top=40)  # prime
+
+    cloud = benchmark(lambda: system.cloud(top=40))
+    assert cloud.entries
+    stats = system.cache.stats
+    write_result(
+        "fig4_cache.txt",
+        f"cache hits={stats.hits} misses={stats.misses} hit_rate={stats.hit_rate:.2%}\n",
+    )
+    assert stats.hits > stats.misses  # cached rebuilds dominated

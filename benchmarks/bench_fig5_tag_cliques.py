@@ -1,0 +1,68 @@
+"""E4 — Fig. 5: clique semantics in tag graphs.
+
+Reproduces the figure's scenario — a tag ("Apple") that belongs to two
+maximal cliques, each clique revealing one of its senses — first on the
+literal apple/fruit/tech example, then statistically on planted-topic
+workloads. Benchmarks Bron–Kerbosch at growing tag-graph sizes.
+"""
+
+import pytest
+
+from repro.tagging import TagCloudBuilder, TagGraph, TagStore, bron_kerbosch
+from repro.tagging.cliques import cliques_by_tag
+from repro.viz import render_tag_cloud_svg
+from repro.workloads import generate_tag_workload
+
+
+def apple_store() -> TagStore:
+    store = TagStore()
+    for i in range(6):
+        for tag in ("apple", "banana", "cherry"):
+            store.create(f"Fruit:{i}", tag)
+    for i in range(6):
+        for tag in ("apple", "mac", "iphone"):
+            store.create(f"Tech:{i}", tag)
+    return store
+
+
+def test_fig5_apple_two_cliques(benchmark, write_result):
+    store = apple_store()
+    cloud = benchmark(lambda: TagCloudBuilder().build(store))
+    assert sorted(map(sorted, cloud.cliques)) == [
+        ["apple", "banana", "cherry"],
+        ["apple", "iphone", "mac"],
+    ]
+    apple = cloud.entry("apple")
+    assert apple.bridges_cliques and len(apple.clique_ids) == 2
+    write_result("fig5_apple_cloud.svg", render_tag_cloud_svg(cloud))
+
+
+def test_fig5_planted_bridges_found(write_result):
+    """On planted-topic workloads, multi-clique tags emerge."""
+    workload = generate_tag_workload(pages=200, topics=4, bridges=2, seed=9)
+    store = TagStore()
+    store.import_assignments(workload.assignments)
+    cloud = TagCloudBuilder().build(store)
+    bridges = cloud.bridge_tags()
+    write_result(
+        "fig5_planted.txt",
+        f"cliques={len(cloud.cliques)} bridge_tags={bridges}\n",
+    )
+    assert len(cloud.cliques) >= 4
+    assert bridges  # some tags span several cliques
+
+
+@pytest.mark.parametrize("tags", [20, 40, 80])
+def test_fig5_bron_kerbosch_scaling(tags, benchmark):
+    """Clique enumeration on random tag graphs of growing size."""
+    import random
+
+    rng = random.Random(tags)
+    graph = TagGraph(f"t{i}" for i in range(tags))
+    for i in range(tags):
+        for j in range(i + 1, tags):
+            if rng.random() < 0.15:
+                graph.add_edge(f"t{i}", f"t{j}")
+    cliques = benchmark(lambda: bron_kerbosch(graph))
+    membership = cliques_by_tag(cliques)
+    assert set(membership) == set(graph.nodes)

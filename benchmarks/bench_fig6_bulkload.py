@@ -1,0 +1,85 @@
+"""E6 — Fig. 6: the bulk-loading interface.
+
+Benchmarks ingest throughput into all three stores (wiki + relational +
+keyword index) for record, CSV and JSON inputs, and validates that a
+full corpus dump loads with zero errors.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.smr import BulkLoader, SensorMetadataRepository
+from repro.workloads import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def station_records(corpus):
+    return corpus.records_of("station")
+
+
+def test_fig6_bulkload_records(station_records, benchmark):
+    def run():
+        smr = SensorMetadataRepository()
+        return BulkLoader(smr).load_records("station", station_records)
+
+    report = benchmark(run)
+    assert report.ok
+    assert report.loaded == len(station_records)
+
+
+def test_fig6_bulkload_csv(station_records, benchmark):
+    columns = ["title", "name", "deployment", "latitude", "longitude", "elevation_m", "status"]
+    buffer = io.StringIO()
+    buffer.write(",".join(columns) + "\n")
+    for record in station_records:
+        buffer.write(",".join(str(record.get(c, "")) for c in columns) + "\n")
+    text = buffer.getvalue()
+
+    def run():
+        smr = SensorMetadataRepository()
+        return BulkLoader(smr).load_csv("station", text)
+
+    report = benchmark(run)
+    assert report.ok
+
+
+def test_fig6_bulkload_json(station_records, benchmark):
+    payload = json.dumps(station_records)
+
+    def run():
+        smr = SensorMetadataRepository()
+        return BulkLoader(smr).load_json("station", payload)
+
+    report = benchmark(run)
+    assert report.ok
+
+
+def test_fig6_full_corpus_dump(benchmark, write_result):
+    corpus = generate_corpus(CorpusSpec(seed=13))
+
+    def run():
+        smr = SensorMetadataRepository()
+        return BulkLoader(smr).load_corpus_dump(corpus.records), smr
+
+    (report, smr) = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.ok and report.loaded == corpus.page_count
+    write_result(
+        "fig6_bulkload.txt",
+        f"records={report.loaded} errors={len(report.errors)} pages={smr.page_count}\n",
+    )
+
+
+def test_fig6_error_isolation(benchmark):
+    """Bad rows must not poison the batch (web bulk-loader behaviour)."""
+    good = [{"title": f"Station:G{i}", "name": f"g{i}"} for i in range(50)]
+    bad = [{"name": "missing title"}] * 5
+
+    def run():
+        smr = SensorMetadataRepository()
+        return BulkLoader(smr).load_records("station", good + bad)
+
+    report = benchmark(run)
+    assert report.loaded == 50
+    assert len(report.errors) == 5

@@ -1,0 +1,96 @@
+"""E11 — scalability: the paper runs "over a large-scale real application".
+
+Sweeps corpus size and measures how the core operations scale: bulk
+loading, PageRank ranking, advanced search, autocomplete. Writes the
+scaling table to ``results/scale_corpus.txt``; the latency benchmarks run
+on the largest corpus. Search should stay interactive (well under 100 ms
+here) across the sweep — the property a live demo depends on.
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import AdvancedSearchEngine
+from repro.smr.repository import SensorMetadataRepository
+from repro.workloads.generator import CorpusSpec, generate_corpus
+
+SCALES = {
+    "small": CorpusSpec(seed=1, deployments=10, stations=30, sensors=120),
+    "medium": CorpusSpec(seed=1, deployments=20, stations=60, sensors=240),
+    "large": CorpusSpec(seed=1, deployments=20, stations=150, sensors=700),
+}
+
+
+@pytest.fixture(scope="module")
+def engines():
+    built = {}
+    for label, spec in SCALES.items():
+        smr = SensorMetadataRepository.from_corpus(generate_corpus(spec))
+        engine = AdvancedSearchEngine(smr)
+        engine.ranker.scores()
+        built[label] = engine
+    return built
+
+
+@pytest.fixture(scope="module", autouse=True)
+def scaling_table(engines, write_result):
+    lines = [f"{'scale':<8}{'pages':>7}{'load_s':>9}{'rank_s':>9}{'search_ms':>11}"]
+    for label, spec in SCALES.items():
+        corpus = generate_corpus(spec)
+        start = time.perf_counter()
+        smr = SensorMetadataRepository.from_corpus(corpus)
+        load_seconds = time.perf_counter() - start
+        engine = AdvancedSearchEngine(smr)
+        start = time.perf_counter()
+        engine.ranker.scores()
+        rank_seconds = time.perf_counter() - start
+        query = engine.parse("keyword=wind kind=sensor sort=pagerank limit=20")
+        start = time.perf_counter()
+        for _ in range(5):
+            engine.search(query)
+        search_ms = (time.perf_counter() - start) / 5 * 1000
+        lines.append(
+            f"{label:<8}{corpus.page_count:>7}{load_seconds:>9.3f}"
+            f"{rank_seconds:>9.3f}{search_ms:>11.2f}"
+        )
+    write_result("scale_corpus.txt", "\n".join(lines) + "\n")
+
+
+@pytest.mark.parametrize("label", list(SCALES))
+def test_scale_search_latency(engines, label, benchmark):
+    engine = engines[label]
+    query = engine.parse("keyword=wind kind=sensor sort=pagerank limit=20")
+    results = benchmark(lambda: engine.search(query))
+    assert len(results) > 0
+
+
+def test_scale_bulkload_large(benchmark):
+    corpus = generate_corpus(SCALES["large"])
+
+    def run():
+        return SensorMetadataRepository.from_corpus(corpus)
+
+    smr = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert smr.page_count == corpus.page_count
+
+
+def test_scale_rank_large(engines, benchmark):
+    engine = engines["large"]
+
+    def run():
+        engine.ranker.refresh()
+        return engine.ranker.scores()
+
+    scores = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(scores) == engine.smr.page_count
+
+
+def test_scale_search_stays_interactive(engines):
+    """Even at the largest scale, one search stays well under 250 ms."""
+    engine = engines["large"]
+    query = engine.parse("keyword=wind kind=sensor sort=pagerank limit=20")
+    start = time.perf_counter()
+    engine.search(query)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 0.25, f"search took {elapsed:.3f}s"

@@ -1,0 +1,72 @@
+"""E12 — sensitivity to the teleport coefficient c.
+
+Section III: "In practice 0.85 <= c < 1." As c approaches 1 the
+stationary methods slow down roughly like log(tol)/log(c) while Krylov
+methods barely notice — the sweep quantifies where each solver family
+stays viable and why the production choice of c matters. The table lands
+in ``results/teleport_sweep.txt``.
+"""
+
+import pytest
+
+from repro.pagerank import combine_link_structures, solve_pagerank
+from repro.workloads.webgraphs import paired_link_structures
+
+COEFFICIENTS = [0.85, 0.90, 0.95, 0.99]
+METHODS = ["power", "gauss_seidel", "gmres", "bicgstab"]
+N = 1000
+TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return paired_link_structures(N, seed=31)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep_table(graphs, write_result):
+    web, semantic = graphs
+    lines = [f"{'c':>6}" + "".join(f"{m:>16}" for m in METHODS) + "   (iterations)"]
+    for c in COEFFICIENTS:
+        problem = combine_link_structures(web, semantic, teleport=c)
+        cells = []
+        for method in METHODS:
+            result = solve_pagerank(problem, method=method, tol=TOL, max_iter=20000)
+            assert result.converged, f"{method} diverged at c={c}"
+            cells.append(f"{result.iterations:>16d}")
+        lines.append(f"{c:>6.2f}" + "".join(cells))
+    write_result("teleport_sweep.txt", "\n".join(lines) + "\n")
+
+
+@pytest.mark.parametrize("c", COEFFICIENTS)
+def test_teleport_gauss_seidel(graphs, c, benchmark):
+    web, semantic = graphs
+    problem = combine_link_structures(web, semantic, teleport=c)
+    result = benchmark.pedantic(
+        lambda: solve_pagerank(problem, method="gauss_seidel", tol=TOL, max_iter=20000),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_teleport_shape_stationary_degrade_krylov_flat(graphs):
+    """The sweep's defining shape: stationary iteration counts blow up
+    with c; Krylov counts grow only mildly."""
+    web, semantic = graphs
+    counts = {}
+    for method in ("gauss_seidel", "gmres"):
+        low = solve_pagerank(
+            combine_link_structures(web, semantic, teleport=0.85),
+            method=method, tol=TOL, max_iter=20000,
+        ).iterations
+        high = solve_pagerank(
+            combine_link_structures(web, semantic, teleport=0.99),
+            method=method, tol=TOL, max_iter=20000,
+        ).iterations
+        counts[method] = (low, high)
+    gs_growth = counts["gauss_seidel"][1] / counts["gauss_seidel"][0]
+    gmres_growth = counts["gmres"][1] / counts["gmres"][0]
+    assert gs_growth > 3.0  # stationary: roughly log-tol/log-c scaling
+    assert gmres_growth < gs_growth  # Krylov degrades far less

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one figure of the paper (see the
+experiment index in DESIGN.md). Besides the pytest-benchmark timings,
+every module writes the table/series the paper plots into
+``benchmarks/results/`` so the reproduction is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import AdvancedSearchEngine
+from repro.smr.repository import SensorMetadataRepository
+from repro.workloads.generator import CorpusSpec, generate_corpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write one named result artifact and echo a short confirmation."""
+
+    def _write(name: str, content: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(CorpusSpec(seed=42))
+
+
+@pytest.fixture(scope="session")
+def smr(corpus) -> SensorMetadataRepository:
+    return SensorMetadataRepository.from_corpus(corpus)
+
+
+@pytest.fixture(scope="session")
+def engine(smr) -> AdvancedSearchEngine:
+    built = AdvancedSearchEngine(smr)
+    built.ranker.scores()  # warm the PageRank cache once for all benches
+    return built

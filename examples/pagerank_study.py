@@ -1,0 +1,47 @@
+"""The Fig. 3 study: solver convergence and timing on double-link graphs.
+
+Runs every registered solver (power, Jacobi, Gauss-Seidel, SOR, GMRES,
+BiCGSTAB, Arnoldi) over a sweep of synthetic double-link web graphs and
+prints the Fig. 3(a) iteration table and Fig. 3(b) time table.
+
+Run:  python examples/pagerank_study.py
+"""
+
+from repro.pagerank import ConvergenceStudy, combine_link_structures
+from repro.workloads import paired_link_structures
+
+SIZES = [500, 1000, 2000]
+TELEPORT = 0.85
+TOL = 1e-8
+
+
+def main() -> None:
+    study = ConvergenceStudy(tol=TOL, max_iter=5000)
+    for n in SIZES:
+        web, semantic = paired_link_structures(n, seed=n)
+        problem = combine_link_structures(web, semantic, alpha=0.5, teleport=TELEPORT)
+        study.run(problem, label=f"n={n}")
+    print(f"PageRank solver study (c={TELEPORT}, tol={TOL})\n")
+    print(study.format_table())
+
+    print("\nFig. 3(a) — iterations to converge, per solver and size:")
+    for solver, iterations in sorted(study.iterations_series().items()):
+        cells = "  ".join(f"{count:>6d}" for count in iterations)
+        print(f"  {solver:<14}{cells}")
+
+    print("\nFig. 3(b) — wall-clock seconds, per solver and size:")
+    for solver, times in sorted(study.time_series().items()):
+        cells = "  ".join(f"{t:>8.4f}" for t in times)
+        print(f"  {solver:<14}{cells}")
+
+    gs = study.iterations_series()["gauss_seidel"]
+    jacobi = study.iterations_series()["jacobi"]
+    power = study.iterations_series()["power"]
+    print(
+        "\nShape check (paper: Gauss-Seidel wins among stationary methods): "
+        f"GS {gs} < power {power} < Jacobi {jacobi}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: build a demo engine and run the headline features.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_demo_engine
+from repro.viz import render_text_table
+
+
+def main() -> None:
+    # One call: synthetic Swiss-Experiment-like corpus -> SMR -> engine.
+    engine = build_demo_engine(seed=42)
+    print(f"Loaded {engine.smr.page_count} metadata pages.\n")
+
+    # 1. Advanced search: keyword + kind + property filter, PageRank-sorted.
+    query = engine.parse("keyword=wind kind=sensor sort=pagerank limit=5")
+    results = engine.search(query)
+    print(f"Search: {results.query_description}")
+    print(
+        render_text_table(
+            ["title", "kind", "pagerank", "match"],
+            [
+                (r.title, r.kind, f"{r.pagerank:.5f}", f"{r.match_degree:.0%}")
+                for r in results
+            ],
+        )
+    )
+
+    # 2. Recommendations: pages related to the results via high-PageRank
+    #    properties (the paper's recommendation mechanism).
+    print("\nRecommended pages:")
+    for rec in engine.recommend(results, k=3):
+        print(f"  {rec.describe()}")
+
+    # 3. Facets for the bar/pie diagrams.
+    all_sensors = engine.search(engine.parse("kind=sensor limit=0"))
+    print("\nSensor types (top 5 facets):")
+    for value, count in engine.facets(all_sensors, "sensor_type")[:5]:
+        print(f"  {value}: {count}")
+
+    # 4. Autocomplete + dynamic drop-downs (Fig. 7).
+    print("\nAutocomplete 'Fieldsite:':", engine.autocomplete.complete_title("Fieldsite:")[:3])
+    print("Drop-down values for station status:", engine.autocomplete.values_for("status", kind="station"))
+
+    # 5. The ranking itself: the most important pages on the platform.
+    print("\nTop pages by double-link PageRank:")
+    for title, score in engine.ranker.top(5):
+        print(f"  {score:.5f}  {title}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A tour of the RDF/SPARQL layer over live sensor metadata.
+
+Shows the semantic half of the system directly: the RDF export of the
+wiki, SELECT with OPTIONAL/UNION/FILTER, sequence property paths, ASK,
+CONSTRUCT for deriving summary graphs, and Turtle/N-Triples round trips.
+
+Run:  python examples/sparql_tour.py
+"""
+
+from repro.rdf import NamespaceManager, SparqlEngine, parse_ntriples, serialize_ntriples, serialize_turtle
+from repro.smr import SensorMetadataRepository
+from repro.workloads import CorpusSpec, generate_corpus
+
+PREFIXES = (
+    "PREFIX prop: <http://repro.example.org/property/> "
+    "PREFIX wiki: <http://repro.example.org/wiki/> "
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+)
+
+
+def main() -> None:
+    corpus = generate_corpus(CorpusSpec(seed=13, stations=25, sensors=60))
+    smr = SensorMetadataRepository.from_corpus(corpus)
+    graph = smr.rdf_graph()
+    engine = SparqlEngine(graph)
+    print(f"RDF export: {len(graph)} triples over {smr.page_count} pages\n")
+
+    # 1. SELECT with FILTER + ORDER BY.
+    result = engine.query(
+        PREFIXES
+        + "SELECT ?s ?e WHERE { ?s prop:elevation_m ?e . FILTER(?e > 2500) } "
+        "ORDER BY DESC(?e) LIMIT 3"
+    )
+    print("Highest stations/sites (FILTER ?e > 2500):")
+    for s, e in result.as_tuples():
+        print(f"  {e}  {s}")
+
+    # 2. OPTIONAL: sensors, with their accuracy when known.
+    result = engine.query(
+        PREFIXES
+        + "SELECT ?s ?acc WHERE { ?s prop:sensor_type ?t . "
+        "OPTIONAL { ?s prop:accuracy ?acc } } LIMIT 4"
+    )
+    print(f"\nOPTIONAL accuracy: {len(result)} rows, "
+          f"{sum(1 for row in result.rows if len(row) == 2)} with accuracy bound")
+
+    # 3. UNION across two property shapes.
+    result = engine.query(
+        PREFIXES
+        + "SELECT DISTINCT ?s WHERE { { ?s prop:status ?v } UNION { ?s prop:project ?v } }"
+    )
+    print(f"UNION status/project: {len(result)} pages carry either property")
+
+    # 4. Sequence property path: sensor -> station -> deployment.
+    result = engine.query(
+        PREFIXES
+        + "SELECT ?sensor ?dep WHERE { ?sensor prop:station/prop:deployment ?dep } LIMIT 3"
+    )
+    print("\nProperty path sensor->station->deployment:")
+    for sensor, deployment in result.as_tuples():
+        print(f"  {str(sensor).split('/')[-1]} -> {str(deployment).split('/')[-1]}")
+
+    # 5. ASK.
+    has_offline = engine.ask(
+        PREFIXES + 'ASK { ?s prop:status ?v . FILTER(?v = "offline") }'
+    )
+    print(f"\nASK any offline station? {has_offline}")
+
+    # 6. CONSTRUCT a compact summary graph (sensor -> site, skipping hops).
+    summary = engine.construct(
+        PREFIXES
+        + "CONSTRUCT { ?sensor prop:located_at ?site } "
+        "WHERE { ?sensor prop:station/prop:deployment/prop:field_site ?site }"
+    )
+    print(f"CONSTRUCT summary graph: {len(summary)} sensor->site triples")
+
+    # 7. Serialization round trips.
+    ntriples = serialize_ntriples(summary)
+    assert len(parse_ntriples(ntriples)) == len(summary)
+    ns = NamespaceManager()
+    ns.bind("prop", "http://repro.example.org/property/")
+    ns.bind("wiki", "http://repro.example.org/wiki/")
+    turtle = serialize_turtle(summary, ns)
+    print("\nFirst lines of the Turtle serialization:")
+    for line in turtle.splitlines()[:8]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Serve the demo web API over a synthetic corpus.
+
+Run:  python examples/web_demo.py [port]
+
+Then try:
+    curl 'http://127.0.0.1:8000/api/search?q=keyword%3Dwind%20kind%3Dsensor'
+    curl 'http://127.0.0.1:8000/api/pagerank/top?k=5'
+    curl 'http://127.0.0.1:8000/api/tags/cloud'
+    curl 'http://127.0.0.1:8000/api/viz/map.svg?q=kind%3Dstation' > map.svg
+"""
+
+import sys
+
+from repro import build_demo_engine
+from repro.tagging import TaggingSystem
+from repro.web import create_app, serve
+from repro.workloads import generate_tag_workload
+
+
+def main() -> None:
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8000
+    engine = build_demo_engine(seed=42)
+    tagging = TaggingSystem()
+    tagging.sync_from_smr(engine.smr, ["project", "sensor_type"])
+    tagging.store.import_assignments(generate_tag_workload(seed=1).assignments)
+    print(f"Corpus: {engine.smr.page_count} pages, {tagging.store.tag_count} tags")
+    serve(create_app(engine, tagging), port=port)
+
+
+if __name__ == "__main__":
+    main()

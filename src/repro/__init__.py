@@ -1,0 +1,52 @@
+"""repro — reproduction of *Advanced Search, Visualization and Tagging of
+Sensor Metadata* (Paparrizos, Jeung, Aberer; ICDE 2011).
+
+The package rebuilds the paper's full stack in pure Python:
+
+- ``repro.smr`` — the Sensor Metadata Repository over a semantic wiki
+  (``repro.wiki``), a relational engine (``repro.relational``) and an RDF
+  store with SPARQL (``repro.rdf``);
+- ``repro.core`` — the advanced search engine: combined SQL+SPARQL query
+  processing, double-link PageRank ranking, recommendations, autocomplete
+  and facets;
+- ``repro.pagerank`` — the Section III solver suite (power, Jacobi,
+  Gauss–Seidel, SOR, GMRES, BiCGSTAB, Arnoldi) over ``repro.linalg``;
+- ``repro.tagging`` — the Section IV dynamic tagging system with
+  Bron–Kerbosch cliques and Eq. 6 font sizing;
+- ``repro.viz`` — the Fig. 2 visualizations (tables, bar/pie, maps,
+  graphs, hypergraphs, tag clouds) as standalone SVG/HTML/DOT;
+- ``repro.web`` — a small JSON HTTP API mirroring the demo UI;
+- ``repro.workloads`` — seeded synthetic corpora standing in for the
+  Swiss Experiment data.
+
+Quickstart::
+
+    from repro import build_demo_engine
+    engine = build_demo_engine(seed=42)
+    results = engine.search(engine.parse("keyword=wind sort=pagerank"))
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "build_demo_engine", "__version__"]
+
+
+def build_demo_engine(seed: int = 42, **spec_overrides):
+    """Build a ready-to-query search engine over a synthetic corpus.
+
+    This is the one-call entry point used by the examples: it generates a
+    corpus, loads it into a Sensor Metadata Repository, and wires up the
+    advanced search engine with ranking, recommendation and tagging.
+
+    Imports happen lazily so that importing :mod:`repro` stays cheap.
+    """
+    from repro.core.engine import AdvancedSearchEngine
+    from repro.smr.repository import SensorMetadataRepository
+    from repro.workloads.generator import CorpusSpec, generate_corpus
+
+    spec = CorpusSpec(seed=seed, **spec_overrides)
+    corpus = generate_corpus(spec)
+    smr = SensorMetadataRepository.from_corpus(corpus)
+    return AdvancedSearchEngine(smr)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the demo's workflow:
+
+    generate   write a synthetic corpus dump (JSON) to a file
+    load       bulk-load a dump and print corpus statistics
+    search     run an advanced query against a corpus
+    pagerank   print the top pages by double-link PageRank
+    solvers    run the Fig. 3 solver comparison table
+    tags       build and print a tag cloud
+    serve      start the HTTP JSON/SVG API
+
+Every command accepts ``--seed`` (build a synthetic corpus in-process) or
+``--corpus FILE`` (a dump produced by ``generate``/``export``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _build_smr(args):
+    from repro.smr.dump import restore
+    from repro.smr.repository import SensorMetadataRepository
+    from repro.workloads.generator import CorpusSpec, generate_corpus
+
+    if getattr(args, "corpus", None):
+        with open(args.corpus, "r", encoding="utf-8") as handle:
+            return restore(json.load(handle))
+    corpus = generate_corpus(CorpusSpec(seed=args.seed))
+    return SensorMetadataRepository.from_corpus(corpus)
+
+
+def _cmd_generate(args) -> int:
+    from repro.smr.dump import export_json
+    from repro.smr.repository import SensorMetadataRepository
+    from repro.workloads.generator import CorpusSpec, generate_corpus
+
+    corpus = generate_corpus(CorpusSpec(seed=args.seed))
+    smr = SensorMetadataRepository.from_corpus(corpus)
+    payload = export_json(smr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {smr.page_count} pages to {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_load(args) -> int:
+    from repro.core.stats import corpus_statistics
+
+    smr = _build_smr(args)
+    stats = corpus_statistics(smr, top_values_for=("project", "institution"))
+    print(stats.format_report())
+    for prop, values in stats.top_values.items():
+        rendered = ", ".join(f"{value} ({count})" for value, count in values)
+        print(f"top {prop}: {rendered}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.core.engine import AdvancedSearchEngine
+    from repro.viz.table import render_text_table
+
+    engine = AdvancedSearchEngine(_build_smr(args))
+    results = engine.search(engine.parse(args.query))
+    if not results:
+        suggestions = engine.did_you_mean(args.query) if "=" not in args.query else []
+        print("no results" + (f"; did you mean: {', '.join(suggestions)}" if suggestions else ""))
+        return 1
+    print(f"{len(results)} of {results.total_candidates} candidates")
+    print(
+        render_text_table(
+            ["title", "kind", "score", "match"],
+            [
+                (r.title, r.kind, f"{r.score:.4g}", f"{r.match_degree:.0%}")
+                for r in results
+            ],
+        )
+    )
+    if args.recommend:
+        print("\nrecommended:")
+        for rec in engine.recommend(results, k=args.recommend):
+            print(f"  {rec.describe()}")
+    return 0
+
+
+def _cmd_pagerank(args) -> int:
+    from repro.core.ranking import PageRankRanker
+
+    smr = _build_smr(args)
+    ranker = PageRankRanker(smr, alpha=args.alpha, method=args.method)
+    for title, score in ranker.top(args.top):
+        print(f"{score:.6f}  {title}")
+    return 0
+
+
+def _cmd_solvers(args) -> int:
+    from repro.pagerank.convergence import ConvergenceStudy
+    from repro.pagerank.doublelink import combine_link_structures
+    from repro.workloads.webgraphs import paired_link_structures
+
+    sizes = [int(part) for part in args.sizes.split(",")]
+    study = ConvergenceStudy(tol=args.tol, max_iter=5000)
+    for n in sizes:
+        web, semantic = paired_link_structures(n, seed=n)
+        study.run(combine_link_structures(web, semantic), label=f"n={n}")
+    print(study.format_table())
+    return 0
+
+
+def _cmd_tags(args) -> int:
+    from repro.tagging.interface import TaggingSystem
+    from repro.workloads.tags import generate_tag_workload
+
+    system = TaggingSystem()
+    if args.corpus or args.from_smr:
+        smr = _build_smr(args)
+        system.sync_from_smr(smr, ["project", "sensor_type", "status"])
+    else:
+        workload = generate_tag_workload(seed=args.seed)
+        system.store.import_assignments(workload.assignments)
+    cloud = system.cloud(top=args.top)
+    print(f"{len(cloud.entries)} tags, {len(cloud.cliques)} maximal cliques")
+    for entry in cloud.entries:
+        marker = "*" if entry.bridges_cliques else " "
+        print(f"{marker} size={entry.size} count={entry.count:<4} {entry.tag}")
+    return 0
+
+
+def _cmd_serve(args) -> int:  # pragma: no cover - blocking server loop
+    from repro.core.engine import AdvancedSearchEngine
+    from repro.tagging.interface import TaggingSystem
+    from repro.web.app import create_app, serve
+
+    engine = AdvancedSearchEngine(_build_smr(args))
+    tagging = TaggingSystem()
+    tagging.sync_from_smr(engine.smr, ["project", "sensor_type"])
+    serve(create_app(engine, tagging), host=args.host, port=args.port)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Advanced sensor-metadata search (ICDE 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(p):
+        p.add_argument("--seed", type=int, default=42, help="synthetic corpus seed")
+        p.add_argument("--corpus", help="load this JSON dump instead of generating")
+
+    p_generate = sub.add_parser("generate", help="write a synthetic corpus dump")
+    p_generate.add_argument("--seed", type=int, default=42)
+    p_generate.add_argument("--out", help="output file (stdout if omitted)")
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_load = sub.add_parser("load", help="load a corpus and print statistics")
+    add_source(p_load)
+    p_load.set_defaults(func=_cmd_load)
+
+    p_search = sub.add_parser("search", help="run an advanced query")
+    p_search.add_argument("query", help="compact query string")
+    p_search.add_argument("--recommend", type=int, default=0, metavar="K")
+    add_source(p_search)
+    p_search.set_defaults(func=_cmd_search)
+
+    p_rank = sub.add_parser("pagerank", help="top pages by double-link PageRank")
+    p_rank.add_argument("--top", type=int, default=10)
+    p_rank.add_argument("--alpha", type=float, default=0.5)
+    p_rank.add_argument("--method", default="gauss_seidel")
+    add_source(p_rank)
+    p_rank.set_defaults(func=_cmd_pagerank)
+
+    p_solvers = sub.add_parser("solvers", help="the Fig. 3 solver comparison")
+    p_solvers.add_argument("--sizes", default="500,1000")
+    p_solvers.add_argument("--tol", type=float, default=1e-8)
+    p_solvers.set_defaults(func=_cmd_solvers)
+
+    p_tags = sub.add_parser("tags", help="build and print a tag cloud")
+    p_tags.add_argument("--top", type=int, default=25)
+    p_tags.add_argument("--from-smr", action="store_true", help="tags from SMR properties")
+    add_source(p_tags)
+    p_tags.set_defaults(func=_cmd_tags)
+
+    p_serve = sub.add_parser("serve", help="start the HTTP API")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000)
+    add_source(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed (e.g. piped into `head`); exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Autocomplete and the dynamic drop-downs of the query interface (Fig. 7).
+
+Three completion surfaces, all trie-backed and weighted so popular
+entries surface first:
+
+- page titles (weighted by PageRank — important pages complete first);
+- semantic property names (weighted by usage count);
+- property *values*, per (kind, property) — these are the paper's
+  "drop-down menus that change dynamically based on the chosen
+  properties of schema".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.ranking import PageRankRanker
+from repro.errors import QueryError
+from repro.smr.repository import SensorMetadataRepository
+from repro.text.trie import Trie
+
+
+class AutocompleteService:
+    """Lazy, cached completion indexes over one SMR."""
+
+    def __init__(self, smr: SensorMetadataRepository, ranker: Optional[PageRankRanker] = None):
+        self.smr = smr
+        self.ranker = ranker
+        self._title_trie: Optional[Trie] = None
+        self._title_case: Dict[str, str] = {}  # lower-case -> original title
+        self._property_trie: Optional[Trie] = None
+        self._value_cache: Dict[Tuple[Optional[str], str], List[Tuple[Any, int]]] = {}
+
+    def refresh(self) -> None:
+        """Drop caches after the SMR changes."""
+        self._title_trie = None
+        self._title_case.clear()
+        self._property_trie = None
+        self._value_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Titles
+    # ------------------------------------------------------------------
+
+    def complete_title(self, prefix: str, limit: int = 10) -> List[str]:
+        """Page-title completions, most important pages first."""
+        if self._title_trie is None:
+            trie = Trie()
+            scores = self.ranker.scores() if self.ranker is not None else {}
+            for title in self.smr.titles():
+                trie.insert(title, weight=1.0 + scores.get(title, 0.0) * 1000.0)
+                self._title_case[title.lower()] = title
+            self._title_trie = trie
+        completions = self._title_trie.complete(prefix, limit=limit)
+        return [self._title_case.get(item, item) for item in completions]
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    def complete_property(self, prefix: str, limit: int = 10) -> List[str]:
+        """Semantic-property-name completions, most used first."""
+        if self._property_trie is None:
+            trie = Trie()
+            usage: Counter = Counter()
+            for title in self.smr.titles():
+                for prop, _ in self.smr.annotations(title):
+                    usage[prop.lower()] += 1
+            for prop, count in usage.items():
+                trie.insert(prop, weight=float(count))
+            self._property_trie = trie
+        return self._property_trie.complete(prefix, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Dynamic drop-downs (values per property)
+    # ------------------------------------------------------------------
+
+    def values_for(
+        self, prop: str, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Tuple[Any, int]]:
+        """Distinct values of ``prop`` with usage counts, most common first.
+
+        ``kind`` narrows to one metadata kind — exactly how the demo's
+        drop-downs repopulate when the user picks a schema property.
+        """
+        if not prop:
+            raise QueryError("values_for() needs a property name")
+        key = (kind.lower() if kind else None, prop.lower())
+        if key not in self._value_cache:
+            counts: Counter = Counter()
+            titles = self.smr.titles(kind) if kind else self.smr.titles()
+            for title in titles:
+                for name, value in self.smr.annotations(title):
+                    if name.lower() == prop.lower():
+                        counts[value] += 1
+            ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+            self._value_cache[key] = ranked
+        values = self._value_cache[key]
+        return values[:limit] if limit is not None else list(values)
+
+    def complete_value(
+        self, prop: str, prefix: str, kind: Optional[str] = None, limit: int = 10
+    ) -> List[str]:
+        """String-value completions of ``prop`` starting with ``prefix``."""
+        lowered = prefix.lower()
+        matches = [
+            str(value)
+            for value, _ in self.values_for(prop, kind)
+            if isinstance(value, str) and value.lower().startswith(lowered)
+        ]
+        return matches[:limit]

@@ -1,0 +1,355 @@
+"""The advanced search engine: Query Interface + Query Management.
+
+The pipeline mirrors Fig. 1. A :class:`~repro.core.query.SearchQuery`
+is decomposed into constraint sets:
+
+- the keyword runs against the inverted index (basic search);
+- each property filter runs against the *relational* store when the
+  property is mapped to a column (SQL), and against the *RDF graph*
+  otherwise (SPARQL) — the paper's "combination of SQL and SPARQL";
+- kind and bounding-box constraints restrict further.
+
+Strict mode intersects all constraint sets; relaxed mode unions the
+property filters and reports a per-result **match degree** (the fraction
+of predicates satisfied) — the quantity the map visualization colors by.
+Results are ranked by the double-link PageRank metric blended with
+keyword relevance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.autocomplete import AutocompleteService
+from repro.core.facets import facet_counts
+from repro.core.privileges import ANONYMOUS, User
+from repro.core.query import (
+    PropertyFilter,
+    SORT_PAGERANK,
+    SORT_RELEVANCE,
+    SearchQuery,
+    parse_query,
+)
+from repro.core.ranking import PageRankRanker
+from repro.core.recommend import Recommendation, Recommender
+from repro.core.results import SearchResult, SearchResults
+from repro.errors import QueryError, RelationalError
+from repro.geo.point import GeoPoint
+from repro.smr.repository import SensorMetadataRepository
+
+# Weighting of keyword relevance vs. PageRank in the default sort.
+_RELEVANCE_WEIGHT = 0.6
+_PAGERANK_WEIGHT = 0.4
+
+
+class AdvancedSearchEngine:
+    """The paper's search system over one Sensor Metadata Repository."""
+
+    def __init__(self, smr: SensorMetadataRepository, ranker: Optional[PageRankRanker] = None):
+        self.smr = smr
+        self.ranker = ranker or PageRankRanker(smr)
+        self.autocomplete = AutocompleteService(smr, self.ranker)
+        self.recommender = Recommender(smr, self.ranker)
+        from repro.core.history import QueryLog
+
+        self.query_log = QueryLog()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> SearchQuery:
+        """Parse the compact query-string syntax."""
+        return parse_query(text)
+
+    def search(self, query: SearchQuery, user: User = ANONYMOUS) -> SearchResults:
+        """Run an advanced search within the user's privileges."""
+        if query.kind is not None:
+            user.check_kind(query.kind)
+        relevance: Dict[str, float] = {}
+        constraint_sets: List[Set[str]] = []
+
+        if query.keyword:
+            hits = self.smr.keyword_search(query.keyword)
+            relevance = {hit.doc_id: hit.score for hit in hits}
+            constraint_sets.append(set(relevance))
+
+        if query.kind is not None:
+            constraint_sets.append(set(self.smr.titles(query.kind)))
+
+        filter_matches = [
+            (flt, self._titles_matching_filter(flt)) for flt in query.filters
+        ]
+        if filter_matches:
+            if query.relaxed:
+                union: Set[str] = set()
+                for _, titles in filter_matches:
+                    union |= titles
+                constraint_sets.append(union)
+            else:
+                for _, titles in filter_matches:
+                    constraint_sets.append(titles)
+
+        if query.bbox is not None:
+            constraint_sets.append(self._titles_in_bbox(query.bbox))
+
+        if constraint_sets:
+            candidates = set.intersection(*constraint_sets)
+        else:
+            candidates = set(self.smr.titles())
+
+        results = []
+        for title in candidates:
+            kind = self.smr.kind_of(title)
+            if not user.policy.can_read(kind):
+                continue
+            result = self._build_result(title, kind, relevance, filter_matches)
+            results.append(result)
+        total = len(results)
+        self._score_and_sort(query, results)
+        results = results[query.offset :]
+        if query.limit is not None:
+            results = results[: query.limit]
+        self.query_log.record(query.describe(), total)
+        return SearchResults(results, total, query.describe())
+
+    def facets(self, results: SearchResults, prop: str) -> List[Tuple[Any, int]]:
+        """Facet counts of ``prop`` over a result set (for bar/pie charts)."""
+        return facet_counts(self.smr, results.titles, prop)
+
+    def recommend(self, results: SearchResults, k: int = 5) -> List[Recommendation]:
+        """Pages related to the result set (the recommendation mechanism)."""
+        return self.recommender.recommend(results, k=k)
+
+    def related_pages(self, title: str, k: int = 5):
+        """Pages most related to ``title`` via personalized PageRank."""
+        return self.ranker.related_pages(title, k=k)
+
+    def snippet(self, title: str, query: str, window: int = 24):
+        """A highlighted fragment of the page's text for ``query``."""
+        from repro.text.snippet import best_snippet
+
+        text = self.smr.wiki.parsed(title).plain_text
+        return best_snippet(f"{title} {text}", query, window=window)
+
+    def did_you_mean(self, keyword: str, limit: int = 3) -> List[str]:
+        """Spelling suggestions for a keyword that matched nothing.
+
+        Candidates come from the live vocabulary: property names, string
+        property values and title words; ties break toward more frequent
+        terms. Multi-word keywords are corrected word by word.
+        """
+        from repro.text.fuzzy import suggest
+        from repro.text.tokenize import tokenize
+
+        vocabulary: Dict[str, float] = {}
+        for title in self.smr.titles():
+            for token in tokenize(title):
+                vocabulary[token] = vocabulary.get(token, 0.0) + 1.0
+            for prop, value in self.smr.annotations(title):
+                vocabulary[prop.lower()] = vocabulary.get(prop.lower(), 0.0) + 1.0
+                if isinstance(value, str):
+                    for token in tokenize(value):
+                        vocabulary[token] = vocabulary.get(token, 0.0) + 1.0
+        corrections = []
+        for word in tokenize(keyword):
+            if word in vocabulary:
+                corrections.append([word])
+                continue
+            options = suggest(word, list(vocabulary), weights=vocabulary, limit=limit)
+            corrections.append(options or [word])
+        suggestions = []
+        for option in corrections[0] if corrections else []:
+            rest = [words[0] for words in corrections[1:]]
+            suggestions.append(" ".join([option, *rest]))
+        keyword_normalized = " ".join(tokenize(keyword))
+        return [s for s in suggestions[:limit] if s != keyword_normalized]
+
+    # ------------------------------------------------------------------
+    # Constraint evaluation
+    # ------------------------------------------------------------------
+
+    def _titles_matching_filter(self, flt: PropertyFilter) -> Set[str]:
+        """Resolve one property filter via SQL (mapped) or SPARQL (not)."""
+        mapped_kinds = [
+            kind
+            for kind in self.smr.mapping.kinds
+            if self.smr.mapping.column_for_property(kind, flt.prop) is not None
+        ]
+        if mapped_kinds:
+            return self._sql_filter(flt, mapped_kinds)
+        return self._sparql_filter(flt)
+
+    def _sql_filter(self, flt: PropertyFilter, kinds: List[str]) -> Set[str]:
+        matches: Set[str] = set()
+        errors = []
+        for kind in kinds:
+            column = self.smr.mapping.column_for_property(kind, flt.prop)
+            condition = _sql_condition(column, flt)
+            try:
+                result = self.smr.sql(f"SELECT title FROM {kind} WHERE {condition}")
+            except RelationalError as exc:
+                errors.append(f"{kind}: {exc}")
+                continue
+            matches.update(row[0] for row in result)
+        if errors and not matches and len(errors) == len(kinds):
+            raise QueryError(
+                f"filter {flt.describe()} failed on every kind: {'; '.join(errors)}"
+            )
+        return matches
+
+    def _sparql_filter(self, flt: PropertyFilter) -> Set[str]:
+        prop_local = flt.prop.strip().lower().replace(" ", "_")
+        condition = _sparql_condition(flt)
+        query = (
+            "PREFIX prop: <http://repro.example.org/property/> "
+            f"SELECT ?s WHERE {{ ?s prop:{prop_local} ?v . FILTER({condition}) }}"
+        )
+        result = self.smr.sparql(query)
+        matches: Set[str] = set()
+        iri_to_title = self._iri_title_map()
+        for term in result.column("s"):
+            title = iri_to_title.get(getattr(term, "value", None))
+            if title is not None:
+                matches.add(title)
+        return matches
+
+    def _iri_title_map(self) -> Dict[str, str]:
+        from repro.wiki.site import title_to_iri
+
+        return {title_to_iri(title).value: title for title in self.smr.titles()}
+
+    def _titles_in_bbox(self, bbox) -> Set[str]:
+        matches: Set[str] = set()
+        for title in self.smr.titles():
+            location = self._location_of(title)
+            if location is not None and bbox.contains(location):
+                matches.add(title)
+        return matches
+
+    def _location_of(self, title: str) -> Optional[GeoPoint]:
+        annotations = dict(
+            (prop.lower(), value) for prop, value in self.smr.annotations(title)
+        )
+        lat = annotations.get("latitude")
+        lon = annotations.get("longitude")
+        if isinstance(lat, (int, float)) and isinstance(lon, (int, float)):
+            try:
+                return GeoPoint(float(lat), float(lon))
+            except Exception:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Result construction and ranking
+    # ------------------------------------------------------------------
+
+    def _build_result(
+        self,
+        title: str,
+        kind: str,
+        relevance: Dict[str, float],
+        filter_matches: List[Tuple[PropertyFilter, Set[str]]],
+    ) -> SearchResult:
+        if filter_matches:
+            satisfied = sum(1 for _, titles in filter_matches if title in titles)
+            match_degree = satisfied / len(filter_matches)
+        else:
+            match_degree = 1.0
+        annotations = {
+            prop.lower(): value for prop, value in self.smr.annotations(title)
+        }
+        return SearchResult(
+            title=title,
+            kind=kind,
+            relevance=relevance.get(title, 0.0),
+            pagerank=self.ranker.score(title),
+            match_degree=match_degree,
+            annotations=annotations,
+            location=self._location_of(title),
+        )
+
+    def _score_and_sort(self, query: SearchQuery, results: List[SearchResult]) -> None:
+        if not results:
+            return
+        if query.sort == SORT_PAGERANK:
+            for result in results:
+                result.score = result.match_degree * result.pagerank
+        elif query.sort == SORT_RELEVANCE:
+            max_rel = max((r.relevance for r in results), default=0.0) or 1.0
+            max_pr = max((r.pagerank for r in results), default=0.0) or 1.0
+            for result in results:
+                blended = (
+                    _RELEVANCE_WEIGHT * (result.relevance / max_rel)
+                    + _PAGERANK_WEIGHT * (result.pagerank / max_pr)
+                )
+                result.score = result.match_degree * blended
+        else:
+            # Sort by a property value; missing values always sort last.
+            prop = query.sort
+            present = [r for r in results if r.get(prop) is not None]
+            if not present:
+                raise QueryError(f"cannot sort by {prop!r}: no result has that property")
+            missing = [r for r in results if r.get(prop) is None]
+            for result in results:
+                result.score = _numeric_or_zero(result.get(prop))
+            present.sort(
+                key=lambda r: _typed_value_key(r.get(prop)), reverse=query.descending
+            )
+            results[:] = present + missing
+            return
+        results.sort(key=lambda r: (r.score, r.title), reverse=query.descending)
+
+
+# ----------------------------------------------------------------------
+# Condition rendering
+# ----------------------------------------------------------------------
+
+
+def _sql_quote(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _sql_condition(column: str, flt: PropertyFilter) -> str:
+    if flt.op == "~":
+        pattern = str(flt.value).replace("'", "''")
+        return f"{column} LIKE '%{pattern}%'"
+    op = flt.op
+    return f"{column} {op} {_sql_quote(flt.value)}"
+
+
+def _sparql_condition(flt: PropertyFilter) -> str:
+    if flt.op == "~":
+        pattern = re.escape(str(flt.value)).replace('"', '\\"')
+        return f'REGEX(STR(?v), "{pattern}", "i")'
+    if isinstance(flt.value, bool):
+        rendered = "true" if flt.value else "false"
+    elif isinstance(flt.value, (int, float)):
+        rendered = repr(flt.value)
+    else:
+        escaped = str(flt.value).replace("\\", "\\\\").replace('"', '\\"')
+        rendered = f'"{escaped}"'
+    return f"?v {flt.op} {rendered}"
+
+
+def _numeric_or_zero(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return 0.0
+
+
+def _typed_value_key(value: Any):
+    # Rank by type so mixed-typed property values still sort totally.
+    if isinstance(value, bool):
+        return (0, float(value), "")
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))

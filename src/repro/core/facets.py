@@ -1,0 +1,38 @@
+"""Facet counts over result sets.
+
+The Fig. 2 bar and pie diagrams are facet distributions — "real-time bar
+and pie diagrams" over whatever property the user groups by. This module
+computes those distributions; :mod:`repro.viz` renders them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, List, Tuple
+
+from repro.errors import QueryError
+from repro.smr.repository import SensorMetadataRepository
+
+
+def facet_counts(
+    smr: SensorMetadataRepository, titles: Iterable[str], prop: str
+) -> List[Tuple[Any, int]]:
+    """Count values of ``prop`` across ``titles``, most common first.
+
+    Pages lacking the property are counted under ``None`` so chart totals
+    match the result-set size.
+    """
+    if not prop:
+        raise QueryError("facet_counts() needs a property name")
+    wanted = prop.lower()
+    counts: Counter = Counter()
+    for title in titles:
+        values = [
+            value for name, value in smr.annotations(title) if name.lower() == wanted
+        ]
+        if values:
+            for value in values:
+                counts[value] += 1
+        else:
+            counts[None] += 1
+    return sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))

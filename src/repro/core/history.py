@@ -1,0 +1,77 @@
+"""Query history: recent and popular searches.
+
+The demo's interface surfaces popular queries back to users (the same
+"trends" idea the tag clouds serve, applied to search behaviour). The log
+is in-memory, bounded, and ordered by a logical sequence counter — no
+wall clock, so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, Tuple
+
+from repro.errors import QueryError
+
+
+def normalize_query_text(text: str) -> str:
+    """Canonical form for counting: trimmed, lower-case, single-spaced."""
+    canonical = " ".join(text.strip().lower().split())
+    if not canonical:
+        raise QueryError("cannot log an empty query")
+    return canonical
+
+
+class QueryLog:
+    """A bounded log of executed searches."""
+
+    def __init__(self, capacity: int = 1000):
+        if capacity <= 0:
+            raise QueryError(f"log capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._recent: Deque[Tuple[int, str, int]] = deque(maxlen=capacity)
+        self._counts: Counter = Counter()
+        self._sequence = 0
+
+    def record(self, query_text: str, result_count: int) -> None:
+        """Log one executed search and how many results it returned."""
+        canonical = normalize_query_text(query_text)
+        self._sequence += 1
+        if len(self._recent) == self.capacity:
+            # The evicted entry leaves the popularity counts too, so
+            # "popular" reflects the retained window, not all time.
+            _, evicted, _ = self._recent[0]
+            self._counts[evicted] -= 1
+            if self._counts[evicted] <= 0:
+                del self._counts[evicted]
+        self._recent.append((self._sequence, canonical, result_count))
+        self._counts[canonical] += 1
+
+    @property
+    def total_logged(self) -> int:
+        """Searches recorded over the log's lifetime (not the window)."""
+        return self._sequence
+
+    def recent(self, k: int = 10) -> List[str]:
+        """The last ``k`` distinct queries, most recent first."""
+        seen = []
+        for _, query, _ in reversed(self._recent):
+            if query not in seen:
+                seen.append(query)
+            if len(seen) == k:
+                break
+        return seen
+
+    def popular(self, k: int = 10) -> List[Tuple[str, int]]:
+        """The ``k`` most-run queries in the window, with counts."""
+        return sorted(self._counts.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+    def zero_result_queries(self, k: int = 10) -> List[str]:
+        """Recent queries that returned nothing (content-gap signal)."""
+        seen = []
+        for _, query, count in reversed(self._recent):
+            if count == 0 and query not in seen:
+                seen.append(query)
+            if len(seen) == k:
+                break
+        return seen

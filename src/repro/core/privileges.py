@@ -1,0 +1,58 @@
+"""Users and access privileges.
+
+"The Query Interface module takes user's inputs for queries within their
+privileges, since a user may not have a full access to the whole
+metadata." Privileges here are per metadata kind: a user may read all
+kinds (the default anonymous policy on the public platform), or be
+restricted to a whitelist — queries over forbidden kinds are rejected and
+results of forbidden kinds are filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+from repro.errors import AccessDeniedError
+from repro.smr.model import KIND_ORDER
+
+
+@dataclass(frozen=True)
+class AccessPolicy:
+    """What a user may read. ``None`` whitelist means everything."""
+
+    allowed_kinds: Optional[FrozenSet[str]] = None
+
+    @classmethod
+    def allow_all(cls) -> "AccessPolicy":
+        return cls(None)
+
+    @classmethod
+    def restrict_to(cls, kinds: Iterable[str]) -> "AccessPolicy":
+        kinds = frozenset(kind.lower() for kind in kinds)
+        unknown = kinds - set(KIND_ORDER)
+        if unknown:
+            raise AccessDeniedError(f"policy names unknown kinds: {sorted(unknown)}")
+        return cls(kinds)
+
+    def can_read(self, kind: str) -> bool:
+        """True when metadata of ``kind`` is readable under this policy."""
+        return self.allowed_kinds is None or kind.lower() in self.allowed_kinds
+
+
+@dataclass(frozen=True)
+class User:
+    """A (named) search user with an access policy."""
+
+    name: str = "anonymous"
+    policy: AccessPolicy = field(default_factory=AccessPolicy.allow_all)
+
+    def check_kind(self, kind: str) -> None:
+        """Raise :class:`AccessDeniedError` unless ``kind`` is readable."""
+        if not self.policy.can_read(kind):
+            raise AccessDeniedError(
+                f"user {self.name!r} may not query metadata of kind {kind!r}"
+            )
+
+
+ANONYMOUS = User()

@@ -1,0 +1,106 @@
+"""The recommendation mechanism.
+
+"A recommendation mechanism is embedded to our system. This presents
+relevant pages based on the combination of query inputs and properties
+that are high-scored by the PageRank algorithm."
+
+Given a result set, the recommender walks each result's semantic
+neighborhood — pages its annotations point to, and pages that annotate it
+— and scores every neighbor by
+
+    sum over connections of  PageRank(neighbor) x weight(property),
+
+where ``weight`` is the property-importance measure from
+:class:`~repro.core.ranking.PageRankRanker` (total PageRank mass of pages
+carrying that property). Pages already in the result set are excluded;
+each recommendation records *why* it was proposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.ranking import PageRankRanker
+from repro.core.results import SearchResults
+from repro.smr.repository import SensorMetadataRepository
+
+
+@dataclass
+class Recommendation:
+    """One proposed page with its provenance."""
+
+    title: str
+    score: float
+    reasons: List[Tuple[str, str]] = field(default_factory=list)  # (via_property, from_title)
+
+    def describe(self) -> str:
+        """One-line summary: title, score, and the first few reasons."""
+        via = ", ".join(f"{prop} of {src}" for prop, src in self.reasons[:3])
+        return f"{self.title} (score {self.score:.3g}; via {via})"
+
+
+class Recommender:
+    """Semantic-neighborhood recommendations weighted by PageRank."""
+
+    def __init__(self, smr: SensorMetadataRepository, ranker: PageRankRanker):
+        self.smr = smr
+        self.ranker = ranker
+        self._reverse: Dict[str, List[Tuple[str, str]]] = {}
+        self._reverse_built = False
+
+    def _reverse_links(self) -> Dict[str, List[Tuple[str, str]]]:
+        """target title-key -> [(property, source title)] across the wiki."""
+        if not self._reverse_built:
+            self._reverse = {}
+            for title in self.smr.titles():
+                for prop, value in self.smr.annotations(title):
+                    if isinstance(value, str) and self.smr.wiki.has(value):
+                        key = value.strip().lower()
+                        self._reverse.setdefault(key, []).append((prop.lower(), title))
+            self._reverse_built = True
+        return self._reverse
+
+    def refresh(self) -> None:
+        """Invalidate the reverse-link cache after SMR changes."""
+        self._reverse_built = False
+
+    def recommend(
+        self, results: SearchResults, k: int = 5, fanout: int = 10
+    ) -> List[Recommendation]:
+        """Return up to ``k`` pages related to the top ``fanout`` results."""
+        if k <= 0:
+            return []
+        exclude = {title.strip().lower() for title in results.titles}
+        weights = self.ranker.property_weights()
+        max_weight = max(weights.values(), default=1.0) or 1.0
+        scores: Dict[str, Recommendation] = {}
+
+        def credit(neighbor: str, prop: str, source: str) -> None:
+            key = neighbor.strip().lower()
+            if key in exclude or not self.smr.wiki.has(neighbor):
+                return
+            canonical = self.smr.wiki.get(neighbor).title
+            gain = self.ranker.score(canonical) * (
+                weights.get(prop.lower(), 0.0) / max_weight
+            )
+            entry = scores.get(key)
+            if entry is None:
+                entry = Recommendation(canonical, 0.0)
+                scores[key] = entry
+            entry.score += gain
+            entry.reasons.append((prop.lower(), source))
+
+        for result in results.results[:fanout]:
+            # Forward: pages this result's annotations point to.
+            for prop, value in self.smr.annotations(result.title):
+                if isinstance(value, str):
+                    credit(value, prop, result.title)
+            # Backward: pages whose annotations point at this result.
+            for prop, source in self._reverse_links().get(
+                result.title.strip().lower(), []
+            ):
+                credit(source, prop, result.title)
+
+        ranked = sorted(scores.values(), key=lambda rec: (-rec.score, rec.title))
+        return ranked[:k]

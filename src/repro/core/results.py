@@ -1,0 +1,83 @@
+"""Search result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.geo.point import GeoPoint
+
+
+@dataclass
+class SearchResult:
+    """One matched metadata page.
+
+    Attributes
+    ----------
+    score:
+        The final sort score under the query's sort mode.
+    relevance:
+        Keyword relevance (BM25), 0 when the query had no keyword.
+    pagerank:
+        The page's double-link PageRank score.
+    match_degree:
+        Fraction of the query's property predicates this page satisfies —
+        1.0 under strict (AND) matching, possibly lower under relaxed
+        matching; drives the map color coding of Fig. 2.
+    location:
+        The page's coordinates when its annotations carry them.
+    """
+
+    title: str
+    kind: str
+    score: float = 0.0
+    relevance: float = 0.0
+    pagerank: float = 0.0
+    match_degree: float = 1.0
+    annotations: Dict[str, Any] = field(default_factory=dict)
+    location: Optional[GeoPoint] = None
+
+    def get(self, prop: str, default: Any = None) -> Any:
+        """The value of annotation ``prop`` (case-insensitive), or ``default``."""
+        return self.annotations.get(prop.lower(), default)
+
+
+class SearchResults:
+    """An ordered list of results plus query echo and totals."""
+
+    def __init__(self, results: List[SearchResult], total_candidates: int, query_description: str):
+        self.results = results
+        self.total_candidates = total_candidates
+        self.query_description = query_description
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    @property
+    def titles(self) -> List[str]:
+        return [result.title for result in self.results]
+
+    def located(self) -> List[SearchResult]:
+        """Only the results that carry coordinates (for map rendering)."""
+        return [result for result in self.results if result.location is not None]
+
+    def rows(self, properties: Tuple[str, ...] = ()) -> List[Tuple[Any, ...]]:
+        """Tabular projection: (title, kind, score, *properties)."""
+        table = []
+        for result in self.results:
+            row = [result.title, result.kind, round(result.score, 6)]
+            row.extend(result.get(prop) for prop in properties)
+            table.append(tuple(row))
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResults({len(self.results)} of {self.total_candidates} candidates, "
+            f"query: {self.query_description})"
+        )

@@ -1,0 +1,99 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch a single base class at the system boundary (the web API does exactly
+that) while still being able to discriminate failures per substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class LinalgError(ReproError):
+    """Invalid shapes, singular systems, or malformed sparse structures."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exhausted its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        The residual norm at the moment of failure.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("inf")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class RelationalError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SqlSyntaxError(RelationalError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table/column/index."""
+
+
+class IntegrityError(RelationalError):
+    """Constraint violation (type mismatch, NOT NULL, duplicate key)."""
+
+
+class RdfError(ReproError):
+    """Base class for RDF store errors."""
+
+
+class TurtleSyntaxError(RdfError):
+    """Malformed Turtle input."""
+
+
+class SparqlSyntaxError(RdfError):
+    """The SPARQL text could not be tokenized or parsed."""
+
+
+class WikiError(ReproError):
+    """Semantic-wiki layer errors (missing pages, bad titles)."""
+
+
+class SmrError(ReproError):
+    """Sensor Metadata Repository errors."""
+
+
+class BulkLoadError(SmrError):
+    """A bulk-load record failed validation or parsing.
+
+    Attributes
+    ----------
+    row:
+        1-based index of the offending record, or 0 when unknown.
+    """
+
+    def __init__(self, message: str, row: int = 0):
+        super().__init__(message)
+        self.row = row
+
+
+class QueryError(ReproError):
+    """Invalid search query (unknown property, bad operator, privileges)."""
+
+
+class AccessDeniedError(QueryError):
+    """The user lacks the privilege required by the query."""
+
+
+class TaggingError(ReproError):
+    """Dynamic tagging system errors."""
+
+
+class VizError(ReproError):
+    """Visualization toolkit errors (bad dimensions, empty series)."""

@@ -1,0 +1,74 @@
+"""Axis-aligned geographic bounding boxes.
+
+Used by map-based browsing ("show me stations inside this view") and by
+the map renderer to fit markers to the canvas. Boxes never cross the
+antimeridian — the Swiss Experiment corpus doesn't need it, and rejecting
+the case keeps containment logic obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """South/west/north/east bounds in degrees."""
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self):
+        if self.south > self.north:
+            raise ReproError(f"south {self.south} exceeds north {self.north}")
+        if self.west > self.east:
+            raise ReproError(
+                f"west {self.west} exceeds east {self.east} (antimeridian boxes unsupported)"
+            )
+        GeoPoint(self.south, self.west)
+        GeoPoint(self.north, self.east)
+
+    @classmethod
+    def around(cls, points: Iterable[GeoPoint], padding_deg: float = 0.0) -> "BoundingBox":
+        """The smallest box containing ``points``, optionally padded."""
+        points = list(points)
+        if not points:
+            raise ReproError("cannot build a bounding box around zero points")
+        south = min(p.lat for p in points) - padding_deg
+        north = max(p.lat for p in points) + padding_deg
+        west = min(p.lon for p in points) - padding_deg
+        east = max(p.lon for p in points) + padding_deg
+        return cls(
+            max(-90.0, south), max(-180.0, west), min(90.0, north), min(180.0, east)
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Inclusive containment check."""
+        return self.south <= point.lat <= self.north and self.west <= point.lon <= self.east
+
+    def center(self) -> GeoPoint:
+        """The box's central point."""
+        return GeoPoint((self.south + self.north) / 2, (self.west + self.east) / 2)
+
+    @property
+    def width_deg(self) -> float:
+        return self.east - self.west
+
+    @property
+    def height_deg(self) -> float:
+        return self.north - self.south
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when this box overlaps ``other`` (boundaries inclusive)."""
+        return not (
+            other.west > self.east
+            or other.east < self.west
+            or other.south > self.north
+            or other.north < self.south
+        )

@@ -1,0 +1,74 @@
+"""Grid-based marker clustering for map visualizations.
+
+Fig. 2 of the paper shows "(clustered) maps": dense marker sets collapse
+into count badges. This module reproduces the standard grid strategy —
+partition the bounding box into cells, merge markers per cell, and report
+each cluster's centroid, members and dominant color value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+
+@dataclass
+class MarkerCluster:
+    """A group of nearby markers.
+
+    Attributes
+    ----------
+    centroid:
+        Mean position of the members.
+    members:
+        The ``(point, payload)`` pairs merged into this cluster.
+    """
+
+    centroid: GeoPoint
+    members: List[Tuple[GeoPoint, object]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.members) == 1
+
+
+def cluster_markers(
+    markers: Sequence[Tuple[GeoPoint, object]],
+    grid: int = 8,
+    bbox: Optional[BoundingBox] = None,
+) -> List[MarkerCluster]:
+    """Cluster ``markers`` on a ``grid`` × ``grid`` partition of ``bbox``.
+
+    ``bbox`` defaults to the tight box around the markers. Returns clusters
+    sorted by size (largest first) then by centroid for determinism.
+    """
+    if grid <= 0:
+        raise ReproError(f"grid must be positive, got {grid}")
+    if not markers:
+        return []
+    points = [point for point, _ in markers]
+    box = bbox or BoundingBox.around(points, padding_deg=1e-9)
+    width = box.width_deg or 1e-9
+    height = box.height_deg or 1e-9
+    cells: dict[Tuple[int, int], List[Tuple[GeoPoint, object]]] = {}
+    for point, payload in markers:
+        if not box.contains(point):
+            continue
+        col = min(grid - 1, int((point.lon - box.west) / width * grid))
+        row = min(grid - 1, int((point.lat - box.south) / height * grid))
+        cells.setdefault((row, col), []).append((point, payload))
+    clusters = []
+    for members in cells.values():
+        lat = sum(point.lat for point, _ in members) / len(members)
+        lon = sum(point.lon for point, _ in members) / len(members)
+        clusters.append(MarkerCluster(GeoPoint(lat, lon), members))
+    clusters.sort(key=lambda c: (-c.size, c.centroid.lat, c.centroid.lon))
+    return clusters

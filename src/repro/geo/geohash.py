@@ -1,0 +1,76 @@
+"""Geohash encoding/decoding (Niemeyer's base-32 scheme).
+
+Geohashes give the search system cheap spatial bucketing: stations whose
+hashes share a prefix are near each other, which backs both the marker
+clustering fallback and "pages near this page" recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ReproError
+from repro.geo.point import GeoPoint
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_DECODE = {ch: i for i, ch in enumerate(_BASE32)}
+
+
+def geohash_encode(point: GeoPoint, precision: int = 8) -> str:
+    """Encode ``point`` to a geohash of ``precision`` characters."""
+    if not 1 <= precision <= 12:
+        raise ReproError(f"precision must lie in 1..12, got {precision}")
+    lat_range = [-90.0, 90.0]
+    lon_range = [-180.0, 180.0]
+    bits = []
+    even = True  # longitude first, per the geohash convention
+    while len(bits) < precision * 5:
+        interval = lon_range if even else lat_range
+        value = point.lon if even else point.lat
+        mid = (interval[0] + interval[1]) / 2
+        if value >= mid:
+            bits.append(1)
+            interval[0] = mid
+        else:
+            bits.append(0)
+            interval[1] = mid
+        even = not even
+    chars = []
+    for i in range(0, len(bits), 5):
+        index = 0
+        for bit in bits[i : i + 5]:
+            index = (index << 1) | bit
+        chars.append(_BASE32[index])
+    return "".join(chars)
+
+
+def geohash_decode(geohash: str) -> Tuple[GeoPoint, float, float]:
+    """Decode to ``(center, lat_error, lon_error)``.
+
+    The errors are the half-heights/half-widths of the geohash cell.
+    """
+    if not geohash:
+        raise ReproError("cannot decode an empty geohash")
+    lat_range = [-90.0, 90.0]
+    lon_range = [-180.0, 180.0]
+    even = True
+    for ch in geohash.lower():
+        if ch not in _DECODE:
+            raise ReproError(f"invalid geohash character {ch!r}")
+        index = _DECODE[ch]
+        for shift in range(4, -1, -1):
+            bit = (index >> shift) & 1
+            interval = lon_range if even else lat_range
+            mid = (interval[0] + interval[1]) / 2
+            if bit:
+                interval[0] = mid
+            else:
+                interval[1] = mid
+            even = not even
+    lat = (lat_range[0] + lat_range[1]) / 2
+    lon = (lon_range[0] + lon_range[1]) / 2
+    return (
+        GeoPoint(lat, lon),
+        (lat_range[1] - lat_range[0]) / 2,
+        (lon_range[1] - lon_range[0]) / 2,
+    )

@@ -1,0 +1,38 @@
+"""WGS-84 points and great-circle distance."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """A latitude/longitude pair in degrees (WGS-84)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat <= 90.0:
+            raise ReproError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ReproError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Return the haversine distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))

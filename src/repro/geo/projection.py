@@ -1,0 +1,62 @@
+"""Web-Mercator projection onto a pixel canvas.
+
+The map renderer projects WGS-84 coordinates to pixel positions exactly
+the way slippy-map APIs (the paper used Google Maps) do, so marker layouts
+look familiar. The projection is fitted to a bounding box and canvas size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ReproError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+_MAX_LAT = 85.05112878  # Mercator's usable latitude limit
+
+
+def _mercator_y(lat: float) -> float:
+    lat = max(-_MAX_LAT, min(_MAX_LAT, lat))
+    rad = math.radians(lat)
+    return math.log(math.tan(math.pi / 4 + rad / 2))
+
+
+class WebMercator:
+    """Project points inside a bounding box onto a ``width`` × ``height`` canvas."""
+
+    def __init__(self, bbox: BoundingBox, width: int, height: int, margin: int = 0):
+        if width <= 0 or height <= 0:
+            raise ReproError(f"canvas must be positive, got {width}x{height}")
+        if margin < 0 or 2 * margin >= min(width, height):
+            raise ReproError(f"margin {margin} too large for canvas {width}x{height}")
+        self.bbox = bbox
+        self.width = width
+        self.height = height
+        self.margin = margin
+        self._x0 = bbox.west
+        self._x1 = bbox.east
+        self._y0 = _mercator_y(bbox.south)
+        self._y1 = _mercator_y(bbox.north)
+        # Degenerate boxes (single point) project to the canvas center.
+        self._x_span = self._x1 - self._x0
+        self._y_span = self._y1 - self._y0
+
+    def project(self, point: GeoPoint) -> Tuple[float, float]:
+        """Return pixel ``(x, y)``; y grows downward as in screen space."""
+        usable_w = self.width - 2 * self.margin
+        usable_h = self.height - 2 * self.margin
+        if self._x_span == 0:
+            x = self.width / 2
+        else:
+            x = self.margin + (point.lon - self._x0) / self._x_span * usable_w
+        if self._y_span == 0:
+            y = self.height / 2
+        else:
+            y = self.margin + (self._y1 - _mercator_y(point.lat)) / self._y_span * usable_h
+        return x, y
+
+    def contains(self, point: GeoPoint) -> bool:
+        """True when ``point`` lies inside the fitted bounding box."""
+        return self.bbox.contains(point)

@@ -1,0 +1,21 @@
+"""Sparse linear-algebra substrate.
+
+The PageRank section of the paper solves large, sparse, asymmetric systems.
+This package provides the minimal sparse-matrix toolkit those solvers need —
+COO construction, CSR products and row access — implemented here rather than
+borrowed from scipy, so that every operation the evaluation times is part of
+the reproduction.
+"""
+
+from repro.linalg.sparse import CooMatrix, CsrMatrix, identity_csr
+from repro.linalg.vector import norm1, norm2, norminf, normalize1
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "identity_csr",
+    "norm1",
+    "norm2",
+    "norminf",
+    "normalize1",
+]

@@ -1,0 +1,244 @@
+"""Sparse matrices in coordinate (COO) and compressed-sparse-row (CSR) form.
+
+:class:`CooMatrix` is the mutable builder — append entries, duplicates sum.
+:class:`CsrMatrix` is the immutable compute format: matrix-vector products,
+transpose products, row slicing (needed by Gauss–Seidel/SOR), transposition
+and scaling. Storage uses numpy arrays; all algorithms are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+class CooMatrix:
+    """A growable sparse matrix in coordinate format.
+
+    Entries are appended with :meth:`add`; duplicate ``(row, col)`` entries
+    are summed when converting to CSR, which makes graph construction
+    (parallel edges) straightforward.
+    """
+
+    def __init__(self, nrows: int, ncols: int):
+        if nrows < 0 or ncols < 0:
+            raise LinalgError(f"matrix dimensions must be non-negative, got {nrows}x{ncols}")
+        self.nrows = nrows
+        self.ncols = ncols
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._data: list[float] = []
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return len(self._data)
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Append ``value`` at ``(row, col)``; duplicates accumulate."""
+        if not (0 <= row < self.nrows and 0 <= col < self.ncols):
+            raise LinalgError(
+                f"entry ({row}, {col}) outside matrix of shape {self.nrows}x{self.ncols}"
+            )
+        self._rows.append(row)
+        self._cols.append(col)
+        self._data.append(float(value))
+
+    def extend(self, entries: Iterable[Tuple[int, int, float]]) -> None:
+        """Append many ``(row, col, value)`` triples."""
+        for row, col, value in entries:
+            self.add(row, col, value)
+
+    def to_csr(self) -> "CsrMatrix":
+        """Convert to CSR, summing duplicate coordinates."""
+        rows = np.asarray(self._rows, dtype=np.int64)
+        cols = np.asarray(self._cols, dtype=np.int64)
+        data = np.asarray(self._data, dtype=float)
+        return CsrMatrix.from_coo_arrays(self.nrows, self.ncols, rows, cols, data)
+
+
+class CsrMatrix:
+    """An immutable compressed-sparse-row matrix.
+
+    Attributes
+    ----------
+    indptr, indices, data:
+        The standard CSR arrays: row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]`` / ``data[indptr[i]:indptr[i+1]]``,
+        with column indices sorted ascending inside each row.
+    """
+
+    def __init__(self, nrows: int, ncols: int, indptr, indices, data):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=float)
+        if self.indptr.shape != (self.nrows + 1,):
+            raise LinalgError(
+                f"indptr must have length nrows+1={self.nrows + 1}, got {self.indptr.shape}"
+            )
+        if self.indices.shape != self.data.shape:
+            raise LinalgError("indices and data must have identical length")
+        if self.nrows and self.indptr[0] != 0:
+            raise LinalgError("indptr must start at 0")
+        if len(self.indices) and (self.indices.min() < 0 or self.indices.max() >= self.ncols):
+            raise LinalgError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo_arrays(cls, nrows, ncols, rows, cols, data) -> "CsrMatrix":
+        """Build CSR from parallel coordinate arrays, summing duplicates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        data = np.asarray(data, dtype=float)
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= nrows:
+                raise LinalgError("row index out of range")
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise LinalgError("column index out of range")
+        # Sort lexicographically by (row, col) so duplicates are adjacent.
+        order = np.lexsort((cols, rows))
+        rows, cols, data = rows[order], cols[order], data[order]
+        if rows.size:
+            # Collapse runs of identical (row, col) by summing their data.
+            boundary = np.ones(rows.size, dtype=bool)
+            boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            group = np.cumsum(boundary) - 1
+            summed = np.bincount(group, weights=data)
+            rows, cols = rows[boundary], cols[boundary]
+            data = summed
+        counts = np.bincount(rows, minlength=nrows) if rows.size else np.zeros(nrows, dtype=np.int64)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(nrows, ncols, indptr, cols, data)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CsrMatrix":
+        """Build CSR from a 2-D array-like, dropping exact zeros."""
+        arr = np.asarray(dense, dtype=float)
+        if arr.ndim != 2:
+            raise LinalgError(f"expected a 2-D array, got shape {arr.shape}")
+        rows, cols = np.nonzero(arr)
+        return cls.from_coo_arrays(arr.shape[0], arr.shape[1], rows, cols, arr[rows, cols])
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(column_indices, values)`` views of row ``i``."""
+        if not 0 <= i < self.nrows:
+            raise LinalgError(f"row {i} out of range for {self.nrows} rows")
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def diagonal(self) -> np.ndarray:
+        """Return the main diagonal as a dense vector."""
+        diag = np.zeros(min(self.nrows, self.ncols))
+        for i in range(len(diag)):
+            cols, vals = self.row(i)
+            pos = np.searchsorted(cols, i)
+            if pos < cols.size and cols[pos] == i:
+                diag[i] = vals[pos]
+        return diag
+
+    def row_sums(self) -> np.ndarray:
+        """Return the per-row sum of stored values."""
+        sums = np.zeros(self.nrows)
+        np.add.at(sums, np.repeat(np.arange(self.nrows), np.diff(self.indptr)), self.data)
+        return sums
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (test/debug helper)."""
+        dense = np.zeros(self.shape)
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        dense[row_of, self.indices] = self.data
+        return dense
+
+    def entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield stored ``(row, col, value)`` triples in row-major order."""
+        for i in range(self.nrows):
+            cols, vals = self.row(i)
+            for col, val in zip(cols, vals):
+                yield i, int(col), float(val)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def matvec(self, x) -> np.ndarray:
+        """Return ``A @ x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.ncols,):
+            raise LinalgError(f"matvec expects length {self.ncols}, got {x.shape}")
+        products = self.data * x[self.indices]
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        return np.bincount(row_of, weights=products, minlength=self.nrows).astype(float)
+
+    def rmatvec(self, x) -> np.ndarray:
+        """Return ``A.T @ x`` without forming the transpose."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.nrows,):
+            raise LinalgError(f"rmatvec expects length {self.nrows}, got {x.shape}")
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        products = self.data * x[row_of]
+        return np.bincount(self.indices, weights=products, minlength=self.ncols).astype(float)
+
+    def transpose(self) -> "CsrMatrix":
+        """Return a new CSR matrix equal to ``A.T``."""
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        return CsrMatrix.from_coo_arrays(self.ncols, self.nrows, self.indices, row_of, self.data)
+
+    def scale(self, factor: float) -> "CsrMatrix":
+        """Return ``factor * A`` as a new matrix."""
+        return CsrMatrix(self.nrows, self.ncols, self.indptr, self.indices, self.data * factor)
+
+    def scale_rows(self, factors) -> "CsrMatrix":
+        """Return ``diag(factors) @ A`` as a new matrix."""
+        factors = np.asarray(factors, dtype=float)
+        if factors.shape != (self.nrows,):
+            raise LinalgError(f"need one factor per row ({self.nrows}), got {factors.shape}")
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        return CsrMatrix(self.nrows, self.ncols, self.indptr, self.indices, self.data * factors[row_of])
+
+    def add(self, other: "CsrMatrix") -> "CsrMatrix":
+        """Return ``A + B`` for two matrices of identical shape."""
+        if self.shape != other.shape:
+            raise LinalgError(f"shape mismatch: {self.shape} vs {other.shape}")
+        row_a = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        row_b = np.repeat(np.arange(other.nrows), np.diff(other.indptr))
+        rows = np.concatenate([row_a, row_b])
+        cols = np.concatenate([self.indices, other.indices])
+        data = np.concatenate([self.data, other.data])
+        return CsrMatrix.from_coo_arrays(self.nrows, self.ncols, rows, cols, data)
+
+    def __matmul__(self, x) -> np.ndarray:
+        return self.matvec(x)
+
+    def __repr__(self) -> str:
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def identity_csr(n: int) -> CsrMatrix:
+    """Return the ``n`` × ``n`` identity matrix in CSR form."""
+    idx = np.arange(n, dtype=np.int64)
+    return CsrMatrix(n, n, np.arange(n + 1, dtype=np.int64), idx, np.ones(n))

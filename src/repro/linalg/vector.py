@@ -1,0 +1,56 @@
+"""Dense-vector helpers used by the iterative solvers.
+
+All functions accept anything convertible to a 1-D ``numpy.ndarray`` of
+floats and never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+def _as_vector(x) -> np.ndarray:
+    vec = np.asarray(x, dtype=float)
+    if vec.ndim != 1:
+        raise LinalgError(f"expected a 1-D vector, got shape {vec.shape}")
+    return vec
+
+
+def norm1(x) -> float:
+    """Return the 1-norm (sum of absolute values) of ``x``.
+
+    PageRank convergence is conventionally measured in this norm because
+    the iterates are probability vectors.
+    """
+    return float(np.abs(_as_vector(x)).sum())
+
+
+def norm2(x) -> float:
+    """Return the Euclidean norm of ``x``."""
+    vec = _as_vector(x)
+    return float(np.sqrt(vec @ vec))
+
+
+def norminf(x) -> float:
+    """Return the maximum-magnitude entry of ``x`` (0.0 for empty input)."""
+    vec = _as_vector(x)
+    if vec.size == 0:
+        return 0.0
+    return float(np.abs(vec).max())
+
+
+def normalize1(x) -> np.ndarray:
+    """Return ``x`` scaled to unit 1-norm.
+
+    Raises
+    ------
+    LinalgError
+        If ``x`` has zero 1-norm, since the result would be undefined.
+    """
+    vec = _as_vector(x)
+    total = np.abs(vec).sum()
+    if total == 0.0:
+        raise LinalgError("cannot normalize a zero vector")
+    return vec / total

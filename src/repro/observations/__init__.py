@@ -1,0 +1,29 @@
+"""Observation-data substrate ("real-time environmental observation data").
+
+The Swiss Experiment platform shares live measurements alongside the
+metadata; the demo's "real-time bar and pie diagrams" visualize them.
+This package provides the minimal substrate those features need:
+
+- :mod:`repro.observations.series` — fixed-capacity time series (ring
+  buffers) over logical ticks, with window aggregation and downsampling;
+- :mod:`repro.observations.signals` — seeded synthetic signal models per
+  sensor type (diurnal cycles + noise + dropouts);
+- :mod:`repro.observations.store` — an observation store keyed by sensor
+  page title, wired to an SMR: ingest, latest values, per-station and
+  per-type aggregation, and staleness-based status derivation.
+
+Time is a logical tick counter (one tick = one base sampling interval),
+never the wall clock — everything is deterministic and testable.
+"""
+
+from repro.observations.series import SeriesStats, TimeSeries
+from repro.observations.signals import SignalModel, signal_for_sensor_type
+from repro.observations.store import ObservationStore
+
+__all__ = [
+    "TimeSeries",
+    "SeriesStats",
+    "SignalModel",
+    "signal_for_sensor_type",
+    "ObservationStore",
+]

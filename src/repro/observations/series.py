@@ -1,0 +1,106 @@
+"""Fixed-capacity time series over logical ticks.
+
+A :class:`TimeSeries` holds the most recent ``capacity`` observations as
+``(tick, value)`` pairs; ticks must be strictly increasing. Aggregation
+(:meth:`window_stats`) and downsampling (:meth:`downsample`) cover what
+the dashboard charts need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Aggregates of one window: count, min, max, mean, last."""
+
+    count: int
+    minimum: Optional[float]
+    maximum: Optional[float]
+    mean: Optional[float]
+    last: Optional[float]
+
+
+class TimeSeries:
+    """The most recent ``capacity`` observations of one sensor."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ReproError(f"series capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._points: Deque[Tuple[int, float]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, tick: int, value: float) -> None:
+        """Record ``value`` at ``tick``; ticks must strictly increase."""
+        if self._points and tick <= self._points[-1][0]:
+            raise ReproError(
+                f"tick {tick} not after the last recorded tick {self._points[-1][0]}"
+            )
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ReproError(f"observation value must be a number, got {value!r}")
+        self._points.append((tick, float(value)))
+
+    def extend(self, points) -> None:
+        """Append many ``(tick, value)`` pairs in order."""
+        for tick, value in points:
+            self.append(tick, value)
+
+    @property
+    def latest(self) -> Optional[Tuple[int, float]]:
+        return self._points[-1] if self._points else None
+
+    @property
+    def first_tick(self) -> Optional[int]:
+        return self._points[0][0] if self._points else None
+
+    def points(self) -> List[Tuple[int, float]]:
+        """All retained ``(tick, value)`` pairs, oldest first."""
+        return list(self._points)
+
+    def values_since(self, tick: int) -> List[float]:
+        """Values with tick >= ``tick``."""
+        return [value for t, value in self._points if t >= tick]
+
+    def window_stats(self, window: int, now: Optional[int] = None) -> SeriesStats:
+        """Aggregates over the last ``window`` ticks (ending at ``now``).
+
+        ``now`` defaults to the latest recorded tick.
+        """
+        if window <= 0:
+            raise ReproError(f"window must be positive, got {window}")
+        if not self._points:
+            return SeriesStats(0, None, None, None, None)
+        end = self._points[-1][0] if now is None else now
+        start = end - window + 1
+        values = [value for tick, value in self._points if start <= tick <= end]
+        if not values:
+            return SeriesStats(0, None, None, None, None)
+        return SeriesStats(
+            count=len(values),
+            minimum=min(values),
+            maximum=max(values),
+            mean=sum(values) / len(values),
+            last=values[-1],
+        )
+
+    def downsample(self, bucket: int) -> List[Tuple[int, float]]:
+        """Mean value per ``bucket``-tick interval (for long-range plots).
+
+        Returned x is the bucket's starting tick.
+        """
+        if bucket <= 0:
+            raise ReproError(f"bucket must be positive, got {bucket}")
+        buckets: dict[int, List[float]] = {}
+        for tick, value in self._points:
+            buckets.setdefault((tick // bucket) * bucket, []).append(value)
+        return [
+            (start, sum(values) / len(values)) for start, values in sorted(buckets.items())
+        ]

@@ -1,0 +1,74 @@
+"""Synthetic signal models per sensor type.
+
+We cannot ship the platform's live measurements, so each sensor type gets
+a physically plausible seeded model: a base level, a diurnal sinusoid,
+Gaussian noise, and occasional dropouts (sensors in the Alps miss
+readings). One tick is one base sampling interval; a "day" is 288 ticks
+(5-minute sampling).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ReproError
+
+TICKS_PER_DAY = 288
+
+
+@dataclass(frozen=True)
+class SignalModel:
+    """Parameters of one synthetic signal."""
+
+    base: float
+    amplitude: float
+    noise: float
+    minimum: Optional[float] = None
+    dropout: float = 0.02  # probability a tick produces no reading
+
+    def generate(self, ticks: int, seed: int = 0, start_tick: int = 0) -> Iterator[Tuple[int, float]]:
+        """Yield ``(tick, value)`` pairs; dropped ticks are skipped."""
+        if ticks < 0:
+            raise ReproError(f"ticks must be non-negative, got {ticks}")
+        rng = random.Random(seed)
+        for offset in range(ticks):
+            tick = start_tick + offset
+            if rng.random() < self.dropout:
+                continue
+            phase = 2 * math.pi * (tick % TICKS_PER_DAY) / TICKS_PER_DAY
+            value = (
+                self.base
+                + self.amplitude * math.sin(phase)
+                + rng.gauss(0.0, self.noise)
+            )
+            if self.minimum is not None:
+                value = max(self.minimum, value)
+            yield tick, round(value, 3)
+
+
+_MODELS = {
+    "temperature": SignalModel(base=2.0, amplitude=6.0, noise=0.8),
+    "humidity": SignalModel(base=70.0, amplitude=15.0, noise=3.0, minimum=0.0),
+    "wind speed": SignalModel(base=4.0, amplitude=2.5, noise=1.5, minimum=0.0),
+    "wind direction": SignalModel(base=180.0, amplitude=90.0, noise=25.0, minimum=0.0),
+    "snow height": SignalModel(base=120.0, amplitude=2.0, noise=1.0, minimum=0.0, dropout=0.05),
+    "solar radiation": SignalModel(base=300.0, amplitude=300.0, noise=40.0, minimum=0.0),
+    "precipitation": SignalModel(base=0.5, amplitude=0.5, noise=0.6, minimum=0.0, dropout=0.1),
+    "soil moisture": SignalModel(base=35.0, amplitude=3.0, noise=1.0, minimum=0.0),
+    "pressure": SignalModel(base=850.0, amplitude=3.0, noise=1.0),
+    "water level": SignalModel(base=2.2, amplitude=0.4, noise=0.1, minimum=0.0),
+    "discharge": SignalModel(base=12.0, amplitude=4.0, noise=1.2, minimum=0.0),
+    "turbidity": SignalModel(base=8.0, amplitude=3.0, noise=2.0, minimum=0.0),
+    "co2": SignalModel(base=410.0, amplitude=15.0, noise=5.0, minimum=0.0),
+    "infrared surface temperature": SignalModel(base=-1.0, amplitude=8.0, noise=1.0),
+}
+
+_DEFAULT = SignalModel(base=1.0, amplitude=0.5, noise=0.2)
+
+
+def signal_for_sensor_type(sensor_type: str) -> SignalModel:
+    """The signal model for a sensor type (a generic default if unknown)."""
+    return _MODELS.get(sensor_type.lower(), _DEFAULT)

@@ -1,0 +1,140 @@
+"""The observation store: series per sensor, wired to an SMR.
+
+Feeds the "real-time" visualizations: latest values per sensor, window
+aggregates per station or per sensor type (bar/pie inputs), and a
+staleness-based status ("a sensor that hasn't reported for a day is
+offline") that complements the static metadata status.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.observations.series import SeriesStats, TimeSeries
+from repro.observations.signals import TICKS_PER_DAY, signal_for_sensor_type
+
+
+class ObservationStore:
+    """Time series keyed by sensor page title."""
+
+    def __init__(self, capacity: int = 2048, stale_after: int = TICKS_PER_DAY):
+        if stale_after <= 0:
+            raise ReproError(f"stale_after must be positive, got {stale_after}")
+        self.capacity = capacity
+        self.stale_after = stale_after
+        self._series: Dict[str, TimeSeries] = {}
+        self.now = 0  # the store's logical clock: highest tick ingested
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def record(self, sensor: str, tick: int, value: float) -> None:
+        """Store one reading."""
+        series = self._series.setdefault(sensor, TimeSeries(self.capacity))
+        series.append(tick, value)
+        self.now = max(self.now, tick)
+
+    def simulate_from_smr(self, smr, ticks: int = TICKS_PER_DAY, seed: int = 0) -> int:
+        """Generate ``ticks`` of synthetic readings for every SMR sensor.
+
+        Each sensor's signal model follows its ``sensor_type`` annotation;
+        the per-sensor seed mixes the global seed with the title so runs
+        are reproducible but sensors are decorrelated. Returns the number
+        of readings stored.
+        """
+        stored = 0
+        # All sensors share the same time range: snapshot the clock once
+        # (it advances during ingestion). Re-simulating resumes just past
+        # the previous range.
+        start = self.now + 1 if self._series else 0
+        for title in smr.titles("sensor"):
+            annotations = dict(
+                (prop.lower(), value) for prop, value in smr.annotations(title)
+            )
+            sensor_type = str(annotations.get("sensor_type", ""))
+            model = signal_for_sensor_type(sensor_type)
+            # crc32 is stable across processes (str hash() is salted).
+            sensor_seed = (zlib.crc32(title.encode("utf-8")) ^ seed) & 0x7FFFFFFF
+            for tick, value in model.generate(ticks, seed=sensor_seed, start_tick=start):
+                self.record(title, tick, value)
+                stored += 1
+        return stored
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @property
+    def sensor_count(self) -> int:
+        return len(self._series)
+
+    def series(self, sensor: str) -> TimeSeries:
+        """The series of ``sensor``; raises for unknown sensors."""
+        series = self._series.get(sensor)
+        if series is None:
+            raise ReproError(f"no observations for sensor {sensor!r}")
+        return series
+
+    def has(self, sensor: str) -> bool:
+        """True when at least one reading exists for ``sensor``."""
+        return sensor in self._series
+
+    def latest(self, sensor: str) -> Optional[Tuple[int, float]]:
+        """The newest ``(tick, value)`` of ``sensor``, or None."""
+        series = self._series.get(sensor)
+        return series.latest if series is not None else None
+
+    def is_stale(self, sensor: str) -> bool:
+        """True when the sensor's last reading is older than ``stale_after``."""
+        latest = self.latest(sensor)
+        if latest is None:
+            return True
+        return self.now - latest[0] > self.stale_after
+
+    def window_stats(self, sensor: str, window: int = TICKS_PER_DAY) -> SeriesStats:
+        """Aggregates of ``sensor`` over the trailing ``window`` ticks."""
+        return self.series(sensor).window_stats(window, now=self.now)
+
+    # ------------------------------------------------------------------
+    # Aggregation for the "real-time" charts
+    # ------------------------------------------------------------------
+
+    def mean_by_group(
+        self, smr, group_property: str, window: int = TICKS_PER_DAY
+    ) -> List[Tuple[str, float]]:
+        """Mean recent reading grouped by a sensor property.
+
+        ``group_property`` is typically ``sensor_type`` (bar chart of
+        current conditions) or ``station`` (per-station summary). Sorted
+        by group name for determinism.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for title in smr.titles("sensor"):
+            if title not in self._series:
+                continue
+            stats = self.window_stats(title, window)
+            if stats.mean is None:
+                continue
+            annotations = dict(
+                (prop.lower(), value) for prop, value in smr.annotations(title)
+            )
+            group = annotations.get(group_property.lower())
+            if group is None:
+                continue
+            group = str(group)
+            sums[group] = sums.get(group, 0.0) + stats.mean
+            counts[group] = counts.get(group, 0) + 1
+        return [
+            (group, sums[group] / counts[group]) for group in sorted(sums)
+        ]
+
+    def staleness_report(self, smr) -> List[Tuple[str, bool]]:
+        """(sensor, is_stale) for every SMR sensor — drives status maps."""
+        return [
+            (title, self.is_stale(title))
+            for title in smr.titles("sensor")
+        ]

@@ -1,0 +1,35 @@
+"""PageRank over a double linking structure (paper, Section III).
+
+The paper scores metadata pages with a PageRank extended to consider two
+linking structures at once — ordinary wiki links and semantic (RDF property)
+links — and evaluates several ways of solving it: as an eigensystem via power
+iterations (Eq. 3) or as the linear system ``(I - cPᵀ)x = kv`` (Eq. 5) using
+stationary and Krylov iterations. This package reproduces all of it:
+
+- :mod:`repro.pagerank.webgraph` — link graphs, transition matrices, the
+  dangling-node and teleportation fix-ups of Eqs. 1–2;
+- :mod:`repro.pagerank.doublelink` — the combined web+semantic matrix;
+- :mod:`repro.pagerank.linear_system` — the Eq. 5 system;
+- :mod:`repro.pagerank.solvers` — power, Jacobi, Gauss–Seidel, SOR,
+  GMRES(m), BiCGSTAB and Arnoldi, implemented from scratch;
+- :mod:`repro.pagerank.convergence` — the Fig. 3 convergence/time study.
+"""
+
+from repro.pagerank.webgraph import LinkGraph, PageRankProblem
+from repro.pagerank.doublelink import DoubleLinkGraph, combine_link_structures
+from repro.pagerank.linear_system import build_linear_system
+from repro.pagerank.solvers import SOLVERS, SolverResult, solve_pagerank
+from repro.pagerank.convergence import ConvergenceRecord, ConvergenceStudy
+
+__all__ = [
+    "LinkGraph",
+    "PageRankProblem",
+    "DoubleLinkGraph",
+    "combine_link_structures",
+    "build_linear_system",
+    "SOLVERS",
+    "SolverResult",
+    "solve_pagerank",
+    "ConvergenceRecord",
+    "ConvergenceStudy",
+]

@@ -1,0 +1,140 @@
+"""The Fig. 3 study: convergence iterations and computation time per solver.
+
+:class:`ConvergenceStudy` runs every (requested) solver on one or more
+PageRank problems and collects :class:`ConvergenceRecord` rows — exactly the
+series plotted in Fig. 3(a) (iterations to converge) and Fig. 3(b)
+(wall-clock time). A cross-check verifies that all converged solvers agree
+on the PageRank vector, so iteration counts are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg import norm1
+from repro.pagerank.solvers import SOLVERS, solve_pagerank
+from repro.pagerank.webgraph import PageRankProblem
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """One solver × problem measurement (a point in Fig. 3)."""
+
+    solver: str
+    problem_label: str
+    n: int
+    iterations: int
+    matvecs: float
+    elapsed: float
+    final_residual: float
+    converged: bool
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the record as a plain dict (for tabular printing)."""
+        return {
+            "solver": self.solver,
+            "problem": self.problem_label,
+            "n": self.n,
+            "iterations": self.iterations,
+            "matvecs": self.matvecs,
+            "time_s": round(self.elapsed, 6),
+            "residual": self.final_residual,
+            "converged": self.converged,
+        }
+
+
+class ConvergenceStudy:
+    """Run a set of solvers over a set of problems and tabulate the results.
+
+    Parameters
+    ----------
+    methods:
+        Solver names to evaluate; defaults to every registered solver.
+    tol, max_iter:
+        Shared stopping criteria, as in the paper's evaluation.
+    """
+
+    def __init__(
+        self,
+        methods: Optional[Sequence[str]] = None,
+        tol: float = 1e-8,
+        max_iter: int = 2000,
+    ):
+        self.methods = list(methods) if methods is not None else sorted(SOLVERS)
+        unknown = [m for m in self.methods if m not in SOLVERS]
+        if unknown:
+            raise LinalgError(f"unknown solvers requested: {unknown}")
+        self.tol = tol
+        self.max_iter = max_iter
+        self.records: List[ConvergenceRecord] = []
+
+    def run(self, problem: PageRankProblem, label: str = "") -> List[ConvergenceRecord]:
+        """Evaluate every method on ``problem``; append and return the records."""
+        rows: List[ConvergenceRecord] = []
+        reference: Optional[np.ndarray] = None
+        for method in self.methods:
+            result = solve_pagerank(problem, method=method, tol=self.tol, max_iter=self.max_iter)
+            rows.append(
+                ConvergenceRecord(
+                    solver=method,
+                    problem_label=label or f"n={problem.n}",
+                    n=problem.n,
+                    iterations=result.iterations,
+                    matvecs=result.matvecs,
+                    elapsed=result.elapsed,
+                    final_residual=result.final_residual,
+                    converged=result.converged,
+                )
+            )
+            if result.converged:
+                if reference is None:
+                    reference = result.scores
+                else:
+                    drift = norm1(result.scores - reference)
+                    if drift > 1e-4:
+                        raise LinalgError(
+                            f"solver {method!r} disagrees with reference by {drift:.2e}; "
+                            "the study would compare incomparable solutions"
+                        )
+        self.records.extend(rows)
+        return rows
+
+    def run_all(self, problems: Iterable[tuple[str, PageRankProblem]]) -> List[ConvergenceRecord]:
+        """Evaluate every method on every labelled problem."""
+        for label, problem in problems:
+            self.run(problem, label=label)
+        return self.records
+
+    def iterations_series(self) -> Dict[str, List[int]]:
+        """Fig. 3(a): solver -> iteration counts in run order."""
+        series: Dict[str, List[int]] = {m: [] for m in self.methods}
+        for record in self.records:
+            series[record.solver].append(record.iterations)
+        return series
+
+    def time_series(self) -> Dict[str, List[float]]:
+        """Fig. 3(b): solver -> elapsed seconds in run order."""
+        series: Dict[str, List[float]] = {m: [] for m in self.methods}
+        for record in self.records:
+            series[record.solver].append(record.elapsed)
+        return series
+
+    def format_table(self) -> str:
+        """Return the study as an aligned text table (one row per record)."""
+        header = (
+            f"{'solver':<14}{'problem':<16}{'n':>7}{'iters':>8}{'matvecs':>9}"
+            f"{'time_s':>12}{'residual':>12}  ok"
+        )
+        lines = [header, "-" * len(header)]
+        for record in self.records:
+            lines.append(
+                f"{record.solver:<14}{record.problem_label:<16}{record.n:>7}"
+                f"{record.iterations:>8}{record.matvecs:>9.0f}"
+                f"{record.elapsed:>12.6f}{record.final_residual:>12.2e}"
+                f"  {'yes' if record.converged else 'NO'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The linear-system formulation of PageRank (Eq. 5).
+
+Eq. 4 of the paper rewrites the eigenproblem as
+
+    [c Pᵀ + c (u dᵀ) + (1 - c)(u eᵀ)] x = x,
+
+which Eq. 5 turns into the sparse linear system ``(I - c Pᵀ) x = k v``.
+The rank-1 dangling term ``c u dᵀ`` does not need to appear in the system
+matrix: as shown in Gleich's thesis (the paper's reference [8]), solving
+
+    (I - c Pᵀ) y = u
+
+and renormalizing ``y`` to unit 1-norm yields exactly the PageRank vector
+for the strongly-preferential model in which dangling mass is redistributed
+according to ``u``. The scalar ``k = (1 - c)||x|| + (dᵀx)`` of Eq. 5 is the
+corresponding normalization constant. We therefore hand the solvers the
+fixed system ``A y = u`` with ``A = I - c Pᵀ`` and normalize afterwards —
+tests confirm agreement with power iteration on ``P''`` to solver tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg import CsrMatrix, identity_csr
+from repro.pagerank.webgraph import PageRankProblem
+
+
+def build_linear_system(problem: PageRankProblem) -> Tuple[CsrMatrix, np.ndarray]:
+    """Return ``(A, b)`` with ``A = I - c Pᵀ`` and ``b = u``.
+
+    The returned matrix has a unit diagonal perturbed only where ``P`` has
+    self-links, and is strictly diagonally dominant by columns for
+    ``c < 1`` — which is what makes Jacobi and Gauss–Seidel converge.
+    """
+    n = problem.n
+    scaled = problem.transition.transpose().scale(-problem.teleport)
+    system = identity_csr(n).add(scaled)
+    rhs = problem.personalization.copy()
+    return system, rhs
+
+
+def normalize_solution(problem: PageRankProblem, raw: np.ndarray) -> np.ndarray:
+    """Rescale a raw linear-system solution to a probability vector.
+
+    This applies the ``k`` of Eq. 5: the raw solution is proportional to
+    the PageRank vector, so dividing by its 1-norm recovers it.
+    """
+    raw = np.asarray(raw, dtype=float)
+    total = float(np.abs(raw).sum())
+    if total == 0.0:
+        # A zero solution can only come from a solver that never started;
+        # fall back to the personalization vector rather than divide by 0.
+        return problem.personalization.copy()
+    return np.abs(raw) / total

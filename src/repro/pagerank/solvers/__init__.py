@@ -1,0 +1,53 @@
+"""The solver suite evaluated in Fig. 3 of the paper.
+
+Importing this package registers every solver; :data:`SOLVERS` maps the
+registry names to solver functions and :func:`solve_pagerank` dispatches
+by name. All solvers share the signature
+
+    solve(problem, tol=1e-8, max_iter=1000, x0=None, **method_specific)
+
+and return a :class:`~repro.pagerank.solvers.base.SolverResult`.
+"""
+
+from repro.errors import LinalgError
+from repro.pagerank.solvers.base import SolverResult, registry
+from repro.pagerank.solvers import (  # noqa: F401  (imports register the solvers)
+    arnoldi,
+    bicgstab,
+    extrapolated,
+    gauss_seidel,
+    gmres,
+    jacobi,
+    power,
+    sor,
+)
+from repro.pagerank.webgraph import PageRankProblem
+
+SOLVERS = registry()
+
+__all__ = ["SOLVERS", "SolverResult", "solve_pagerank"]
+
+
+def solve_pagerank(
+    problem: PageRankProblem,
+    method: str = "gauss_seidel",
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    **kwargs,
+) -> SolverResult:
+    """Solve ``problem`` with the named method.
+
+    ``gauss_seidel`` is the default because it is the method the paper
+    selects for its production Pagerank Calculation module.
+
+    Raises
+    ------
+    LinalgError
+        If ``method`` is not a registered solver name.
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        known = ", ".join(sorted(SOLVERS))
+        raise LinalgError(f"unknown solver {method!r}; known solvers: {known}") from None
+    return solver(problem, tol=tol, max_iter=max_iter, **kwargs)

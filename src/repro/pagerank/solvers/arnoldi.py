@@ -1,0 +1,86 @@
+"""Restarted Arnoldi iterations for the PageRank eigensystem.
+
+The paper lists "Arnoldi iterations" among the evaluated methods. Here the
+eigenproblem ``(P'')ᵀ x = x`` (Eq. 3) is attacked directly: an m-step
+Arnoldi factorization of the Google operator yields a small upper-Hessenberg
+matrix whose Ritz pair closest to eigenvalue 1 approximates the PageRank
+vector; the process restarts from the Ritz vector until the eigen-residual
+``||(P'')ᵀ x - x||₁`` meets the tolerance. Iterations are counted as total
+Arnoldi steps (operator applications), comparable with the other methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg import norm2
+from repro.pagerank.solvers.base import ResidualTracker, SolverResult, check_problem, register
+from repro.pagerank.webgraph import PageRankProblem
+
+
+@register("arnoldi")
+def solve_arnoldi(
+    problem: PageRankProblem,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    x0: Optional[np.ndarray] = None,
+    subspace: int = 10,
+) -> SolverResult:
+    """Run restarted Arnoldi with an ``subspace``-dimensional Krylov basis."""
+    check_problem(problem)
+    if subspace < 2:
+        raise LinalgError(f"Arnoldi subspace must be >= 2, got {subspace}")
+    n = problem.n
+    m = min(subspace, n)
+    x = problem.personalization.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
+    x /= norm2(x) or 1.0
+    tracker = ResidualTracker(tol)
+    converged = False
+    total_steps = 0
+
+    while total_steps < max_iter and not converged:
+        basis = np.zeros((m + 1, n))
+        hessenberg = np.zeros((m + 1, m))
+        basis[0] = x / (norm2(x) or 1.0)
+        steps_this_cycle = 0
+        for j in range(m):
+            if total_steps >= max_iter:
+                break
+            w = problem.apply_google_matrix(basis[j])
+            for i in range(j + 1):
+                hessenberg[i, j] = float(w @ basis[i])
+                w -= hessenberg[i, j] * basis[i]
+            hessenberg[j + 1, j] = norm2(w)
+            steps_this_cycle = j + 1
+            total_steps += 1
+            if hessenberg[j + 1, j] < 1e-14:
+                break
+            basis[j + 1] = w / hessenberg[j + 1, j]
+        k = steps_this_cycle
+        if k == 0:
+            break
+        # Ritz pair of the small Hessenberg block closest to eigenvalue 1.
+        small = hessenberg[:k, :k]
+        eigvals, eigvecs = np.linalg.eig(small)
+        best = int(np.argmin(np.abs(eigvals - 1.0)))
+        ritz = np.real(basis[:k].T @ eigvecs[:, best])
+        ritz = np.abs(ritz)
+        total = ritz.sum()
+        if total == 0.0:
+            break
+        x = ritz / total
+        residual = problem.residual(x)
+        if tracker.record(residual):
+            converged = True
+    return SolverResult(
+        solver="arnoldi",
+        scores=x,
+        iterations=total_steps,
+        residuals=tracker.residuals,
+        converged=converged,
+        elapsed=tracker.elapsed,
+        matvecs=float(total_steps),  # plus one residual check per restart
+    )

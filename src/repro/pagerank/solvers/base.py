@@ -1,0 +1,114 @@
+"""Shared plumbing for the PageRank solvers.
+
+Every solver returns a :class:`SolverResult` carrying the normalized
+PageRank vector together with its convergence history, so the Fig. 3
+study can compare iteration counts and wall-clock times uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.pagerank.webgraph import PageRankProblem
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one PageRank solve.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver that produced this result.
+    scores:
+        The PageRank vector, normalized to unit 1-norm.
+    iterations:
+        Number of iterations (sweeps for stationary methods, inner steps
+        for Krylov methods) actually performed.
+    residuals:
+        Residual norm after each iteration; ``residuals[-1]`` is final.
+    converged:
+        Whether the residual dropped below the requested tolerance.
+    elapsed:
+        Wall-clock seconds spent inside the solver loop.
+    matvecs:
+        Matrix-vector-product equivalents performed — the standard
+        machine-independent work measure for comparing solvers whose
+        per-iteration costs differ (e.g. BiCGSTAB does two per step).
+    """
+
+    solver: str
+    scores: np.ndarray
+    iterations: int
+    residuals: List[float] = field(default_factory=list)
+    converged: bool = True
+    elapsed: float = 0.0
+    matvecs: float = 0.0
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("inf")
+
+    def top_pages(self, k: int = 10) -> List[int]:
+        """Return the indices of the ``k`` highest-scoring pages."""
+        order = np.argsort(-self.scores, kind="stable")
+        return [int(i) for i in order[:k]]
+
+
+class ResidualTracker:
+    """Accumulates per-iteration residuals and a stopwatch.
+
+    The stopwatch starts at construction; :meth:`record` appends a residual
+    and reports whether the tolerance has been met.
+    """
+
+    def __init__(self, tol: float):
+        if tol <= 0:
+            raise LinalgError(f"tolerance must be positive, got {tol}")
+        self.tol = tol
+        self.residuals: List[float] = []
+        self._start = time.perf_counter()
+
+    def record(self, residual: float) -> bool:
+        """Append ``residual``; True when it is below the tolerance."""
+        self.residuals.append(float(residual))
+        return residual < self.tol
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+
+SolverFn = Callable[..., SolverResult]
+
+# Populated by each solver module via register(); consumed by solve_pagerank
+# and the convergence study.
+_REGISTRY: Dict[str, SolverFn] = {}
+
+
+def register(name: str) -> Callable[[SolverFn], SolverFn]:
+    """Class of decorators adding a solver function to the registry."""
+
+    def decorator(fn: SolverFn) -> SolverFn:
+        if name in _REGISTRY:
+            raise LinalgError(f"solver {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def registry() -> Dict[str, SolverFn]:
+    """Return a copy of the name -> solver mapping."""
+    return dict(_REGISTRY)
+
+
+def check_problem(problem: PageRankProblem) -> None:
+    """Reject degenerate problems before entering a solver loop."""
+    if problem.n == 0:
+        raise LinalgError("cannot run PageRank on an empty graph")

@@ -1,0 +1,86 @@
+"""BiCGSTAB — Biconjugate Gradient Stabilized (paper, Section III).
+
+The standard van der Vorst recurrence for nonsymmetric systems: each
+iteration performs two sparse products and smooths the erratic BiCG
+residual with a local minimal-residual step. Breakdowns (``rho`` or
+``omega`` collapsing to zero) restart the recurrence from the current
+residual instead of aborting, which is the usual practical remedy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg import norm1
+from repro.pagerank.linear_system import build_linear_system, normalize_solution
+from repro.pagerank.solvers.base import ResidualTracker, SolverResult, check_problem, register
+from repro.pagerank.webgraph import PageRankProblem
+
+_BREAKDOWN = 1e-30
+
+
+@register("bicgstab")
+def solve_bicgstab(
+    problem: PageRankProblem,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    x0: Optional[np.ndarray] = None,
+) -> SolverResult:
+    """Run BiCGSTAB on ``(I - cPᵀ) x = u`` until the relative residual < ``tol``."""
+    check_problem(problem)
+    system, rhs = build_linear_system(problem)
+    rhs_norm = norm1(rhs) or 1.0
+    x = rhs.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
+    r = rhs - system.matvec(x)
+    r_hat = r.copy()
+    rho_prev = alpha = omega = 1.0
+    v = np.zeros_like(r)
+    p = np.zeros_like(r)
+    tracker = ResidualTracker(tol)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        rho = float(r_hat @ r)
+        if abs(rho) < _BREAKDOWN or abs(omega) < _BREAKDOWN:
+            # Restart: the recurrence lost biorthogonality.
+            r = rhs - system.matvec(x)
+            r_hat = r.copy()
+            rho_prev = alpha = omega = 1.0
+            v[:] = 0.0
+            p[:] = 0.0
+            rho = float(r_hat @ r)
+            if abs(rho) < _BREAKDOWN:
+                break
+        beta = (rho / rho_prev) * (alpha / omega)
+        p = r + beta * (p - omega * v)
+        v = system.matvec(p)
+        denom = float(r_hat @ v)
+        if abs(denom) < _BREAKDOWN:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        if tracker.record(norm1(s) / rhs_norm):
+            x = x + alpha * p
+            converged = True
+            break
+        t = system.matvec(s)
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > _BREAKDOWN else 0.0
+        x = x + alpha * p + omega * s
+        r = s - omega * t
+        rho_prev = rho
+        tracker.residuals[-1] = norm1(r) / rhs_norm
+        if tracker.residuals[-1] < tol:
+            converged = True
+            break
+    return SolverResult(
+        solver="bicgstab",
+        scores=normalize_solution(problem, x),
+        iterations=iterations,
+        residuals=tracker.residuals,
+        converged=converged,
+        elapsed=tracker.elapsed,
+        matvecs=2.0 * iterations,  # two sparse products per BiCGSTAB step
+    )

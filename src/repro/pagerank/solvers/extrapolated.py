@@ -1,0 +1,92 @@
+"""Power iteration with periodic Aitken extrapolation.
+
+Kamvar et al.'s extrapolation methods accelerate PageRank's power
+iteration by periodically removing the estimated contribution of the
+second eigenvector. Every ``period`` steps the component-wise Aitken
+Δ² update
+
+    x* = x2 - (x2 - x1)² / (x2 - 2 x1 + x0)
+
+is applied using the last three iterates, after which plain power steps
+continue from the (renormalized) extrapolant. On slowly-mixing graphs
+(λ₂ ≈ c) this cuts iterations substantially; on fast-mixing graphs it
+degenerates gracefully to plain power iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg import norm1
+from repro.pagerank.solvers.base import ResidualTracker, SolverResult, check_problem, register
+from repro.pagerank.webgraph import PageRankProblem
+
+
+@register("power_extrapolated")
+def solve_power_extrapolated(
+    problem: PageRankProblem,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    x0: Optional[np.ndarray] = None,
+    period: int = 10,
+) -> SolverResult:
+    """Power iteration with Aitken Δ² extrapolation every ``period`` steps."""
+    check_problem(problem)
+    if period < 3:
+        raise LinalgError(f"extrapolation period must be >= 3, got {period}")
+    x = problem.personalization.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
+    total = norm1(x)
+    if total > 0:
+        x /= total
+    tracker = ResidualTracker(tol)
+    converged = False
+    iterations = 0
+    extra_matvecs = 0
+    history = [x.copy()]
+    for iterations in range(1, max_iter + 1):
+        x_next = problem.apply_google_matrix(x)
+        residual = norm1(x_next - x)
+        x = x_next
+        history.append(x.copy())
+        if len(history) > 3:
+            history.pop(0)
+        if tracker.record(residual):
+            converged = True
+            break
+        if iterations % period == 0 and len(history) == 3:
+            candidate = _aitken(history[0], history[1], history[2])
+            # Safeguard: only accept the extrapolant if it actually has a
+            # smaller residual than the current iterate (costs one product).
+            extra_matvecs += 1
+            if problem.residual(candidate) < residual:
+                x = candidate
+                history = [x.copy()]
+    x = np.abs(x)
+    x /= x.sum()
+    return SolverResult(
+        solver="power_extrapolated",
+        scores=x,
+        iterations=iterations,
+        residuals=tracker.residuals,
+        converged=converged,
+        elapsed=tracker.elapsed,
+        matvecs=float(iterations + extra_matvecs),
+    )
+
+
+def _aitken(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    """Component-wise Aitken Δ², guarded against tiny denominators."""
+    numerator = (x2 - x1) ** 2
+    denominator = x2 - 2.0 * x1 + x0
+    safe = np.abs(denominator) > 1e-14
+    extrapolated = x2.copy()
+    extrapolated[safe] -= numerator[safe] / denominator[safe]
+    # Extrapolation can momentarily leave the simplex; project back.
+    extrapolated = np.clip(extrapolated, 0.0, None)
+    total = extrapolated.sum()
+    if total <= 0.0:
+        return x2
+    return extrapolated / total

@@ -1,0 +1,38 @@
+"""RDF triple store with a Turtle subset and a SPARQL subset.
+
+The paper stores semantic annotations "as RDF graphs" and queries them
+with SPARQL. This package is that half of the storage layer:
+
+- :mod:`repro.rdf.term` — IRIs, literals, blank nodes, variables;
+- :mod:`repro.rdf.namespace` — prefix management and CURIEs;
+- :mod:`repro.rdf.graph` — a triple store indexed SPO/POS/OSP;
+- :mod:`repro.rdf.turtle` — Turtle serialization and parsing (subset);
+- :mod:`repro.rdf.sparql` — SELECT queries with basic graph patterns,
+  FILTER, OPTIONAL, DISTINCT, ORDER BY, LIMIT/OFFSET.
+"""
+
+from repro.rdf.term import IRI, BlankNode, Literal, Variable
+from repro.rdf.namespace import Namespace, NamespaceManager, RDF, RDFS, XSD
+from repro.rdf.graph import Graph
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.sparql import SparqlEngine, SparqlResult
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Variable",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "Graph",
+    "parse_turtle",
+    "serialize_turtle",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "SparqlEngine",
+    "SparqlResult",
+]

@@ -1,0 +1,92 @@
+"""Namespaces, prefixes and CURIE handling."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RdfError
+from repro.rdf.term import IRI
+
+
+class Namespace:
+    """An IRI prefix; attribute access mints terms.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.station
+    IRI(value='http://example.org/station')
+    """
+
+    def __init__(self, base: str):
+        if not base:
+            raise RdfError("namespace base must be non-empty")
+        self.base = base
+
+    def term(self, local: str) -> IRI:
+        """Mint the IRI ``base + local``."""
+        return IRI(self.base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+# The vocabulary this reproduction uses for sensor metadata, mirroring the
+# Swiss Experiment wiki's property pages.
+SMW = Namespace("http://repro.example.org/smw#")
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry for CURIEs."""
+
+    def __init__(self):
+        self._by_prefix: Dict[str, str] = {}
+        self.bind("rdf", RDF.base)
+        self.bind("rdfs", RDFS.base)
+        self.bind("xsd", XSD.base)
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register ``prefix`` for ``base`` (rebinding replaces)."""
+        if not prefix.isidentifier():
+            raise RdfError(f"invalid prefix {prefix!r}")
+        self._by_prefix[prefix] = base
+
+    def prefixes(self) -> Dict[str, str]:
+        """A copy of the prefix -> namespace mapping."""
+        return dict(self._by_prefix)
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` to a full IRI."""
+        if ":" not in curie:
+            raise RdfError(f"{curie!r} is not a CURIE (missing ':')")
+        prefix, local = curie.split(":", 1)
+        base = self._by_prefix.get(prefix)
+        if base is None:
+            raise RdfError(f"unbound prefix {prefix!r}")
+        return IRI(base + local)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Return the shortest CURIE for ``iri``, or None if no prefix fits."""
+        best: Optional[Tuple[str, str]] = None
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base):
+                local = iri.value[len(base) :]
+                if local and all(ch.isalnum() or ch in "_-." for ch in local):
+                    if best is None or len(base) > len(self._by_prefix[best[0]]):
+                        best = (prefix, local)
+        if best is None:
+            return None
+        return f"{best[0]}:{best[1]}"

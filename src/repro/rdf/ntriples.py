@@ -1,0 +1,101 @@
+"""N-Triples serialization and parsing (line-oriented RDF exchange).
+
+The dump format used for interchange with external triple stores: one
+triple per line, full IRIs, no prefixes. Much simpler than Turtle and
+exactly what bulk RDF pipelines consume.
+"""
+
+from __future__ import annotations
+
+import re
+from repro.errors import TurtleSyntaxError
+from repro.rdf.graph import Graph
+from repro.rdf.term import IRI, BlankNode, Literal, Term
+
+_LINE_RE = re.compile(
+    r"""^
+    (?P<subject><[^>]*>|_:[A-Za-z0-9_]+)\s+
+    (?P<predicate><[^>]*>)\s+
+    (?P<object><[^>]*>|_:[A-Za-z0-9_]+|"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>|@[A-Za-z0-9-]+)?)\s*
+    \.\s*$""",
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def serialize_ntriples(graph: Graph) -> str:
+    """Render ``graph`` as N-Triples, sorted for deterministic output."""
+    lines = sorted(
+        f"{_term(s)} {_term(p)} {_term(o)} ." for s, p, o in graph.triples()
+    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, Literal) and not isinstance(term.value, str):
+        # N-Triples has no bare-number shorthand: always quote + datatype.
+        lexical = "true" if term.value is True else "false" if term.value is False else repr(term.value)
+        return f'"{lexical}"^^<{term.datatype}>'
+    return term.n3()
+
+
+def parse_ntriples(text: str) -> Graph:
+    """Parse N-Triples ``text`` into a new :class:`Graph`."""
+    graph = Graph()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _LINE_RE.match(stripped)
+        if match is None:
+            raise TurtleSyntaxError(f"bad N-Triples line {line_number}: {stripped[:60]!r}")
+        graph.add(
+            _parse_resource(match.group("subject")),
+            IRI(match.group("predicate")[1:-1]),
+            _parse_object(match.group("object")),
+        )
+    return graph
+
+
+def _parse_resource(token: str) -> Term:
+    if token.startswith("<"):
+        return IRI(token[1:-1])
+    return BlankNode(token[2:])
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            escape = body[i + 1]
+            if escape not in _ESCAPES:
+                raise TurtleSyntaxError(f"unknown escape \\{escape}")
+            out.append(_ESCAPES[escape])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_object(token: str) -> Term:
+    if token.startswith("<") or token.startswith("_:"):
+        return _parse_resource(token)
+    closing = token.rindex('"')
+    body = _unescape(token[1:closing])
+    suffix = token[closing + 1 :]
+    if suffix.startswith("^^<"):
+        datatype = suffix[3:-1]
+        if datatype.endswith("#integer") or datatype.endswith("#int"):
+            return Literal(int(body))
+        if datatype.endswith("#double") or datatype.endswith("#decimal") or datatype.endswith("#float"):
+            return Literal(float(body))
+        if datatype.endswith("#boolean"):
+            return Literal(body == "true")
+        return Literal(body, datatype=datatype)
+    if suffix.startswith("@"):
+        return Literal(body, lang=suffix[1:])
+    return Literal(body)

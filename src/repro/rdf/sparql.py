@@ -1,0 +1,810 @@
+"""A SPARQL SELECT engine (the subset the metadata search system issues).
+
+Supported::
+
+    PREFIX pre: <iri>
+    SELECT [DISTINCT] (?var... | *)
+    WHERE {
+        triple patterns .          # terms: IRI, CURIE, 'a', literal, ?var
+        OPTIONAL { ... }           # left-join semantics, may nest
+        FILTER ( expression )      # comparisons, && || !, arithmetic,
+                                   # BOUND(?v), REGEX(?v, "pat"), STR(?v)
+    }
+    [ORDER BY [DESC(?v)|?v] ...] [LIMIT n] [OFFSET m]
+
+Evaluation follows the standard: a basic graph pattern is solved by
+backtracking with a most-bound-first pattern ordering; FILTER errors
+(unbound variable, type mismatch) make the filter false; OPTIONAL keeps
+the solution when the optional part has no match.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SparqlSyntaxError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.term import IRI, BlankNode, Literal, PatternTerm, Term, Variable
+
+Bindings = Dict[Variable, Term]
+TriplePattern = Tuple[PatternTerm, PatternTerm, PatternTerm]
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+class _FilterError(Exception):
+    """Internal: expression evaluation error -> FILTER is false."""
+
+
+@dataclass
+class GroupPattern:
+    triples: List[TriplePattern] = field(default_factory=list)
+    filters: List["FilterExpr"] = field(default_factory=list)
+    optionals: List["GroupPattern"] = field(default_factory=list)
+    # Each entry is one `{A} UNION {B} UNION ...` block: a list of
+    # alternative groups, at least one of which must match.
+    unions: List[List["GroupPattern"]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    variables: Tuple[Variable, ...]  # empty tuple means SELECT *
+    where: GroupPattern = field(default_factory=GroupPattern)
+    distinct: bool = False
+    order_by: Tuple[Tuple[Variable, bool], ...] = ()  # (var, descending)
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """``ASK { ... }`` — does at least one solution exist?"""
+
+    where: GroupPattern = field(default_factory=GroupPattern)
+
+
+@dataclass(frozen=True)
+class ConstructQuery:
+    """``CONSTRUCT { template } WHERE { ... }`` — build a new graph."""
+
+    template: Tuple[TriplePattern, ...]
+    where: GroupPattern = field(default_factory=GroupPattern)
+
+
+# FILTER expression nodes ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FilterExpr:
+    """Base marker for filter expression nodes."""
+
+
+@dataclass(frozen=True)
+class FLiteral(FilterExpr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class FVar(FilterExpr):
+    var: Variable
+
+
+@dataclass(frozen=True)
+class FIri(FilterExpr):
+    iri: IRI
+
+
+@dataclass(frozen=True)
+class FBinary(FilterExpr):
+    op: str
+    left: FilterExpr
+    right: FilterExpr
+
+
+@dataclass(frozen=True)
+class FNot(FilterExpr):
+    operand: FilterExpr
+
+
+@dataclass(frozen=True)
+class FCall(FilterExpr):
+    name: str  # 'bound' | 'regex' | 'str'
+    args: Tuple[FilterExpr, ...]
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^>\s]*>)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_-]*(?::[A-Za-z0-9_.-]*)?)
+  | (?P<op>&&|\|\||!=|<=|>=|[{}().,=<>!*/+-])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SparqlSyntaxError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+_KEYWORDS = {
+    "prefix", "select", "distinct", "where", "optional", "filter",
+    "order", "by", "asc", "desc", "limit", "offset", "a",
+}
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+        self._ns = NamespaceManager()
+        self._path_counter = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        kind, value = self._peek()
+        if kind == "name" and value.lower() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            kind, value = self._peek()
+            raise SparqlSyntaxError(f"expected {word.upper()}, found {value or kind!r}")
+
+    def _accept_op(self, op: str) -> bool:
+        kind, value = self._peek()
+        if kind == "op" and value == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            kind, value = self._peek()
+            raise SparqlSyntaxError(f"expected {op!r}, found {value or kind!r}")
+
+    # --- query ---------------------------------------------------------
+
+    def parse_query(self):
+        while self._accept_keyword("prefix"):
+            self._parse_prefix()
+        if self._accept_keyword("ask"):
+            # WHERE is optional before the group, as in the spec.
+            self._accept_keyword("where")
+            where = self._parse_group()
+            self._expect_eof()
+            return AskQuery(where)
+        if self._accept_keyword("construct"):
+            template_group = self._parse_group()
+            if template_group.filters or template_group.optionals or template_group.unions:
+                raise SparqlSyntaxError("CONSTRUCT template must contain only triples")
+            self._expect_keyword("where")
+            where = self._parse_group()
+            self._expect_eof()
+            return ConstructQuery(tuple(template_group.triples), where)
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        variables: List[Variable] = []
+        if self._accept_op("*"):
+            pass
+        else:
+            while self._peek()[0] == "var":
+                variables.append(Variable(self._advance()[1][1:]))
+            if not variables:
+                raise SparqlSyntaxError("SELECT needs variables or '*'")
+        self._expect_keyword("where")
+        where = self._parse_group()
+        order_by: List[Tuple[Variable, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            while True:
+                item = self._parse_order_item()
+                if item is None:
+                    break
+                order_by.append(item)
+            if not order_by:
+                raise SparqlSyntaxError("ORDER BY needs at least one variable")
+        limit = None
+        offset = 0
+        # LIMIT/OFFSET may appear in either order, as in SPARQL 1.1.
+        for _ in range(2):
+            if self._accept_keyword("limit"):
+                limit = self._parse_int("LIMIT")
+            elif self._accept_keyword("offset"):
+                offset = self._parse_int("OFFSET")
+        self._expect_eof()
+        return SelectQuery(
+            variables=tuple(variables),
+            where=where,
+            distinct=distinct,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def _expect_eof(self) -> None:
+        kind, value = self._peek()
+        if kind != "eof":
+            raise SparqlSyntaxError(f"unexpected trailing input {value!r}")
+
+    def _parse_int(self, clause: str) -> int:
+        kind, value = self._advance()
+        if kind != "number" or "." in value:
+            raise SparqlSyntaxError(f"{clause} requires an integer, got {value!r}")
+        return int(value)
+
+    def _parse_order_item(self) -> Optional[Tuple[Variable, bool]]:
+        kind, value = self._peek()
+        if kind == "name" and value.lower() in ("asc", "desc"):
+            descending = value.lower() == "desc"
+            self._advance()
+            self._expect_op("(")
+            var_kind, var_value = self._advance()
+            if var_kind != "var":
+                raise SparqlSyntaxError("ORDER BY ASC/DESC needs a variable")
+            self._expect_op(")")
+            return Variable(var_value[1:]), descending
+        if kind == "var":
+            self._advance()
+            return Variable(value[1:]), False
+        return None
+
+    def _parse_prefix(self) -> None:
+        kind, value = self._advance()
+        if kind != "name" or not value.endswith(":"):
+            raise SparqlSyntaxError(f"PREFIX needs 'name:', got {value!r}")
+        prefix = value[:-1]
+        kind, iri = self._advance()
+        if kind != "iri":
+            raise SparqlSyntaxError("PREFIX needs an <iri>")
+        self._ns.bind(prefix, iri[1:-1])
+
+    # --- group patterns --------------------------------------------------
+
+    def _parse_group(self) -> GroupPattern:
+        self._expect_op("{")
+        group = GroupPattern()
+        while True:
+            kind, value = self._peek()
+            if kind == "op" and value == "}":
+                self._advance()
+                return group
+            if kind == "name" and value.lower() == "optional":
+                self._advance()
+                group.optionals.append(self._parse_group())
+                self._accept_op(".")
+                continue
+            if kind == "name" and value.lower() == "filter":
+                self._advance()
+                self._expect_op("(")
+                group.filters.append(self._parse_filter_or())
+                self._expect_op(")")
+                self._accept_op(".")
+                continue
+            if kind == "op" and value == "{":
+                alternatives = [self._parse_group()]
+                while self._accept_keyword("union"):
+                    alternatives.append(self._parse_group())
+                if len(alternatives) < 2:
+                    raise SparqlSyntaxError("a braced group must be followed by UNION")
+                group.unions.append(alternatives)
+                self._accept_op(".")
+                continue
+            group.triples.extend(self._parse_triple_lines())
+
+    def _parse_triple_lines(self) -> List[TriplePattern]:
+        subject = self._parse_pattern_term(role="subject")
+        patterns: List[TriplePattern] = []
+        while True:
+            # A predicate may be a sequence path p1/p2/...; collect steps.
+            steps = [self._parse_pattern_term(role="predicate")]
+            while self._accept_op("/"):
+                steps.append(self._parse_pattern_term(role="predicate"))
+            while True:
+                obj = self._parse_pattern_term(role="object")
+                patterns.extend(self._expand_path(subject, steps, obj))
+                if self._accept_op(","):
+                    continue
+                break
+            kind, value = self._peek()
+            if kind == "op" and value == ";":  # not produced by lexer; keep simple
+                self._advance()
+                continue
+            self._accept_op(".")
+            return patterns
+
+    def _expand_path(
+        self, subject: PatternTerm, steps: List[PatternTerm], obj: PatternTerm
+    ) -> List[TriplePattern]:
+        """Rewrite ``s p1/p2/.../pn o`` into n chained patterns.
+
+        Intermediate hops get fresh ``?_pathK`` variables, which never
+        collide with user variables (user names cannot start with '_'
+        followed by our counter scheme unless deliberately constructed).
+        """
+        patterns: List[TriplePattern] = []
+        current = subject
+        for step in steps[:-1]:
+            self._path_counter += 1
+            hop = Variable(f"_path{self._path_counter}")
+            patterns.append((current, step, hop))
+            current = hop
+        patterns.append((current, steps[-1], obj))
+        return patterns
+
+    def _parse_pattern_term(self, role: str) -> PatternTerm:
+        kind, value = self._advance()
+        if kind == "var":
+            return Variable(value[1:])
+        if kind == "iri":
+            return IRI(value[1:-1])
+        if kind == "string":
+            return self._string_literal(value)
+        if kind == "number":
+            return Literal(float(value) if "." in value else int(value))
+        if kind == "name":
+            lowered = value.lower()
+            if lowered == "a" and role == "predicate":
+                return RDF.type
+            if lowered in ("true", "false"):
+                return Literal(lowered == "true")
+            if ":" in value:
+                return self._ns.expand(value)
+        raise SparqlSyntaxError(f"cannot use {value!r} as a {role}")
+
+    @staticmethod
+    def _string_literal(token: str) -> Literal:
+        body = token[1:-1]
+        body = (
+            body.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\x00", "\\")
+        )
+        return Literal(body)
+
+    # --- filter expressions ----------------------------------------------
+
+    def _parse_filter_or(self) -> FilterExpr:
+        left = self._parse_filter_and()
+        while self._accept_op("||"):
+            left = FBinary("||", left, self._parse_filter_and())
+        return left
+
+    def _parse_filter_and(self) -> FilterExpr:
+        left = self._parse_filter_cmp()
+        while self._accept_op("&&"):
+            left = FBinary("&&", left, self._parse_filter_cmp())
+        return left
+
+    def _parse_filter_cmp(self) -> FilterExpr:
+        left = self._parse_filter_add()
+        kind, value = self._peek()
+        if kind == "op" and value in ("=", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            return FBinary(value, left, self._parse_filter_add())
+        return left
+
+    def _parse_filter_add(self) -> FilterExpr:
+        left = self._parse_filter_mul()
+        while True:
+            kind, value = self._peek()
+            if kind == "op" and value in ("+", "-"):
+                self._advance()
+                left = FBinary(value, left, self._parse_filter_mul())
+            else:
+                return left
+
+    def _parse_filter_mul(self) -> FilterExpr:
+        left = self._parse_filter_unary()
+        while True:
+            kind, value = self._peek()
+            if kind == "op" and value in ("*", "/"):
+                self._advance()
+                left = FBinary(value, left, self._parse_filter_unary())
+            else:
+                return left
+
+    def _parse_filter_unary(self) -> FilterExpr:
+        if self._accept_op("!"):
+            return FNot(self._parse_filter_unary())
+        if self._accept_op("-"):
+            return FBinary("-", FLiteral(0), self._parse_filter_unary())
+        return self._parse_filter_primary()
+
+    def _parse_filter_primary(self) -> FilterExpr:
+        kind, value = self._advance()
+        if kind == "var":
+            return FVar(Variable(value[1:]))
+        if kind == "number":
+            return FLiteral(float(value) if "." in value else int(value))
+        if kind == "string":
+            return FLiteral(self._string_literal(value).value)
+        if kind == "iri":
+            return FIri(IRI(value[1:-1]))
+        if kind == "op" and value == "(":
+            inner = self._parse_filter_or()
+            self._expect_op(")")
+            return inner
+        if kind == "name":
+            lowered = value.lower()
+            if lowered in ("true", "false"):
+                return FLiteral(lowered == "true")
+            if lowered in ("bound", "regex", "str"):
+                self._expect_op("(")
+                args = [self._parse_filter_or()]
+                while self._accept_op(","):
+                    args.append(self._parse_filter_or())
+                self._expect_op(")")
+                return FCall(lowered, tuple(args))
+            if ":" in value:
+                return FIri(self._ns.expand(value))
+        raise SparqlSyntaxError(f"unexpected token {value!r} in FILTER")
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query; raises :class:`SparqlSyntaxError`."""
+    return _Parser(_tokenize(text)).parse_query()
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+
+class SparqlResult:
+    """Ordered solutions: a variable list and one bindings dict per row."""
+
+    def __init__(self, variables: List[Variable], rows: List[Bindings]):
+        self.variables = variables
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Bindings]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Optional[Term]]:
+        """Every binding of ``?name`` in row order (None where unbound)."""
+        var = Variable(name)
+        return [row.get(var) for row in self.rows]
+
+    def as_tuples(self) -> List[Tuple[Optional[Term], ...]]:
+        """Rows as tuples ordered like :attr:`variables` (None = unbound)."""
+        return [tuple(row.get(var) for var in self.variables) for row in self.rows]
+
+
+class SparqlEngine:
+    """Evaluates parsed queries against a :class:`Graph`."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def query(self, text: str) -> SparqlResult:
+        """Run a SELECT query; use :meth:`ask`/:meth:`construct` otherwise."""
+        parsed = parse_sparql(text)
+        if not isinstance(parsed, SelectQuery):
+            raise SparqlSyntaxError(
+                f"query() handles SELECT; got {type(parsed).__name__} — "
+                "use ask() or construct()"
+            )
+        return self.run(parsed)
+
+    def ask(self, text: str) -> bool:
+        """Run an ASK query: True iff the pattern has a solution."""
+        parsed = parse_sparql(text)
+        if not isinstance(parsed, AskQuery):
+            raise SparqlSyntaxError(f"ask() needs an ASK query, got {type(parsed).__name__}")
+        for _ in self._eval_group(parsed.where, {}):
+            return True
+        return False
+
+    def construct(self, text: str) -> Graph:
+        """Run a CONSTRUCT query: instantiate the template per solution.
+
+        Template triples with unbound variables or role-invalid terms
+        (e.g. a literal subject) are skipped for that solution, per spec.
+        """
+        parsed = parse_sparql(text)
+        if not isinstance(parsed, ConstructQuery):
+            raise SparqlSyntaxError(
+                f"construct() needs a CONSTRUCT query, got {type(parsed).__name__}"
+            )
+        result = Graph()
+        for solution in self._eval_group(parsed.where, {}):
+            for pattern in parsed.template:
+                terms = [_resolve(term, solution) for term in pattern]
+                if any(isinstance(term, Variable) for term in terms):
+                    continue
+                subject, predicate, obj = terms
+                if not isinstance(subject, (IRI, BlankNode)) or not isinstance(predicate, IRI):
+                    continue
+                result.add(subject, predicate, obj)
+        return result
+
+    def run(self, query: SelectQuery) -> SparqlResult:
+        """Evaluate an already-parsed SELECT query."""
+        solutions = list(self._eval_group(query.where, {}))
+        if query.variables:
+            variables = list(query.variables)
+        else:
+            seen: Dict[Variable, None] = {}
+            for solution in solutions:
+                for var in solution:
+                    if not var.name.startswith("_path"):  # path-internal hops
+                        seen.setdefault(var)
+            variables = sorted(seen, key=lambda v: v.name)
+        projected = [
+            {var: sol[var] for var in variables if var in sol} for sol in solutions
+        ]
+        if query.distinct:
+            unique: List[Bindings] = []
+            seen_keys = set()
+            for row in projected:
+                key = tuple(sorted((v.name, row[v].n3()) for v in row))
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    unique.append(row)
+            projected = unique
+        for var, descending in reversed(query.order_by):
+            projected.sort(key=lambda row: _order_key(row.get(var)), reverse=descending)
+        projected = projected[query.offset :]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return SparqlResult(variables, projected)
+
+    # --- pattern evaluation ----------------------------------------------
+
+    def _eval_group(self, group: GroupPattern, bindings: Bindings) -> Iterator[Bindings]:
+        for solution in self._eval_bgp(group.triples, bindings):
+            if not all(self._filter_true(f, solution) for f in group.filters):
+                continue
+            for unioned in self._eval_unions(group.unions, solution):
+                yield from self._eval_optionals(group.optionals, unioned)
+
+    def _eval_unions(
+        self, unions: List[List[GroupPattern]], solution: Bindings
+    ) -> Iterator[Bindings]:
+        if not unions:
+            yield solution
+            return
+        head, tail = unions[0], unions[1:]
+        for alternative in head:
+            for extended in self._eval_group(alternative, solution):
+                yield from self._eval_unions(tail, extended)
+
+    def _eval_optionals(
+        self, optionals: List[GroupPattern], solution: Bindings
+    ) -> Iterator[Bindings]:
+        if not optionals:
+            yield solution
+            return
+        head, tail = optionals[0], optionals[1:]
+        extended = list(self._eval_group(head, solution))
+        if extended:
+            for ext in extended:
+                yield from self._eval_optionals(tail, ext)
+        else:
+            yield from self._eval_optionals(tail, solution)
+
+    def _eval_bgp(
+        self, patterns: Sequence[TriplePattern], bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if not patterns:
+            yield dict(bindings)
+            return
+        # Most-bound-first: patterns with fewer unbound variables go first.
+        ordered = sorted(patterns, key=lambda p: _unbound_count(p, bindings))
+        yield from self._match(ordered, 0, dict(bindings))
+
+    def _match(
+        self, patterns: Sequence[TriplePattern], index: int, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if index == len(patterns):
+            yield dict(bindings)
+            return
+        pattern = patterns[index]
+        resolved = [_resolve(term, bindings) for term in pattern]
+        query = [term if not isinstance(term, Variable) else None for term in resolved]
+        for triple in self.graph.triples(*query):
+            new_bindings = dict(bindings)
+            consistent = True
+            for term, value in zip(resolved, triple):
+                if isinstance(term, Variable):
+                    bound = new_bindings.get(term)
+                    if bound is None:
+                        new_bindings[term] = value
+                    elif bound != value:
+                        consistent = False
+                        break
+            if consistent:
+                yield from self._match(patterns, index + 1, new_bindings)
+
+    # --- filters -----------------------------------------------------------
+
+    def _filter_true(self, expr: FilterExpr, bindings: Bindings) -> bool:
+        try:
+            return bool(self._filter_eval(expr, bindings))
+        except _FilterError:
+            return False  # SPARQL: evaluation error -> filter rejects
+
+    def _filter_eval(self, expr: FilterExpr, bindings: Bindings) -> Any:
+        if isinstance(expr, FLiteral):
+            return expr.value
+        if isinstance(expr, FIri):
+            return expr.iri
+        if isinstance(expr, FVar):
+            term = bindings.get(expr.var)
+            if term is None:
+                raise _FilterError(f"unbound variable {expr.var}")
+            if isinstance(term, Literal):
+                return term.value
+            return term
+        if isinstance(expr, FNot):
+            value = self._filter_eval(expr.operand, bindings)
+            if not isinstance(value, bool):
+                raise _FilterError("! needs a boolean")
+            return not value
+        if isinstance(expr, FCall):
+            return self._filter_call(expr, bindings)
+        if isinstance(expr, FBinary):
+            return self._filter_binary(expr, bindings)
+        raise _FilterError(f"unknown filter node {expr!r}")
+
+    def _filter_call(self, expr: FCall, bindings: Bindings) -> Any:
+        if expr.name == "bound":
+            if len(expr.args) != 1 or not isinstance(expr.args[0], FVar):
+                raise SparqlSyntaxError("BOUND() takes exactly one variable")
+            return expr.args[0].var in bindings
+        if expr.name == "str":
+            if len(expr.args) != 1:
+                raise SparqlSyntaxError("STR() takes exactly one argument")
+            value = self._filter_eval(expr.args[0], bindings)
+            return value.value if isinstance(value, IRI) else str(value)
+        if expr.name == "regex":
+            if len(expr.args) not in (2, 3):
+                raise SparqlSyntaxError("REGEX() takes two or three arguments")
+            text = self._filter_eval(expr.args[0], bindings)
+            pattern = self._filter_eval(expr.args[1], bindings)
+            flags = 0
+            if len(expr.args) == 3:
+                flag_text = self._filter_eval(expr.args[2], bindings)
+                if "i" in str(flag_text):
+                    flags |= re.IGNORECASE
+            if not isinstance(text, str) or not isinstance(pattern, str):
+                raise _FilterError("REGEX needs string arguments")
+            try:
+                return re.search(pattern, text, flags) is not None
+            except re.error as exc:
+                raise _FilterError(f"bad regex: {exc}") from exc
+        raise SparqlSyntaxError(f"unknown function {expr.name!r}")
+
+    def _filter_binary(self, expr: FBinary, bindings: Bindings) -> Any:
+        op = expr.op
+        if op == "&&":
+            return self._filter_bool(expr.left, bindings) and self._filter_bool(
+                expr.right, bindings
+            )
+        if op == "||":
+            # SPARQL: || succeeds if either side is true, even if the other errors.
+            try:
+                if self._filter_bool(expr.left, bindings):
+                    return True
+            except _FilterError:
+                return self._filter_bool(expr.right, bindings)
+            return self._filter_bool(expr.right, bindings)
+        left = self._filter_eval(expr.left, bindings)
+        right = self._filter_eval(expr.right, bindings)
+        if op in ("=", "!="):
+            equal = left == right
+            return equal if op == "=" else not equal
+        if op in ("<", "<=", ">", ">="):
+            if isinstance(left, bool) or isinstance(right, bool):
+                raise _FilterError("cannot order booleans")
+            if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+                pass
+            elif isinstance(left, str) and isinstance(right, str):
+                pass
+            else:
+                raise _FilterError(f"cannot compare {left!r} and {right!r}")
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        if op in ("+", "-", "*", "/"):
+            if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+                raise _FilterError("arithmetic needs numbers")
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise _FilterError("division by zero")
+            return left / right
+        raise SparqlSyntaxError(f"unknown operator {op!r}")
+
+    def _filter_bool(self, expr: FilterExpr, bindings: Bindings) -> bool:
+        value = self._filter_eval(expr, bindings)
+        if not isinstance(value, bool):
+            raise _FilterError(f"expected boolean, got {value!r}")
+        return value
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _resolve(term: PatternTerm, bindings: Bindings) -> PatternTerm:
+    if isinstance(term, Variable):
+        return bindings.get(term, term)
+    return term
+
+
+def _unbound_count(pattern: TriplePattern, bindings: Bindings) -> int:
+    return sum(
+        1 for term in pattern if isinstance(term, Variable) and term not in bindings
+    )
+
+
+def _order_key(term: Optional[Term]) -> tuple:
+    if term is None:
+        return (0, "", 0.0)
+    if isinstance(term, Literal):
+        if isinstance(term.value, bool):
+            return (1, "", float(term.value))
+        if isinstance(term.value, (int, float)):
+            return (2, "", float(term.value))
+        return (3, str(term.value), 0.0)
+    if isinstance(term, IRI):
+        return (4, term.value, 0.0)
+    if isinstance(term, BlankNode):
+        return (5, term.node_id, 0.0)
+    return (6, repr(term), 0.0)  # pragma: no cover

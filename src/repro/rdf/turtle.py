@@ -1,0 +1,271 @@
+"""Turtle serialization and parsing (a practical subset).
+
+Supported syntax: ``@prefix`` directives, ``<iri>`` and ``prefix:local``
+terms, ``_:blank`` nodes, string literals with ``\\``-escapes plus
+``@lang`` / ``^^datatype`` suffixes, integer/decimal/boolean shorthand,
+``a`` for rdf:type, and ``;`` / ``,`` predicate/object lists. That covers
+everything this system writes — round-tripping is tested property-style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TurtleSyntaxError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.term import IRI, BlankNode, Literal, Term
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def serialize_turtle(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> str:
+    """Render ``graph`` as Turtle text, grouped by subject."""
+    ns = namespaces or NamespaceManager()
+    lines = [f"@prefix {prefix}: <{base}> ." for prefix, base in sorted(ns.prefixes().items())]
+    if lines:
+        lines.append("")
+    by_subject: Dict[Term, List[Tuple[Term, Term]]] = {}
+    for s, p, o in graph.triples():
+        by_subject.setdefault(s, []).append((p, o))
+    for subject in sorted(by_subject, key=lambda t: t.n3()):
+        pairs = sorted(by_subject[subject], key=lambda po: (po[0].n3(), po[1].n3()))
+        rendered = [f"{_render(p, ns)} {_render(o, ns)}" for p, o in pairs]
+        body = " ;\n    ".join(rendered)
+        lines.append(f"{_render(subject, ns)} {body} .")
+    return "\n".join(lines) + "\n"
+
+
+def _render(term: Term, ns: NamespaceManager) -> str:
+    if isinstance(term, IRI):
+        if term == RDF.type:
+            return "a"
+        curie = ns.compact(term)
+        return curie if curie is not None else term.n3()
+    return term.n3()
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+
+class _TurtleParser:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._ns = NamespaceManager()
+        self._graph = Graph()
+
+    def parse(self) -> Graph:
+        while True:
+            self._skip_ws()
+            if self._pos >= len(self._text):
+                return self._graph
+            if self._text.startswith("@prefix", self._pos):
+                self._parse_prefix()
+            else:
+                self._parse_triples_block()
+
+    # --- low-level helpers -------------------------------------------
+
+    def _skip_ws(self) -> None:
+        text, n = self._text, len(self._text)
+        while self._pos < n:
+            ch = text[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif ch == "#":
+                newline = text.find("\n", self._pos)
+                self._pos = n if newline == -1 else newline + 1
+            else:
+                return
+
+    def _expect(self, literal: str) -> None:
+        self._skip_ws()
+        if not self._text.startswith(literal, self._pos):
+            context = self._text[self._pos : self._pos + 20]
+            raise TurtleSyntaxError(f"expected {literal!r} at ...{context!r}")
+        self._pos += len(literal)
+
+    def _peek(self) -> str:
+        return self._text[self._pos] if self._pos < len(self._text) else ""
+
+    # --- grammar -------------------------------------------------------
+
+    def _parse_prefix(self) -> None:
+        self._expect("@prefix")
+        self._skip_ws()
+        colon = self._text.find(":", self._pos)
+        if colon == -1:
+            raise TurtleSyntaxError("@prefix is missing ':'")
+        prefix = self._text[self._pos : colon].strip()
+        self._pos = colon + 1
+        iri = self._parse_iri_ref()
+        self._expect(".")
+        self._ns.bind(prefix or "_default", iri.value)
+
+    def _parse_triples_block(self) -> None:
+        subject = self._parse_term(role="subject")
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_term(role="object")
+                self._graph.add(subject, predicate, obj)
+                self._skip_ws()
+                if self._peek() == ",":
+                    self._pos += 1
+                    continue
+                break
+            self._skip_ws()
+            if self._peek() == ";":
+                self._pos += 1
+                self._skip_ws()
+                if self._peek() == ".":  # trailing ; before .
+                    self._pos += 1
+                    return
+                continue
+            self._expect(".")
+            return
+
+    def _parse_predicate(self) -> IRI:
+        self._skip_ws()
+        if self._peek() == "a" and (
+            self._pos + 1 >= len(self._text) or self._text[self._pos + 1].isspace()
+        ):
+            self._pos += 1
+            return RDF.type
+        term = self._parse_term(role="predicate")
+        if not isinstance(term, IRI):
+            raise TurtleSyntaxError(f"predicate must be an IRI, got {term!r}")
+        return term
+
+    def _parse_term(self, role: str) -> Term:
+        self._skip_ws()
+        ch = self._peek()
+        if not ch:
+            raise TurtleSyntaxError("unexpected end of input")
+        if ch == "<":
+            return self._parse_iri_ref()
+        if ch == '"':
+            return self._parse_literal()
+        if self._text.startswith("_:", self._pos):
+            return self._parse_blank()
+        if ch.isdigit() or ch in "+-":
+            return self._parse_number()
+        if self._text.startswith("true", self._pos) and not self._is_name_char(self._pos + 4):
+            self._pos += 4
+            return Literal(True)
+        if self._text.startswith("false", self._pos) and not self._is_name_char(self._pos + 5):
+            self._pos += 5
+            return Literal(False)
+        return self._parse_curie()
+
+    def _is_name_char(self, pos: int) -> bool:
+        if pos >= len(self._text):
+            return False
+        ch = self._text[pos]
+        return ch.isalnum() or ch in "_-"
+
+    def _parse_iri_ref(self) -> IRI:
+        self._expect("<")
+        end = self._text.find(">", self._pos)
+        if end == -1:
+            raise TurtleSyntaxError("unterminated IRI")
+        value = self._text[self._pos : end]
+        self._pos = end + 1
+        return IRI(value)
+
+    def _parse_blank(self) -> BlankNode:
+        self._pos += 2
+        start = self._pos
+        while self._is_name_char(self._pos):
+            self._pos += 1
+        if start == self._pos:
+            raise TurtleSyntaxError("blank node needs a label")
+        return BlankNode(self._text[start : self._pos])
+
+    def _parse_number(self) -> Literal:
+        start = self._pos
+        if self._peek() in "+-":
+            self._pos += 1
+        seen_dot = False
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isdigit() or (self._text[self._pos] == "." and not seen_dot)
+        ):
+            if self._text[self._pos] == ".":
+                # A '.' followed by a non-digit terminates the statement.
+                if self._pos + 1 >= len(self._text) or not self._text[self._pos + 1].isdigit():
+                    break
+                seen_dot = True
+            self._pos += 1
+        token = self._text[start : self._pos]
+        if not token or token in "+-":
+            raise TurtleSyntaxError(f"malformed number at position {start}")
+        return Literal(float(token) if seen_dot else int(token))
+
+    def _parse_literal(self) -> Literal:
+        self._expect('"')
+        parts: List[str] = []
+        escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+        while True:
+            if self._pos >= len(self._text):
+                raise TurtleSyntaxError("unterminated string literal")
+            ch = self._text[self._pos]
+            if ch == "\\":
+                escape = self._text[self._pos + 1 : self._pos + 2]
+                if escape not in escapes:
+                    raise TurtleSyntaxError(f"unknown escape \\{escape}")
+                parts.append(escapes[escape])
+                self._pos += 2
+                continue
+            if ch == '"':
+                self._pos += 1
+                break
+            parts.append(ch)
+            self._pos += 1
+        value = "".join(parts)
+        if self._peek() == "@":
+            self._pos += 1
+            start = self._pos
+            while self._is_name_char(self._pos):
+                self._pos += 1
+            return Literal(value, lang=self._text[start : self._pos])
+        if self._text.startswith("^^", self._pos):
+            self._pos += 2
+            if self._peek() == "<":
+                datatype = self._parse_iri_ref()
+            else:
+                datatype = self._parse_curie()
+            return _typed_literal(value, datatype.value)
+        return Literal(value)
+
+    def _parse_curie(self) -> IRI:
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isalnum() or self._text[self._pos] in "_-.:"
+        ):
+            self._pos += 1
+        token = self._text[start : self._pos].rstrip(".")
+        self._pos = start + len(token)
+        if ":" not in token:
+            raise TurtleSyntaxError(f"expected a term at position {start}, got {token!r}")
+        return self._ns.expand(token)
+
+
+def _typed_literal(raw: str, datatype: str) -> Literal:
+    """Build a literal, decoding well-known XSD types to Python values."""
+    if datatype.endswith("#integer") or datatype.endswith("#int"):
+        return Literal(int(raw))
+    if datatype.endswith("#double") or datatype.endswith("#decimal") or datatype.endswith("#float"):
+        return Literal(float(raw))
+    if datatype.endswith("#boolean"):
+        return Literal(raw == "true")
+    return Literal(raw, datatype=datatype)
+
+
+def parse_turtle(text: str) -> Graph:
+    """Parse Turtle ``text`` into a new :class:`Graph`."""
+    return _TurtleParser(text).parse()

@@ -1,0 +1,595 @@
+"""Query execution for the SQL subset.
+
+SELECT pipelines are built left-deep in statement order:
+
+    base scan (index scan when an equality predicate hits an index)
+    -> joins (hash join for equi-joins, nested loop otherwise; LEFT
+       joins null-pad)
+    -> WHERE filter
+    -> grouping/aggregation (hash aggregate)
+    -> projection (+ DISTINCT)
+    -> ORDER BY (stable multi-key, NULLs last ascending)
+    -> OFFSET/LIMIT
+
+Rows flow as :class:`~repro.relational.expr.RowContext` objects so that
+qualified names keep working across joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CatalogError, RelationalError
+from repro.relational.expr import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    InSubquery,
+    Literal,
+    RowContext,
+    Star,
+    collect_aggregates,
+    evaluate,
+    rewrite,
+    truthy,
+)
+from repro.relational.sql_parser import Join, SelectStmt
+from repro.relational.storage import Table
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """How the base table will be read.
+
+    ``kind`` is 'seq' (full scan), 'index_eq' (hash/sorted equality
+    lookup) or 'index_range' (sorted-index range scan).
+    """
+
+    kind: str
+    column: Optional[str] = None
+    value: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def describe(self, table: str) -> str:
+        """EXPLAIN line for this access path over ``table``."""
+        if self.kind == "seq":
+            return f"SeqScan({table})"
+        if self.kind == "index_eq":
+            return f"IndexScan({table}.{self.column} = {self.value!r})"
+        low_op = ">=" if self.include_low else ">"
+        high_op = "<=" if self.include_high else "<"
+        bounds = []
+        if self.low is not None:
+            bounds.append(f"{self.column} {low_op} {self.low!r}")
+        if self.high is not None:
+            bounds.append(f"{self.column} {high_op} {self.high!r}")
+        return f"RangeIndexScan({table}: {' AND '.join(bounds)})"
+
+
+class Executor:
+    """Executes parsed SELECT statements against a table catalog."""
+
+    def __init__(self, catalog: Dict[str, Table]):
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def select(self, stmt: SelectStmt) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Run ``stmt``; returns ``(column_names, rows)``."""
+        stmt = self._materialize_subqueries(stmt)
+        if stmt.table is None:
+            return self._select_without_from(stmt)
+        contexts = self._scan_base(stmt)
+        for join in stmt.joins:
+            contexts = self._apply_join(contexts, join)
+        if stmt.where is not None:
+            contexts = [ctx for ctx in contexts if truthy(evaluate(stmt.where, ctx))]
+        aggregates = self._all_aggregates(stmt)
+        if stmt.group_by or aggregates:
+            columns, rows = self._grouped_projection(stmt, contexts, aggregates)
+        else:
+            columns, rows = self._plain_projection(stmt, contexts)
+        if stmt.distinct:
+            rows = _distinct(rows)
+        rows = self._order(stmt, columns, rows)
+        rows = rows[stmt.offset :]
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return columns, rows
+
+    # ------------------------------------------------------------------
+    # Subqueries
+    # ------------------------------------------------------------------
+
+    def resolve_subqueries(self, expr: Expr) -> Expr:
+        """Replace every uncorrelated ``IN (SELECT ...)`` with its values.
+
+        The subquery runs once; correlated subqueries (referencing outer
+        columns) fail inside the nested select with an unknown-column
+        error, which is this engine's documented limitation.
+        """
+
+        def transform(node: Expr) -> Expr:
+            if isinstance(node, InSubquery):
+                _, rows = self.select(node.subquery)
+                values = tuple(Literal(row[0]) for row in rows)
+                return InList(node.operand, values, node.negated)
+            return node
+
+        return rewrite(expr, transform)
+
+    def _materialize_subqueries(self, stmt: SelectStmt) -> SelectStmt:
+        from dataclasses import replace as _replace
+
+        changes = {}
+        if stmt.where is not None:
+            changes["where"] = self.resolve_subqueries(stmt.where)
+        if stmt.having is not None:
+            changes["having"] = self.resolve_subqueries(stmt.having)
+        return _replace(stmt, **changes) if changes else stmt
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        table = self._catalog.get(name.lower())
+        if table is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return table
+
+    def _scan_base(self, stmt: SelectStmt) -> List[RowContext]:
+        ref = stmt.table
+        table = self._table(ref.name)
+        columns = table.schema.column_names
+        path = self.choose_access_path(table, ref.alias, stmt.where)
+        rowids = self._execute_access_path(table, path)
+        contexts = []
+        if rowids is None:
+            iterator = table.scan()
+        else:
+            iterator = ((rowid, table.get(rowid)) for rowid in sorted(rowids))
+        for _, row in iterator:
+            contexts.append(RowContext().bind(ref.alias, columns, row))
+        return contexts
+
+    def choose_access_path(
+        self, table: Table, alias: str, where: Optional[Expr]
+    ) -> AccessPath:
+        """Pick the cheapest access path for the base table.
+
+        Preference order: equality on any index, then a range on a sorted
+        index, then a sequential scan. Only top-level AND conjuncts are
+        considered — a predicate under OR cannot restrict the scan.
+        """
+        if where is None:
+            return AccessPath("seq")
+        range_path: Optional[AccessPath] = None
+        for conjunct in _conjuncts(where):
+            pair = _equality_on_alias(conjunct, alias)
+            if pair is not None:
+                column, value = pair
+                if table.schema.has_column(column) and table.index_on(column) is not None:
+                    return AccessPath("index_eq", column=column, value=value)
+            bound = _range_on_alias(conjunct, alias)
+            if bound is not None and range_path is None:
+                column, op, value = bound
+                index = table.index_on(column) if table.schema.has_column(column) else None
+                if index is not None and getattr(index, "kind", "") == "sorted":
+                    if op in (">", ">="):
+                        range_path = AccessPath(
+                            "index_range", column=column, low=value, include_low=(op == ">=")
+                        )
+                    else:
+                        range_path = AccessPath(
+                            "index_range", column=column, high=value, include_high=(op == "<=")
+                        )
+        return range_path or AccessPath("seq")
+
+    def _execute_access_path(self, table: Table, path: AccessPath) -> Optional[Set[int]]:
+        """Return restricted row ids, or None for a full scan."""
+        if path.kind == "seq":
+            return None
+        index = table.index_on(path.column)
+        if path.kind == "index_eq":
+            return index.lookup(path.value)
+        return index.range(
+            low=path.low,
+            high=path.high,
+            include_low=path.include_low,
+            include_high=path.include_high,
+        )
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def explain(self, stmt: SelectStmt) -> List[str]:
+        """Describe the physical plan for ``stmt``, one operator per line."""
+        lines: List[str] = []
+        if stmt.table is None:
+            lines.append("Result(constant)")
+        else:
+            table = self._table(stmt.table.name)
+            path = self.choose_access_path(table, stmt.table.alias, stmt.where)
+            lines.append(path.describe(stmt.table.name))
+            for join in stmt.joins:
+                if _equi_join_columns(join.on, join.table.alias) is not None:
+                    kind = "HashJoin"
+                else:
+                    kind = "NestedLoopJoin"
+                left = " LEFT" if join.kind == "left" else ""
+                lines.append(f"{kind}{left}({join.table.name} ON {join.on.key()})")
+        if stmt.where is not None:
+            lines.append(f"Filter({stmt.where.key()})")
+        if stmt.group_by or self._all_aggregates(stmt):
+            keys = ", ".join(expr.key() for expr in stmt.group_by) or "<all rows>"
+            lines.append(f"HashAggregate(by {keys})")
+        if stmt.having is not None:
+            lines.append(f"Having({stmt.having.key()})")
+        if stmt.distinct:
+            lines.append("Distinct")
+        if stmt.order_by:
+            keys = ", ".join(
+                f"{expr.key()} {'DESC' if desc else 'ASC'}" for expr, desc in stmt.order_by
+            )
+            lines.append(f"Sort({keys})")
+        if stmt.limit is not None or stmt.offset:
+            lines.append(f"Limit({stmt.limit} offset {stmt.offset})")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _apply_join(self, contexts: List[RowContext], join: Join) -> List[RowContext]:
+        table = self._table(join.table.name)
+        alias = join.table.alias
+        columns = table.schema.column_names
+        rows = [row for _, row in table.scan()]
+        equi = _equi_join_columns(join.on, alias)
+        if equi is not None:
+            return self._hash_join(contexts, join, columns, rows, equi)
+        return self._nested_loop_join(contexts, join, columns, rows)
+
+    def _hash_join(
+        self,
+        contexts: List[RowContext],
+        join: Join,
+        columns: List[str],
+        rows: List[tuple],
+        equi: Tuple[ColumnRef, ColumnRef],
+    ) -> List[RowContext]:
+        outer_ref, inner_ref = equi
+        inner_pos = columns.index(inner_ref.name)
+        buckets: Dict[Any, List[tuple]] = {}
+        for row in rows:
+            key = row[inner_pos]
+            if key is not None:
+                buckets.setdefault(key, []).append(row)
+        joined: List[RowContext] = []
+        null_row = tuple([None] * len(columns))
+        for ctx in contexts:
+            key = ctx.resolve(outer_ref.name, outer_ref.table)
+            matches = buckets.get(key, []) if key is not None else []
+            if matches:
+                for row in matches:
+                    joined.append(ctx.copy().bind(join.table.alias, columns, row))
+            elif join.kind == "left":
+                joined.append(ctx.copy().bind(join.table.alias, columns, null_row))
+        return joined
+
+    def _nested_loop_join(
+        self,
+        contexts: List[RowContext],
+        join: Join,
+        columns: List[str],
+        rows: List[tuple],
+    ) -> List[RowContext]:
+        joined: List[RowContext] = []
+        null_row = tuple([None] * len(columns))
+        for ctx in contexts:
+            matched = False
+            for row in rows:
+                candidate = ctx.copy().bind(join.table.alias, columns, row)
+                if truthy(evaluate(join.on, candidate)):
+                    joined.append(candidate)
+                    matched = True
+            if not matched and join.kind == "left":
+                joined.append(ctx.copy().bind(join.table.alias, columns, null_row))
+        return joined
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+
+    def _expand_items(
+        self, stmt: SelectStmt
+    ) -> List[Tuple[str, Expr]]:
+        """Expand ``*`` and name every output column."""
+        aliases: List[Tuple[str, List[str]]] = []
+        if stmt.table is not None:
+            aliases.append((stmt.table.alias, self._table(stmt.table.name).schema.column_names))
+            for join in stmt.joins:
+                aliases.append(
+                    (join.table.alias, self._table(join.table.name).schema.column_names)
+                )
+        expanded: List[Tuple[str, Expr]] = []
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                wanted = item.expr.table
+                matched = False
+                for alias, columns in aliases:
+                    if wanted is not None and alias != wanted.lower():
+                        continue
+                    matched = True
+                    for column in columns:
+                        expanded.append((column, ColumnRef(column, table=alias)))
+                if not matched:
+                    raise RelationalError(f"'*' refers to unknown table {wanted!r}")
+            else:
+                name = item.alias or _default_name(item.expr)
+                expanded.append((name, item.expr))
+        return expanded
+
+    def _plain_projection(
+        self, stmt: SelectStmt, contexts: List[RowContext]
+    ) -> Tuple[List[str], List[tuple]]:
+        named = self._expand_items(stmt)
+        columns = [name for name, _ in named]
+        rows = []
+        for ctx in contexts:
+            rows.append(tuple(evaluate(expr, ctx) for _, expr in named))
+        self._attach_order_contexts(stmt, rows, contexts)
+        return columns, rows
+
+    def _grouped_projection(
+        self,
+        stmt: SelectStmt,
+        contexts: List[RowContext],
+        aggregates: List[Aggregate],
+    ) -> Tuple[List[str], List[tuple]]:
+        named = self._expand_items(stmt)
+        columns = [name for name, _ in named]
+        groups: Dict[tuple, List[RowContext]] = {}
+        if stmt.group_by:
+            for ctx in contexts:
+                key = tuple(_hashable(evaluate(expr, ctx)) for expr in stmt.group_by)
+                groups.setdefault(key, []).append(ctx)
+        else:
+            groups[()] = list(contexts)  # one global group, even when empty
+        rows = []
+        representative_contexts = []
+        for key in sorted(groups, key=_group_sort_key):
+            members = groups[key]
+            agg_values = {agg.key(): _compute_aggregate(agg, members) for agg in aggregates}
+            if members:
+                ctx = members[0].copy()
+            else:
+                ctx = RowContext()
+            ctx.aggregates = agg_values
+            if stmt.having is not None and not truthy(evaluate(stmt.having, ctx)):
+                continue
+            rows.append(tuple(evaluate(expr, ctx) for _, expr in named))
+            representative_contexts.append(ctx)
+        self._attach_order_contexts(stmt, rows, representative_contexts)
+        return columns, rows
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    def _attach_order_contexts(
+        self, stmt: SelectStmt, rows: List[tuple], contexts: List[RowContext]
+    ) -> None:
+        # ORDER BY may reference non-projected columns; stash each row's
+        # context so _order can evaluate arbitrary expressions.
+        if stmt.order_by:
+            self._order_contexts = list(contexts)
+        else:
+            self._order_contexts = []
+
+    def _order(
+        self, stmt: SelectStmt, columns: List[str], rows: List[tuple]
+    ) -> List[tuple]:
+        if not stmt.order_by:
+            return rows
+        contexts = self._order_contexts
+        decorated = list(zip(rows, contexts)) if len(contexts) == len(rows) else [
+            (row, None) for row in rows
+        ]
+
+        def key_for(expr: Expr, row: tuple, ctx: Optional[RowContext]):
+            if isinstance(expr, ColumnRef) and expr.table is None and expr.name in columns:
+                value = row[columns.index(expr.name)]
+            elif ctx is not None:
+                value = evaluate(expr, ctx)
+            else:
+                raise RelationalError(
+                    f"ORDER BY expression {expr.key()} does not name an output column"
+                )
+            return value
+
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, descending in reversed(stmt.order_by):
+            decorated.sort(
+                key=lambda pair: _null_safe_key(key_for(expr, pair[0], pair[1]), descending),
+                reverse=descending,
+            )
+        return [row for row, _ in decorated]
+
+    # ------------------------------------------------------------------
+    # Degenerate SELECT (no FROM)
+    # ------------------------------------------------------------------
+
+    def _select_without_from(self, stmt: SelectStmt) -> Tuple[List[str], List[tuple]]:
+        named = []
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                raise RelationalError("SELECT * requires a FROM clause")
+            named.append((item.alias or _default_name(item.expr), item.expr))
+        ctx = RowContext()
+        row = tuple(evaluate(expr, ctx) for _, expr in named)
+        return [name for name, _ in named], [row]
+
+    @staticmethod
+    def _all_aggregates(stmt: SelectStmt) -> List[Aggregate]:
+        found: Dict[str, Aggregate] = {}
+        for item in stmt.items:
+            if not isinstance(item.expr, Star):
+                for agg in collect_aggregates(item.expr):
+                    found[agg.key()] = agg
+        if stmt.having is not None:
+            for agg in collect_aggregates(stmt.having):
+                found[agg.key()] = agg
+        for expr, _ in stmt.order_by:
+            for agg in collect_aggregates(expr):
+                found[agg.key()] = agg
+        return list(found.values())
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _equality_on_alias(expr: Expr, alias: str) -> Optional[Tuple[str, Any]]:
+    """Match ``col = literal`` (either side) where col belongs to ``alias``."""
+    if not (isinstance(expr, BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        left, right = right, left
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        if left.table is None or left.table == alias.lower():
+            return left.name, right.value
+    return None
+
+
+def _range_on_alias(expr: Expr, alias: str) -> Optional[Tuple[str, str, Any]]:
+    """Match ``col <op> literal`` (either side) for range operators."""
+    if not isinstance(expr, BinaryOp) or expr.op not in ("<", "<=", ">", ">="):
+        return None
+    left, right = expr.left, expr.right
+    op = expr.op
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        # Flip `literal < col` into `col > literal`.
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        left, right, op = right, left, flipped[op]
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        if left.table is None or left.table == alias.lower():
+            return left.name, op, right.value
+    return None
+
+
+def _equi_join_columns(on: Expr, new_alias: str) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """Match ``outer.col = new.col`` in either orientation.
+
+    Requires both sides qualified so the probe side is unambiguous.
+    """
+    if not (isinstance(on, BinaryOp) and on.op == "="):
+        return None
+    left, right = on.left, on.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    if left.table is None or right.table is None:
+        return None
+    new_alias = new_alias.lower()
+    if right.table == new_alias and left.table != new_alias:
+        return left, right
+    if left.table == new_alias and right.table != new_alias:
+        return right, left
+    return None
+
+
+def _default_name(expr: Expr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Aggregate):
+        return expr.key().lower().replace(" ", "_")
+    return expr.key()
+
+
+def _hashable(value: Any) -> Any:
+    return ("\0null",) if value is None else value
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    return tuple(
+        (1, "") if isinstance(part, tuple) else (0, _comparable(part)) for part in key
+    )
+
+
+def _comparable(value: Any) -> Any:
+    # Mixed-type group keys sort by (type name, repr) to stay deterministic.
+    return (type(value).__name__, repr(value))
+
+
+def _null_safe_key(value: Any, descending: bool):
+    # NULL compares as the largest value: last under ASC, first under DESC
+    # (the sort passes reverse=descending, flipping the order for DESC).
+    del descending  # same key works for both directions
+    if value is None:
+        return (1, (0, 0.0))
+    return (0, _typed(value))
+
+
+def _typed(value: Any) -> tuple:
+    # Rank values by type so mixed-type columns still sort deterministically.
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    return (2, str(value))
+
+
+def _compute_aggregate(agg: Aggregate, members: Sequence[RowContext]) -> Any:
+    if isinstance(agg.arg, Star):
+        return len(members)
+    values = [evaluate(agg.arg, ctx) for ctx in members]
+    values = [value for value in values if value is not None]
+    if agg.distinct:
+        seen = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+    func = agg.func
+    if func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if func == "SUM":
+        return sum(values)
+    if func == "AVG":
+        return sum(values) / len(values)
+    if func == "MIN":
+        return min(values)
+    if func == "MAX":
+        return max(values)
+    raise RelationalError(f"unknown aggregate {func!r}")
+
+
+def _distinct(rows: List[tuple]) -> List[tuple]:
+    seen = set()
+    unique = []
+    for row in rows:
+        key = tuple(_hashable(value) for value in row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique

@@ -1,0 +1,564 @@
+"""Expression AST and evaluator shared by the SQL engine.
+
+Evaluation follows SQL semantics: three-valued logic (comparisons against
+NULL yield NULL; AND/OR use Kleene truth tables), NULL-propagating
+arithmetic, and ``LIKE`` with ``%``/``_`` wildcards. Aggregates are AST
+nodes too but are *not* evaluated here — the executor computes them per
+group and supplies the results through the evaluation context.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import RelationalError
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def key(self) -> str:
+        """A canonical string form, used to match aggregates across clauses."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def key(self) -> str:
+        return f"lit:{self.value!r}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        return f"col:{self.table or ''}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — only valid inside COUNT(*) and the SELECT list."""
+
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        return f"star:{self.table or ''}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def key(self) -> str:
+        return f"({self.left.key()} {self.op} {self.right.key()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT' or '-'
+    operand: Expr
+
+    def key(self) -> str:
+        return f"({self.op} {self.operand.key()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+    def key(self) -> str:
+        inner = ", ".join(arg.key() for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    arg: Expr  # Star only for COUNT
+    distinct: bool = False
+
+    def key(self) -> str:
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{self.arg.key()})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def key(self) -> str:
+        inner = ", ".join(item.key() for item in self.items)
+        return f"({self.operand.key()} {'NOT ' if self.negated else ''}IN ({inner}))"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``CASE WHEN cond THEN value ... [ELSE default] END``.
+
+    Only the searched form (conditions, no operand) is supported — the
+    simple form desugars to it at parse time.
+    """
+
+    branches: Tuple[Tuple[Expr, Expr], ...]  # (condition, result) pairs
+    default: Optional[Expr] = None
+
+    def key(self) -> str:
+        parts = " ".join(
+            f"WHEN {cond.key()} THEN {result.key()}" for cond, result in self.branches
+        )
+        tail = f" ELSE {self.default.key()}" if self.default is not None else ""
+        return f"(CASE {parts}{tail} END)"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``.
+
+    Carries the parsed subquery statement; the executor materializes the
+    subquery's first column once (uncorrelated) and rewrites this node to
+    an :class:`InList` before row evaluation — the scalar evaluator never
+    sees it.
+    """
+
+    operand: Expr
+    subquery: object  # a SelectStmt; typed loosely to avoid an import cycle
+    negated: bool = False
+
+    def key(self) -> str:
+        return f"({self.operand.key()} {'NOT ' if self.negated else ''}IN <subquery>)"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def key(self) -> str:
+        return f"({self.operand.key()} {'NOT ' if self.negated else ''}LIKE {self.pattern.key()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def key(self) -> str:
+        return f"({self.operand.key()} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def key(self) -> str:
+        return (
+            f"({self.operand.key()} {'NOT ' if self.negated else ''}BETWEEN "
+            f"{self.low.key()} AND {self.high.key()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Evaluation context
+# ----------------------------------------------------------------------
+
+
+class RowContext:
+    """Resolves column references during evaluation.
+
+    Holds one or more ``alias -> (schema_columns, row_tuple)`` bindings so
+    joined rows resolve qualified (``t.col``) and unqualified (``col``)
+    names. Ambiguous unqualified names raise.
+    """
+
+    def __init__(self):
+        self._bindings: Dict[str, Tuple[List[str], Tuple[Any, ...]]] = {}
+        self.aggregates: Dict[str, Any] = {}
+
+    def bind(self, alias: str, columns: List[str], row: Tuple[Any, ...]) -> "RowContext":
+        """Attach ``alias``'s columns and row; returns self for chaining."""
+        self._bindings[alias.lower()] = (columns, row)
+        return self
+
+    def resolve(self, name: str, table: Optional[str]) -> Any:
+        """The value of (possibly qualified) column ``name``."""
+        name = name.lower()
+        if table is not None:
+            table = table.lower()
+            if table not in self._bindings:
+                raise RelationalError(f"unknown table alias {table!r}")
+            columns, row = self._bindings[table]
+            if name not in columns:
+                raise RelationalError(f"table {table!r} has no column {name!r}")
+            return row[columns.index(name)]
+        matches = [
+            (alias, columns, row)
+            for alias, (columns, row) in self._bindings.items()
+            if name in columns
+        ]
+        if not matches:
+            raise RelationalError(f"unknown column {name!r}")
+        if len(matches) > 1:
+            aliases = sorted(alias for alias, _, _ in matches)
+            raise RelationalError(f"column {name!r} is ambiguous across {aliases}")
+        _, columns, row = matches[0]
+        return row[columns.index(name)]
+
+    def copy(self) -> "RowContext":
+        """An independent copy sharing no mutable state."""
+        clone = RowContext()
+        clone._bindings = dict(self._bindings)
+        clone.aggregates = dict(self.aggregates)
+        return clone
+
+
+# ----------------------------------------------------------------------
+# Evaluator
+# ----------------------------------------------------------------------
+
+_SCALAR_FUNCS = {
+    "lower": lambda s: s.lower() if isinstance(s, str) else _bad_arg("LOWER", s),
+    "upper": lambda s: s.upper() if isinstance(s, str) else _bad_arg("UPPER", s),
+    "length": lambda s: len(s) if isinstance(s, str) else _bad_arg("LENGTH", s),
+    "abs": lambda v: abs(v) if isinstance(v, (int, float)) else _bad_arg("ABS", v),
+    "round": lambda v: round(v) if isinstance(v, (int, float)) else _bad_arg("ROUND", v),
+}
+
+
+def _bad_arg(func: str, value: Any):
+    raise RelationalError(f"{func}() cannot be applied to {value!r}")
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op in ("!=", "<>"):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        raise RelationalError(f"cannot compare {left!r} {op} {right!r}") from None
+    raise RelationalError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not isinstance(left, (int, float)) or isinstance(left, bool):
+        raise RelationalError(f"arithmetic needs numbers, got {left!r}")
+    if not isinstance(right, (int, float)) or isinstance(right, bool):
+        raise RelationalError(f"arithmetic needs numbers, got {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL engines return NULL on division by zero
+        return left / right
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    raise RelationalError(f"unknown arithmetic operator {op!r}")
+
+
+def _concat(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise RelationalError(f"|| needs strings, got {left!r} and {right!r}")
+    return left + right
+
+
+def evaluate(expr: Expr, ctx: RowContext) -> Any:
+    """Evaluate ``expr`` against ``ctx``; NULL is Python ``None``."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return ctx.resolve(expr.name, expr.table)
+    if isinstance(expr, Star):
+        raise RelationalError("'*' is only valid in COUNT(*) or the SELECT list")
+    if isinstance(expr, Aggregate):
+        key = expr.key()
+        if key not in ctx.aggregates:
+            raise RelationalError(
+                f"aggregate {key} used outside GROUP BY evaluation (or in WHERE)"
+            )
+        return ctx.aggregates[key]
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, ctx)
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, ctx)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            if not isinstance(value, bool):
+                raise RelationalError(f"NOT needs a boolean, got {value!r}")
+            return not value
+        if expr.op == "-":
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise RelationalError(f"unary minus needs a number, got {value!r}")
+            return -value
+        raise RelationalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, FuncCall):
+        name = expr.name.lower()
+        if name == "coalesce":
+            if not expr.args:
+                raise RelationalError("COALESCE() needs at least one argument")
+            for arg in expr.args:
+                value = evaluate(arg, ctx)
+                if value is not None:
+                    return value
+            return None
+        if name == "nullif":
+            if len(expr.args) != 2:
+                raise RelationalError("NULLIF() takes exactly two arguments")
+            first = evaluate(expr.args[0], ctx)
+            second = evaluate(expr.args[1], ctx)
+            return None if first == second else first
+        func = _SCALAR_FUNCS.get(name)
+        if func is None:
+            raise RelationalError(f"unknown function {expr.name!r}")
+        args = [evaluate(arg, ctx) for arg in expr.args]
+        if len(args) != 1:
+            raise RelationalError(f"{expr.name}() takes exactly one argument")
+        if args[0] is None:
+            return None
+        return func(args[0])
+    if isinstance(expr, CaseExpr):
+        for condition, result in expr.branches:
+            if truthy(evaluate(condition, ctx)):
+                return evaluate(result, ctx)
+        if expr.default is not None:
+            return evaluate(expr.default, ctx)
+        return None
+    if isinstance(expr, InSubquery):
+        raise RelationalError(
+            "IN (SELECT ...) reached the row evaluator unresolved; "
+            "subqueries are only supported in WHERE/HAVING of executed statements"
+        )
+    if isinstance(expr, InList):
+        value = evaluate(expr.operand, ctx)
+        if value is None:
+            return None
+        found = False
+        saw_null = False
+        for item in expr.items:
+            candidate = evaluate(item, ctx)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                found = True
+                break
+        if found:
+            return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+    if isinstance(expr, Like):
+        value = evaluate(expr.operand, ctx)
+        pattern = evaluate(expr.pattern, ctx)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise RelationalError("LIKE needs string operands")
+        matched = bool(like_to_regex(pattern).match(value))
+        return matched != expr.negated
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, ctx)
+        return (value is None) != expr.negated
+    if isinstance(expr, Between):
+        value = evaluate(expr.operand, ctx)
+        low = evaluate(expr.low, ctx)
+        high = evaluate(expr.high, ctx)
+        lower_ok = _compare(">=", value, low)
+        upper_ok = _compare("<=", value, high)
+        result = _kleene_and(lower_ok, upper_ok)
+        if result is None:
+            return None
+        return result != expr.negated
+    raise RelationalError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _kleene_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _kleene_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _as_bool(value: Any, op: str) -> Optional[bool]:
+    if value is None or isinstance(value, bool):
+        return value
+    raise RelationalError(f"{op} needs boolean operands, got {value!r}")
+
+
+def _evaluate_binary(expr: BinaryOp, ctx: RowContext) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = _as_bool(evaluate(expr.left, ctx), "AND")
+        if left is False:
+            return False  # short-circuit
+        return _kleene_and(left, _as_bool(evaluate(expr.right, ctx), "AND"))
+    if op == "OR":
+        left = _as_bool(evaluate(expr.left, ctx), "OR")
+        if left is True:
+            return True
+        return _kleene_or(left, _as_bool(evaluate(expr.right, ctx), "OR"))
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        return _arith(op, left, right)
+    if op == "||":
+        return _concat(left, right)
+    raise RelationalError(f"unknown binary operator {op!r}")
+
+
+def truthy(value: Any) -> bool:
+    """WHERE/HAVING acceptance: only a strict True keeps the row."""
+    return value is True
+
+
+# ----------------------------------------------------------------------
+# Analysis helpers used by the planner/executor
+# ----------------------------------------------------------------------
+
+
+def collect_aggregates(expr: Expr) -> List[Aggregate]:
+    """Return every Aggregate node inside ``expr`` (depth-first)."""
+    found: List[Aggregate] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Aggregate):
+            found.append(node)
+            return  # nested aggregates are invalid; parser rejects them
+        for child in _children(node):
+            walk(child)
+
+    walk(expr)
+    return found
+
+
+def _children(node: Expr) -> List[Expr]:
+    if isinstance(node, BinaryOp):
+        return [node.left, node.right]
+    if isinstance(node, UnaryOp):
+        return [node.operand]
+    if isinstance(node, FuncCall):
+        return list(node.args)
+    if isinstance(node, Aggregate):
+        return [] if isinstance(node.arg, Star) else [node.arg]
+    if isinstance(node, InList):
+        return [node.operand, *node.items]
+    if isinstance(node, InSubquery):
+        return [node.operand]  # the subquery is resolved separately
+    if isinstance(node, CaseExpr):
+        children = [child for pair in node.branches for child in pair]
+        if node.default is not None:
+            children.append(node.default)
+        return children
+    if isinstance(node, Like):
+        return [node.operand, node.pattern]
+    if isinstance(node, IsNull):
+        return [node.operand]
+    if isinstance(node, Between):
+        return [node.operand, node.low, node.high]
+    return []
+
+
+def rewrite(expr: Expr, transform) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``transform`` to every node.
+
+    ``transform`` receives a node whose children are already rewritten
+    and returns a (possibly new) node. Used by the executor to replace
+    :class:`InSubquery` nodes with materialized :class:`InList` values.
+    """
+    if isinstance(expr, BinaryOp):
+        expr = BinaryOp(expr.op, rewrite(expr.left, transform), rewrite(expr.right, transform))
+    elif isinstance(expr, UnaryOp):
+        expr = UnaryOp(expr.op, rewrite(expr.operand, transform))
+    elif isinstance(expr, FuncCall):
+        expr = FuncCall(expr.name, tuple(rewrite(arg, transform) for arg in expr.args))
+    elif isinstance(expr, Aggregate):
+        if not isinstance(expr.arg, Star):
+            expr = Aggregate(expr.func, rewrite(expr.arg, transform), expr.distinct)
+    elif isinstance(expr, InList):
+        expr = InList(
+            rewrite(expr.operand, transform),
+            tuple(rewrite(item, transform) for item in expr.items),
+            expr.negated,
+        )
+    elif isinstance(expr, InSubquery):
+        expr = InSubquery(rewrite(expr.operand, transform), expr.subquery, expr.negated)
+    elif isinstance(expr, CaseExpr):
+        expr = CaseExpr(
+            tuple(
+                (rewrite(cond, transform), rewrite(result, transform))
+                for cond, result in expr.branches
+            ),
+            rewrite(expr.default, transform) if expr.default is not None else None,
+        )
+    elif isinstance(expr, Like):
+        expr = Like(rewrite(expr.operand, transform), rewrite(expr.pattern, transform), expr.negated)
+    elif isinstance(expr, IsNull):
+        expr = IsNull(rewrite(expr.operand, transform), expr.negated)
+    elif isinstance(expr, Between):
+        expr = Between(
+            rewrite(expr.operand, transform),
+            rewrite(expr.low, transform),
+            rewrite(expr.high, transform),
+            expr.negated,
+        )
+    return transform(expr)

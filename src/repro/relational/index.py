@@ -1,0 +1,116 @@
+"""Secondary indexes: hash (equality) and sorted (range) access paths.
+
+Both map column values to sets of row ids. NULLs are not indexed —
+``WHERE col = NULL`` never matches in SQL, and range scans skip NULLs too.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Set
+
+from repro.errors import CatalogError
+
+
+class HashIndex:
+    """value -> {rowid} map for equality lookups."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, column: str):
+        self.name = name
+        self.column = column
+        self._buckets: dict[Any, Set[int]] = {}
+
+    def insert(self, value: Any, rowid: int) -> None:
+        """Index ``rowid`` under ``value`` (NULLs are not indexed)."""
+        if value is None:
+            return
+        self._buckets.setdefault(value, set()).add(rowid)
+
+    def delete(self, value: Any, rowid: int) -> None:
+        """Drop ``rowid`` from ``value``'s bucket (no-op if absent)."""
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> Set[int]:
+        """Row ids whose column equals ``value`` (empty set for NULL)."""
+        if value is None:
+            return set()
+        return set(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """A sorted (value, rowid) list supporting range scans via bisect."""
+
+    kind = "sorted"
+
+    def __init__(self, name: str, column: str):
+        self.name = name
+        self.column = column
+        self._entries: List[tuple] = []  # (value, rowid), kept sorted
+
+    def insert(self, value: Any, rowid: int) -> None:
+        """Insert ``(value, rowid)`` keeping the entries sorted."""
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, rowid))
+
+    def delete(self, value: Any, rowid: int) -> None:
+        """Remove ``(value, rowid)`` if present."""
+        if value is None:
+            return
+        pos = bisect.bisect_left(self._entries, (value, rowid))
+        if pos < len(self._entries) and self._entries[pos] == (value, rowid):
+            self._entries.pop(pos)
+
+    def lookup(self, value: Any) -> Set[int]:
+        """Row ids whose column equals ``value`` (empty set for NULL)."""
+        if value is None:
+            return set()
+        lo = bisect.bisect_left(self._entries, (value,))
+        result = set()
+        for entry_value, rowid in self._entries[lo:]:
+            if entry_value != value:
+                break
+            result.add(rowid)
+        return result
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        """Row ids with ``low <?= value <?= high`` (open bounds allowed)."""
+        result = set()
+        for value, rowid in self._entries:
+            if low is not None:
+                if value < low or (not include_low and value == low):
+                    continue
+            if high is not None:
+                if value > high or (not include_high and value == high):
+                    break
+            result.add(rowid)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def make_index(kind: str, name: str, column: str):
+    """Factory used by ``CREATE INDEX``; kind is 'hash' or 'sorted'."""
+    if kind == "hash":
+        return HashIndex(name, column)
+    if kind == "sorted":
+        return SortedIndex(name, column)
+    raise CatalogError(f"unknown index kind {kind!r}; use 'hash' or 'sorted'")

@@ -1,0 +1,97 @@
+"""Table schemas and the catalog-facing column definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, IntegrityError
+from repro.relational.types import DataType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition.
+
+    Attributes
+    ----------
+    name:
+        Lower-cased identifier.
+    dtype:
+        The column's :class:`DataType`.
+    nullable:
+        Whether NULL is accepted; primary keys are implicitly NOT NULL.
+    primary_key:
+        At most one column per table may set this.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+
+class TableSchema:
+    """An ordered set of columns plus integrity metadata."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name or not name.isidentifier():
+            raise CatalogError(f"invalid table name {name!r}")
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        self.name = name.lower()
+        self.columns: List[Column] = list(columns)
+        self._by_name: Dict[str, int] = {}
+        primary_keys = []
+        for position, column in enumerate(self.columns):
+            if column.name in self._by_name:
+                raise CatalogError(f"duplicate column {column.name!r} in table {name!r}")
+            self._by_name[column.name] = position
+            if column.primary_key:
+                primary_keys.append(column.name)
+        if len(primary_keys) > 1:
+            raise CatalogError(f"table {name!r} declares multiple primary keys: {primary_keys}")
+        self.primary_key: Optional[str] = primary_keys[0] if primary_keys else None
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """True when the schema defines column ``name``."""
+        return name.lower() in self._by_name
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` named ``name``; raises if unknown."""
+        try:
+            return self.columns[self._by_name[name.lower()]]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Return the index of ``name`` within the row tuple."""
+        self.column(name)  # raises with a good message if unknown
+        return self._by_name[name.lower()]
+
+    def validate_row(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Coerce a name->value mapping into a positional row tuple.
+
+        Missing columns default to NULL; unknown columns and constraint
+        violations raise.
+        """
+        unknown = [key for key in values if not self.has_column(key)]
+        if unknown:
+            raise CatalogError(f"table {self.name!r} has no column(s) {unknown}")
+        row = []
+        for column in self.columns:
+            value = coerce_value(values.get(column.name), column.dtype, column.name)
+            if value is None and (column.primary_key or not column.nullable):
+                raise IntegrityError(
+                    f"column {column.name!r} of table {self.name!r} must not be NULL"
+                )
+            row.append(value)
+        return tuple(row)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

@@ -1,0 +1,200 @@
+"""Row storage: heap tables with stable row ids and index maintenance."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CatalogError, IntegrityError
+from repro.relational.index import HashIndex, make_index
+from repro.relational.schema import TableSchema
+
+
+class Table:
+    """A heap of row tuples addressed by stable integer row ids.
+
+    Deletions leave tombstones (``None`` slots) so row ids stay valid for
+    the indexes; :meth:`scan` skips them. A unique hash index is created
+    automatically over the primary key.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: List[Optional[Tuple[Any, ...]]] = []
+        self._live = 0
+        self.indexes: Dict[str, object] = {}
+        # Undo log for transactions: None when autocommitting, else a list
+        # of ('insert', rowid) / ('delete', rowid, row) / ('update', rowid,
+        # old_row) entries replayed in reverse on rollback.
+        self._undo: Optional[List[tuple]] = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(f"{schema.name}_pk", schema.primary_key)
+            self.indexes[self._pk_index.name] = self._pk_index
+        else:
+            self._pk_index = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any]) -> int:
+        """Validate and insert a row; returns its row id."""
+        row = self.schema.validate_row(values)
+        if self._pk_index is not None:
+            key = row[self.schema.position(self.schema.primary_key)]
+            if self._pk_index.lookup(key):
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                )
+        rowid = len(self._rows)
+        self._rows.append(row)
+        self._live += 1
+        for index in self.indexes.values():
+            index.insert(row[self.schema.position(index.column)], rowid)
+        if self._undo is not None:
+            self._undo.append(("insert", rowid))
+        return rowid
+
+    def delete(self, rowid: int) -> None:
+        """Tombstone a row (no-op if already deleted)."""
+        row = self._fetch(rowid)
+        if row is None:
+            return
+        for index in self.indexes.values():
+            index.delete(row[self.schema.position(index.column)], rowid)
+        self._rows[rowid] = None
+        self._live -= 1
+        if self._undo is not None:
+            self._undo.append(("delete", rowid, row))
+
+    def update(self, rowid: int, changes: Dict[str, Any]) -> None:
+        """Apply ``changes`` (column -> new value) to one row."""
+        row = self._fetch(rowid)
+        if row is None:
+            raise IntegrityError(f"row {rowid} of table {self.schema.name!r} is deleted")
+        current = {name: row[i] for i, name in enumerate(self.schema.column_names)}
+        current.update(changes)
+        new_row = self.schema.validate_row(current)
+        if self._pk_index is not None:
+            pk_pos = self.schema.position(self.schema.primary_key)
+            if new_row[pk_pos] != row[pk_pos] and self._pk_index.lookup(new_row[pk_pos]):
+                raise IntegrityError(
+                    f"duplicate primary key {new_row[pk_pos]!r} in table {self.schema.name!r}"
+                )
+        for index in self.indexes.values():
+            position = self.schema.position(index.column)
+            if row[position] != new_row[position]:
+                index.delete(row[position], rowid)
+                index.insert(new_row[position], rowid)
+        self._rows[rowid] = new_row
+        if self._undo is not None:
+            self._undo.append(("update", rowid, row))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def _fetch(self, rowid: int) -> Optional[Tuple[Any, ...]]:
+        if not 0 <= rowid < len(self._rows):
+            raise IntegrityError(f"row id {rowid} out of range for table {self.schema.name!r}")
+        return self._rows[rowid]
+
+    def get(self, rowid: int) -> Tuple[Any, ...]:
+        """The live row at ``rowid``; raises for deleted/unknown ids."""
+        row = self._fetch(rowid)
+        if row is None:
+            raise IntegrityError(f"row {rowid} of table {self.schema.name!r} is deleted")
+        return row
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Yield ``(rowid, row)`` for every live row."""
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                yield rowid, row
+
+    def __len__(self) -> int:
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Transactions (undo log)
+    # ------------------------------------------------------------------
+
+    def begin_undo(self) -> None:
+        """Start logging mutations for a possible rollback."""
+        if self._undo is not None:
+            raise IntegrityError(f"table {self.schema.name!r} is already in a transaction")
+        self._undo = []
+
+    def commit_undo(self) -> None:
+        """Discard the undo log, making the transaction's work permanent."""
+        self._undo = None
+
+    def rollback_undo(self) -> None:
+        """Replay the undo log in reverse, restoring the pre-BEGIN state."""
+        if self._undo is None:
+            return
+        log = self._undo
+        self._undo = None  # mutations below must not be re-logged
+        for entry in reversed(log):
+            if entry[0] == "insert":
+                _, rowid = entry
+                row = self._rows[rowid]
+                if row is not None:
+                    for index in self.indexes.values():
+                        index.delete(row[self.schema.position(index.column)], rowid)
+                    self._rows[rowid] = None
+                    self._live -= 1
+            elif entry[0] == "delete":
+                _, rowid, row = entry
+                self._rows[rowid] = row
+                self._live += 1
+                for index in self.indexes.values():
+                    index.insert(row[self.schema.position(index.column)], rowid)
+            else:  # update
+                _, rowid, old_row = entry
+                current = self._rows[rowid]
+                for index in self.indexes.values():
+                    position = self.schema.position(index.column)
+                    if current is not None and current[position] != old_row[position]:
+                        index.delete(current[position], rowid)
+                        index.insert(old_row[position], rowid)
+                self._rows[rowid] = old_row
+
+    # ------------------------------------------------------------------
+    # Schema evolution
+    # ------------------------------------------------------------------
+
+    def add_column(self, column) -> None:
+        """ALTER TABLE ADD COLUMN: appended, existing rows get NULL."""
+        from repro.relational.schema import TableSchema
+
+        if column.primary_key:
+            raise IntegrityError("cannot add a PRIMARY KEY column to an existing table")
+        if not column.nullable:
+            raise IntegrityError(
+                "added columns must be nullable (existing rows have no value)"
+            )
+        self.schema = TableSchema(self.schema.name, [*self.schema.columns, column])
+        self._rows = [None if row is None else (*row, None) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, name: str, column: str, kind: str = "hash") -> None:
+        """Create and backfill a secondary index over ``column``."""
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists on table {self.schema.name!r}")
+        self.schema.column(column)  # validates the column exists
+        index = make_index(kind, name, column.lower())
+        position = self.schema.position(column)
+        for rowid, row in self.scan():
+            index.insert(row[position], rowid)
+        self.indexes[name] = index
+
+    def index_on(self, column: str):
+        """Return some index over ``column`` or None."""
+        column = column.lower()
+        for index in self.indexes.values():
+            if index.column == column:
+                return index
+        return None

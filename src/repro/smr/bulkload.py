@@ -1,0 +1,127 @@
+"""The Bulk-loading Interface (paper, Fig. 6).
+
+"Users can upload huge volume of metadata to the SMR" — here via CSV or
+JSON. Records are validated (:mod:`repro.smr.validation`), typed through
+the record classes, and registered into every store. Per-record failures
+are collected into the report rather than aborting the batch, matching
+how a web bulk-loader must behave; ``strict=True`` flips that to
+fail-fast.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import BulkLoadError, ReproError
+from repro.smr.model import KIND_ORDER, record_class_for
+from repro.smr.repository import SensorMetadataRepository
+from repro.smr.validation import validate_record
+from repro.wiki.wikitext import coerce_annotation_value
+
+
+@dataclass
+class BulkLoadReport:
+    """Outcome of one bulk-load run."""
+
+    loaded: int = 0
+    errors: List[Tuple[int, str]] = field(default_factory=list)  # (row, message)
+
+    @property
+    def attempted(self) -> int:
+        return self.loaded + len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        """One-line human summary of the load outcome."""
+        return f"loaded {self.loaded}/{self.attempted} records, {len(self.errors)} errors"
+
+
+class BulkLoader:
+    """Feeds batches of records into a repository."""
+
+    def __init__(self, smr: SensorMetadataRepository, strict: bool = False):
+        self.smr = smr
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # Formats
+    # ------------------------------------------------------------------
+
+    def load_csv(self, kind: str, text: str) -> BulkLoadReport:
+        """Load CSV with a header row; values are typed heuristically."""
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None:
+            raise BulkLoadError("CSV input has no header row")
+        records = []
+        for raw in reader:
+            record = {
+                key: coerce_annotation_value(value) if value is not None else None
+                for key, value in raw.items()
+                if key is not None
+            }
+            # Empty strings mean "absent" in CSV exports.
+            records.append({k: (None if v == "" else v) for k, v in record.items()})
+        return self.load_records(kind, records)
+
+    def load_json(self, kind: str, text: str) -> BulkLoadReport:
+        """Load a JSON array of objects."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BulkLoadError(f"invalid JSON: {exc}") from exc
+        if not isinstance(data, list):
+            raise BulkLoadError("JSON bulk input must be an array of objects")
+        for i, item in enumerate(data, start=1):
+            if not isinstance(item, dict):
+                raise BulkLoadError(f"record {i} is not an object", row=i)
+        return self.load_records(kind, data)
+
+    # ------------------------------------------------------------------
+    # Core
+    # ------------------------------------------------------------------
+
+    def load_records(self, kind: str, records: Iterable[Dict[str, Any]]) -> BulkLoadReport:
+        """Validate and register ``records`` of ``kind``."""
+        kind = kind.lower()
+        if kind not in KIND_ORDER:
+            raise BulkLoadError(f"unknown kind {kind!r}; known: {KIND_ORDER}")
+        report = BulkLoadReport()
+        for row_number, record in enumerate(records, start=1):
+            issues = validate_record(kind, record)
+            if issues:
+                self._fail(report, row_number, "; ".join(issues))
+                continue
+            try:
+                typed = record_class_for(kind).from_record(record)
+                self.smr.register(kind, typed.title, typed.annotations())
+            except ReproError as exc:
+                self._fail(report, row_number, str(exc))
+                continue
+            report.loaded += 1
+        return report
+
+    def load_corpus_dump(self, dump: Dict[str, List[Dict[str, Any]]]) -> BulkLoadReport:
+        """Load a multi-kind dump ``{kind: [records...]}`` in dependency order."""
+        combined = BulkLoadReport()
+        for kind in KIND_ORDER:
+            if kind not in dump:
+                continue
+            partial = self.load_records(kind, dump[kind])
+            combined.loaded += partial.loaded
+            combined.errors.extend(partial.errors)
+        unknown = set(dump) - set(KIND_ORDER)
+        if unknown:
+            raise BulkLoadError(f"dump contains unknown kinds: {sorted(unknown)}")
+        return combined
+
+    def _fail(self, report: BulkLoadReport, row: int, message: str) -> None:
+        if self.strict:
+            raise BulkLoadError(f"row {row}: {message}", row=row)
+        report.errors.append((row, message))

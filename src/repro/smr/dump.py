@@ -1,0 +1,50 @@
+"""Dump / restore the SMR as a plain JSON-safe structure.
+
+The export format is the same ``{kind: [record, ...]}`` shape the bulk
+loader accepts, so ``restore(export_dump(smr))`` round-trips a repository
+— the backup/migration path a production deployment needs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.smr.bulkload import BulkLoader
+from repro.smr.model import KIND_ORDER
+from repro.smr.repository import SensorMetadataRepository
+
+
+def export_dump(smr: SensorMetadataRepository) -> Dict[str, List[Dict[str, Any]]]:
+    """Export every page as a record dict, grouped by kind.
+
+    Only annotations that map to record fields survive (the loader would
+    drop the rest anyway); page text and revision history are wiki-level
+    concerns and not part of the metadata dump.
+    """
+    dump: Dict[str, List[Dict[str, Any]]] = {kind: [] for kind in KIND_ORDER}
+    for kind in KIND_ORDER:
+        for title in smr.titles(kind):
+            record: Dict[str, Any] = {"title": title}
+            for prop, value in smr.annotations(title):
+                record.setdefault(prop.lower(), value)
+            dump[kind].append(record)
+    return {kind: records for kind, records in dump.items() if records}
+
+
+def export_json(smr: SensorMetadataRepository, indent: int = 2) -> str:
+    """The dump as a JSON string."""
+    return json.dumps(export_dump(smr), indent=indent, sort_keys=True)
+
+
+def restore(dump: Dict[str, List[Dict[str, Any]]]) -> SensorMetadataRepository:
+    """Build a fresh repository from a dump; raises on any bad record."""
+    smr = SensorMetadataRepository()
+    loader = BulkLoader(smr, strict=True)
+    loader.load_corpus_dump(dump)
+    return smr
+
+
+def restore_json(payload: str) -> SensorMetadataRepository:
+    """Restore from :func:`export_json` output."""
+    return restore(json.loads(payload))

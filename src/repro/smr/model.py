@@ -1,0 +1,111 @@
+"""Typed record classes for the five metadata kinds.
+
+These mirror the Swiss Experiment schema the demo walks through: research
+institutions run deployments at field sites; deployments comprise
+stations; stations carry sensors. Each class knows how to turn itself
+into the ``(attribute, value)`` annotation pairs the wiki stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.errors import SmrError
+
+# Load order respects referential dependencies.
+KIND_ORDER = ["institution", "field_site", "deployment", "station", "sensor"]
+
+
+@dataclass(frozen=True)
+class _Record:
+    """Shared behaviour: annotation export and dict round-tripping."""
+
+    title: str
+
+    def annotations(self) -> List[Tuple[str, Any]]:
+        """The (attribute, value) pairs stored on the wiki page."""
+        pairs = []
+        for spec in fields(self):
+            if spec.name == "title":
+                continue
+            value = getattr(self, spec.name)
+            if value is not None:
+                pairs.append((spec.name, value))
+        return pairs
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "_Record":
+        """Build from a plain dict, ignoring unknown keys."""
+        known = {spec.name for spec in fields(cls)}
+        if "title" not in record:
+            raise SmrError(f"{cls.__name__} record needs a 'title' field")
+        kwargs = {key: value for key, value in record.items() if key in known}
+        return cls(**kwargs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+@dataclass(frozen=True)
+class Institution(_Record):
+    name: str = ""
+    country: Optional[str] = None
+    contact: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FieldSite(_Record):
+    name: str = ""
+    latitude: Optional[float] = None
+    longitude: Optional[float] = None
+    elevation_m: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Deployment(_Record):
+    name: str = ""
+    field_site: Optional[str] = None
+    institution: Optional[str] = None
+    project: Optional[str] = None
+    start_year: Optional[int] = None
+    status: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Station(_Record):
+    name: str = ""
+    deployment: Optional[str] = None
+    latitude: Optional[float] = None
+    longitude: Optional[float] = None
+    elevation_m: Optional[int] = None
+    status: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Sensor(_Record):
+    name: str = ""
+    station: Optional[str] = None
+    sensor_type: Optional[str] = None
+    manufacturer: Optional[str] = None
+    serial: Optional[str] = None
+    sampling_rate_s: Optional[int] = None
+    accuracy: Optional[float] = None
+    installed_year: Optional[int] = None
+
+
+_CLASSES: Dict[str, Type[_Record]] = {
+    "institution": Institution,
+    "field_site": FieldSite,
+    "deployment": Deployment,
+    "station": Station,
+    "sensor": Sensor,
+}
+
+
+def record_class_for(kind: str) -> Type[_Record]:
+    """The record class for a kind name ('station', 'sensor', ...)."""
+    try:
+        return _CLASSES[kind.lower()]
+    except KeyError:
+        raise SmrError(f"unknown metadata kind {kind!r}; known: {KIND_ORDER}") from None

@@ -1,0 +1,74 @@
+"""Record validation run by the bulk loader (Fig. 6).
+
+Each rule returns human-readable issue strings; an empty list means the
+record is acceptable. Validation is deliberately permissive about missing
+optional fields — metadata arrives incomplete in practice and the system
+must still register it — but strict about values that are *wrong* (out of
+range coordinates, impossible years, negative rates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.smr.model import KIND_ORDER
+
+_YEAR_RANGE = (1950, 2030)
+
+
+def validate_record(kind: str, record: Dict[str, Any]) -> List[str]:
+    """Return the list of problems with ``record`` (empty = valid)."""
+    issues: List[str] = []
+    if kind not in KIND_ORDER:
+        return [f"unknown kind {kind!r}"]
+    title = record.get("title")
+    if not title or not isinstance(title, str):
+        issues.append("missing or non-string 'title'")
+    name = record.get("name")
+    if name is not None and not isinstance(name, str):
+        issues.append("'name' must be a string")
+    issues.extend(_check_coordinates(record))
+    issues.extend(_check_years(record))
+    issues.extend(_check_nonnegative(record, ("sampling_rate_s", "accuracy")))
+    if kind == "sensor" and record.get("sampling_rate_s") == 0:
+        issues.append("'sampling_rate_s' must be positive")
+    return issues
+
+
+def _check_coordinates(record: Dict[str, Any]) -> List[str]:
+    issues = []
+    lat = record.get("latitude")
+    lon = record.get("longitude")
+    if lat is not None:
+        if not isinstance(lat, (int, float)) or isinstance(lat, bool) or not -90 <= lat <= 90:
+            issues.append(f"latitude {lat!r} out of range [-90, 90]")
+    if lon is not None:
+        if not isinstance(lon, (int, float)) or isinstance(lon, bool) or not -180 <= lon <= 180:
+            issues.append(f"longitude {lon!r} out of range [-180, 180]")
+    if (lat is None) != (lon is None):
+        issues.append("latitude and longitude must be given together")
+    return issues
+
+
+def _check_years(record: Dict[str, Any]) -> List[str]:
+    issues = []
+    for key in ("start_year", "installed_year"):
+        year = record.get(key)
+        if year is None:
+            continue
+        if not isinstance(year, int) or isinstance(year, bool):
+            issues.append(f"{key!r} must be an integer year")
+        elif not _YEAR_RANGE[0] <= year <= _YEAR_RANGE[1]:
+            issues.append(f"{key!r} {year} outside {_YEAR_RANGE}")
+    return issues
+
+
+def _check_nonnegative(record: Dict[str, Any], keys) -> List[str]:
+    issues = []
+    for key in keys:
+        value = record.get(key)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            issues.append(f"{key!r} must be a non-negative number, got {value!r}")
+    return issues

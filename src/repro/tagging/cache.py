@@ -1,0 +1,127 @@
+"""The Cache mechanism of the tagging pipeline (Fig. 4).
+
+"A Cache mechanism is also implemented to decrease the number of
+computations and data exchanges." This is a small LRU cache with optional
+TTL. The clock is injectable (and defaults to a logical counter that
+advances one tick per operation) so eviction behaviour is deterministic
+and testable without real time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.errors import TaggingError
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _LogicalClock:
+    """Deterministic default time source: one tick per call."""
+
+    def __init__(self):
+        self._now = 0
+
+    def __call__(self) -> float:
+        self._now += 1
+        return float(self._now)
+
+
+class LruTtlCache:
+    """LRU cache with per-entry time-to-live.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used is evicted.
+    ttl:
+        Entries older than this (in clock units) are treated as absent.
+        ``None`` disables expiry.
+    clock:
+        A zero-argument callable returning the current time. The default
+        logical clock makes behaviour fully deterministic.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if capacity <= 0:
+            raise TaggingError(f"cache capacity must be positive, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise TaggingError(f"cache ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock or _LogicalClock()
+        self._entries: "OrderedDict[Hashable, tuple[Any, float]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key``, or ``default`` (counts a hit/miss)."""
+        value = self._lookup(key)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def _lookup(self, key: Hashable) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            return _MISSING
+        value, stored_at = entry
+        if self.ttl is not None and self._clock() - stored_at > self.ttl:
+            del self._entries[key]
+            return _MISSING
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, self._clock())
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value or compute, store and return it."""
+        value = self._lookup(key)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True if it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()

@@ -1,0 +1,107 @@
+"""Assembling tag clouds: the full Fig. 4 pipeline in one builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.errors import TaggingError
+from repro.tagging.cliques import bron_kerbosch, cliques_by_tag
+from repro.tagging.fontsize import DEFAULT_MAX_FONT, font_sizes
+from repro.tagging.graphmod import TagGraph
+from repro.tagging.similarity import DEFAULT_THRESHOLD, build_similarity
+from repro.tagging.store import TagStore
+
+
+@dataclass
+class TagEntry:
+    """One tag in the finished cloud.
+
+    ``clique_ids`` indexes into :attr:`TagCloud.cliques` — a tag in two
+    cliques (the paper's "Apple" example) carries two ids, which the
+    renderer turns into two colors.
+    """
+
+    tag: str
+    count: int
+    size: int
+    clique_ids: List[int] = field(default_factory=list)
+
+    @property
+    def bridges_cliques(self) -> bool:
+        """True when the tag belongs to more than one maximal clique."""
+        return len(self.clique_ids) > 1
+
+
+@dataclass
+class TagCloud:
+    """The assembled cloud: entries plus the clique structure behind them."""
+
+    entries: List[TagEntry]
+    cliques: List[FrozenSet[str]]
+    threshold: float
+
+    def entry(self, tag: str) -> TagEntry:
+        """The entry for ``tag``; raises if not in this cloud."""
+        for entry in self.entries:
+            if entry.tag == tag:
+                return entry
+        raise TaggingError(f"tag {tag!r} not in this cloud")
+
+    @property
+    def tags(self) -> List[str]:
+        return [entry.tag for entry in self.entries]
+
+    def bridge_tags(self) -> List[str]:
+        """Tags belonging to several cliques (semantically ambiguous)."""
+        return [entry.tag for entry in self.entries if entry.bridges_cliques]
+
+
+class TagCloudBuilder:
+    """Runs: store -> similarity -> graph -> cliques -> font sizes."""
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        max_font: int = DEFAULT_MAX_FONT,
+    ):
+        self.threshold = threshold
+        self.max_font = max_font
+
+    def build(
+        self,
+        store: TagStore,
+        top: Optional[int] = None,
+        min_count: int = 1,
+    ) -> TagCloud:
+        """Build the cloud over the ``top`` most frequent tags.
+
+        ``min_count`` drops noise tags used fewer times; ``top`` caps the
+        cloud size ("once all the tags to be shown are selected...").
+        """
+        counts = {
+            tag: count for tag, count in store.counts().items() if count >= min_count
+        }
+        if top is not None:
+            selected = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:top]
+            counts = dict(selected)
+        if not counts:
+            return TagCloud([], [], self.threshold)
+        similarity = build_similarity(store, threshold=self.threshold)
+        graph = TagGraph.from_similarity(similarity).subgraph(counts)
+        for tag in counts:
+            graph.add_node(tag)  # isolated tags still join the cloud
+        cliques = bron_kerbosch(graph)
+        sizes = font_sizes(counts, cliques, max_font=self.max_font)
+        membership = cliques_by_tag(cliques)
+        clique_index = {clique: i for i, clique in enumerate(cliques)}
+        entries = [
+            TagEntry(
+                tag=tag,
+                count=counts[tag],
+                size=sizes[tag],
+                clique_ids=[clique_index[c] for c in membership[tag]],
+            )
+            for tag in sorted(counts, key=lambda t: (-counts[t], t))
+        ]
+        return TagCloud(entries, cliques, self.threshold)

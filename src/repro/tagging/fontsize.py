@@ -1,0 +1,64 @@
+"""The Font Size Calculation module — Eq. 6 of the paper, verbatim.
+
+    s_i = ceil( c_i * omega(maxclique_i) / C
+                + f_max * (t_i - t_min) / (t_max - t_min) )    for t_i > t_min
+    s_i = 1                                                    otherwise
+
+where ``s_i`` is the font size, ``f_max`` the maximum font size, ``t_i``
+the count of the tag, ``c_i`` the number of cliques the tag belongs to,
+``C`` the total number of cliques (always >= 1), ``omega(maxclique_i)``
+the order (node count) of the largest clique containing the tag, and
+``t_min`` / ``t_max`` the minimum / maximum tag frequencies.
+
+Note the guard: when ``t_i == t_min`` the size is 1 regardless of clique
+structure, so the degenerate all-equal-frequency corpus needs no special
+division-by-zero handling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List
+
+from repro.errors import TaggingError
+from repro.tagging.cliques import cliques_by_tag
+
+DEFAULT_MAX_FONT = 7  # a conventional 7-step tag-cloud scale
+
+
+def font_sizes(
+    counts: Dict[str, int],
+    cliques: List[FrozenSet[str]],
+    max_font: int = DEFAULT_MAX_FONT,
+) -> Dict[str, int]:
+    """Apply Eq. 6 to every tag in ``counts``.
+
+    ``cliques`` must cover every tag (isolated tags appear as singleton
+    cliques, which :func:`~repro.tagging.cliques.bron_kerbosch`
+    guarantees), keeping ``C >= 1`` as the paper requires.
+    """
+    if not counts:
+        return {}
+    if max_font < 1:
+        raise TaggingError(f"max_font must be >= 1, got {max_font}")
+    if not cliques:
+        raise TaggingError("Eq. 6 requires at least one clique (C >= 1)")
+    membership = cliques_by_tag(cliques)
+    missing = [tag for tag in counts if tag not in membership]
+    if missing:
+        raise TaggingError(f"tags missing from the clique cover: {sorted(missing)[:5]}")
+    t_min = min(counts.values())
+    t_max = max(counts.values())
+    total_cliques = len(cliques)
+    sizes: Dict[str, int] = {}
+    for tag, count in counts.items():
+        if count <= t_min:
+            sizes[tag] = 1
+            continue
+        tag_cliques = membership[tag]
+        c_i = len(tag_cliques)
+        omega = max(len(clique) for clique in tag_cliques)
+        clique_term = c_i * omega / total_cliques
+        frequency_term = max_font * (count - t_min) / (t_max - t_min)
+        sizes[tag] = math.ceil(clique_term + frequency_term)
+    return sizes

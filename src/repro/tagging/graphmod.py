@@ -1,0 +1,104 @@
+"""The Graph module (Fig. 4): the thresholded similarity matrix as a graph."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import TaggingError
+
+
+class TagGraph:
+    """An undirected graph over tag names."""
+
+    def __init__(self, nodes: Iterable[str] = ()):
+        self._adj: Dict[str, Set[str]] = {node: set() for node in nodes}
+
+    @classmethod
+    def from_similarity(cls, matrix) -> "TagGraph":
+        """Build from a :class:`~repro.tagging.similarity.SimilarityMatrix`."""
+        graph = cls(matrix.tags)
+        n = len(matrix.tags)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if matrix.adjacency[i, j]:
+                    graph.add_edge(matrix.tags[i], matrix.tags[j])
+        return graph
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Ensure ``node`` exists (idempotent)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, a: str, b: str) -> None:
+        """Add the undirected edge ``a -- b``; self-loops are rejected."""
+        if a == b:
+            raise TaggingError(f"self-loop on {a!r} not allowed in a tag graph")
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    def has_edge(self, a: str, b: str) -> bool:
+        """True when ``a`` and ``b`` are adjacent."""
+        return b in self._adj.get(a, set())
+
+    def neighbors(self, node: str) -> FrozenSet[str]:
+        """The nodes adjacent to ``node``; raises for unknown nodes."""
+        if node not in self._adj:
+            raise TaggingError(f"unknown tag {node!r}")
+        return frozenset(self._adj[node])
+
+    def degree(self, node: str) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self.neighbors(node))
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._adj)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(peers) for peers in self._adj.values()) // 2
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All edges as sorted ``(a, b)`` pairs with ``a < b``."""
+        seen = []
+        for a in sorted(self._adj):
+            for b in sorted(self._adj[a]):
+                if a < b:
+                    seen.append((a, b))
+        return seen
+
+    def subgraph(self, keep: Iterable[str]) -> "TagGraph":
+        """The induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        sub = TagGraph(node for node in self._adj if node in keep_set)
+        for a, b in self.edges():
+            if a in keep_set and b in keep_set:
+                sub.add_edge(a, b)
+        return sub
+
+    def connected_components(self) -> List[Set[str]]:
+        """Connected components, largest first (ties by smallest member)."""
+        remaining = set(self._adj)
+        components: List[Set[str]] = []
+        while remaining:
+            start = min(remaining)
+            stack = [start]
+            component = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adj[node] - component)
+            components.append(component)
+            remaining -= component
+        components.sort(key=lambda c: (-len(c), min(c)))
+        return components
+
+    def __repr__(self) -> str:
+        return f"TagGraph(nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,94 @@
+"""The Interface module (Fig. 4): the user-facing tagging commands.
+
+"The Interface module provides the necessary commands in order to create
+tags and to accept users' inputs for visualizing tag clouds." Cloud
+construction goes through the Cache so repeated visualizations of an
+unchanged store cost nothing — the cache key includes the store version,
+so any tag mutation invalidates naturally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tagging.cache import LruTtlCache
+from repro.tagging.cloud import TagCloud, TagCloudBuilder
+from repro.tagging.store import TagStore
+from repro.text.tfidf import cosine_similarity
+
+
+class TaggingSystem:
+    """The assembled dynamic tagging system."""
+
+    def __init__(
+        self,
+        store: Optional[TagStore] = None,
+        builder: Optional[TagCloudBuilder] = None,
+        cache: Optional[LruTtlCache] = None,
+    ):
+        self.store = store or TagStore()
+        self.builder = builder or TagCloudBuilder()
+        self.cache = cache or LruTtlCache(capacity=32)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def create_tag(self, page: str, tag: str) -> bool:
+        """Tag a page (user command)."""
+        return self.store.create(page, tag)
+
+    def remove_tag(self, page: str, tag: str) -> bool:
+        """Remove one tag assignment; True if it existed."""
+        return self.store.remove(page, tag)
+
+    def tags_of(self, page: str) -> List[str]:
+        """The tags currently on ``page``, sorted."""
+        return self.store.tags_of(page)
+
+    def sync_from_smr(self, smr, properties: List[str]) -> int:
+        """Parser command: pull property values from the SMR as tags."""
+        return self.store.import_from_smr(smr, properties)
+
+    # ------------------------------------------------------------------
+    # Visualization input
+    # ------------------------------------------------------------------
+
+    def cloud(self, top: Optional[int] = None, min_count: int = 1) -> TagCloud:
+        """Build (or fetch from cache) the current tag cloud."""
+        key = (self.store.version, top, min_count, self.builder.threshold, self.builder.max_font)
+        return self.cache.get_or_compute(
+            key, lambda: self.builder.build(self.store, top=top, min_count=min_count)
+        )
+
+    def trends(self, k: int = 10) -> List[Tuple[str, int]]:
+        """The k most used tags — "the trends of metadata"."""
+        return self.store.top_tags(k)
+
+    def similar_pages(self, page: str, k: int = 5) -> List[Tuple[str, float]]:
+        """Pages whose tag sets are most cosine-similar to ``page``'s.
+
+        Rare shared tags weigh more: each tag contributes with weight
+        1/frequency, so two pages sharing an unusual tag are more similar
+        than two pages sharing a ubiquitous one.
+        """
+        own_tags = self.store.tags_of(page)
+        if not own_tags:
+            return []
+        counts = self.store.counts()
+
+        def vector(tags: List[str]) -> dict:
+            return {tag: 1.0 / counts[tag] for tag in tags}
+
+        own_vector = vector(own_tags)
+        candidates = {
+            other for tag in own_tags for other in self.store.pages_of(tag)
+        }
+        candidates.discard(page.strip())
+        scored = [
+            (other, cosine_similarity(own_vector, vector(self.store.tags_of(other))))
+            for other in candidates
+        ]
+        scored = [(other, score) for other, score in scored if score > 0]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]

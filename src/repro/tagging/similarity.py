@@ -1,0 +1,74 @@
+"""The Matrix Transformation module (Fig. 4).
+
+"The stored tags are given as input to the Matrix Transformation module.
+This module then computes tag matrices based on using the cosine
+similarity measure (two tags considered similar for a threshold above
+50%). Each matrix is considered as a graph in which 1 denotes a link from
+one tag to another and 0 denotes no linking between tags."
+
+Each tag's vector is the set of pages it annotates (binary occurrence
+vector); the cosine of two tags is then their page-overlap normalized by
+the geometric mean of their frequencies — co-occurring tags are similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import TaggingError
+from repro.tagging.store import TagStore
+from repro.text.tfidf import cosine_similarity
+
+DEFAULT_THRESHOLD = 0.5  # the paper's "above 50%"
+
+
+@dataclass
+class SimilarityMatrix:
+    """Pairwise tag similarities plus the thresholded 0/1 adjacency."""
+
+    tags: List[str]
+    similarities: np.ndarray  # dense, symmetric, unit diagonal
+    adjacency: np.ndarray  # 0/1, zero diagonal
+    threshold: float
+
+    def similarity(self, tag_a: str, tag_b: str) -> float:
+        """The cosine between two tags; raises for unknown tags."""
+        try:
+            i, j = self.tags.index(tag_a), self.tags.index(tag_b)
+        except ValueError as exc:
+            raise TaggingError(f"unknown tag in similarity lookup: {exc}") from None
+        return float(self.similarities[i, j])
+
+    def linked(self, tag_a: str, tag_b: str) -> bool:
+        """True when the two tags exceed the similarity threshold."""
+        i, j = self.tags.index(tag_a), self.tags.index(tag_b)
+        return bool(self.adjacency[i, j])
+
+
+def build_similarity(
+    store: TagStore, threshold: float = DEFAULT_THRESHOLD
+) -> SimilarityMatrix:
+    """Compute the tag similarity matrix from a tag store.
+
+    ``threshold`` is exclusive, per the paper's "above 50 %": a cosine of
+    exactly 0.5 does *not* link two tags.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise TaggingError(f"threshold must lie in [0, 1], got {threshold}")
+    tags = store.tags()
+    vectors: List[Dict[str, float]] = [
+        {page: 1.0 for page in store.pages_of(tag)} for tag in tags
+    ]
+    n = len(tags)
+    similarities = np.eye(n)
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            sim = cosine_similarity(vectors[i], vectors[j])
+            similarities[i, j] = similarities[j, i] = sim
+            if sim > threshold:
+                adjacency[i, j] = adjacency[j, i] = 1.0
+    return SimilarityMatrix(tags, similarities, adjacency, threshold)

@@ -1,0 +1,123 @@
+"""Tag storage and the Parser module (SMR connectivity).
+
+"Users are able to create tags in each webpage, describing the topic of
+it or the metadata. As tags can also be considered the values of metadata
+properties of the page." — both sources land here: user-created tags via
+:meth:`TagStore.create`, and property values imported from an SMR via
+:meth:`TagStore.import_from_smr`.
+
+The store versions itself (every mutation bumps :attr:`version`) so the
+cache layer can invalidate without timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import TaggingError
+
+
+def normalize_tag(tag: str) -> str:
+    """Canonical tag form: trimmed, lower-case, single-spaced."""
+    canonical = " ".join(tag.strip().lower().split())
+    if not canonical:
+        raise TaggingError("empty tag")
+    return canonical
+
+
+class TagStore:
+    """(page, tag) assignments with counts and reverse lookup."""
+
+    def __init__(self):
+        self._tags_of: Dict[str, Set[str]] = {}  # page -> tags
+        self._pages_of: Dict[str, Set[str]] = {}  # tag -> pages
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def create(self, page: str, tag: str) -> bool:
+        """Assign ``tag`` to ``page``; returns False if already present."""
+        if not page or not page.strip():
+            raise TaggingError("tag assignments need a page title")
+        canonical = normalize_tag(tag)
+        page = page.strip()
+        if canonical in self._tags_of.get(page, set()):
+            return False
+        self._tags_of.setdefault(page, set()).add(canonical)
+        self._pages_of.setdefault(canonical, set()).add(page)
+        self.version += 1
+        return True
+
+    def remove(self, page: str, tag: str) -> bool:
+        """Remove one assignment; returns False if it did not exist."""
+        canonical = normalize_tag(tag)
+        page = page.strip()
+        if canonical not in self._tags_of.get(page, set()):
+            return False
+        self._tags_of[page].discard(canonical)
+        if not self._tags_of[page]:
+            del self._tags_of[page]
+        self._pages_of[canonical].discard(page)
+        if not self._pages_of[canonical]:
+            del self._pages_of[canonical]
+        self.version += 1
+        return True
+
+    def import_from_smr(self, smr, properties: List[str]) -> int:
+        """Parser module: fetch property values from the SMR as tags.
+
+        Only string-valued annotations become tags (a sampling rate of
+        600 is not a topic). Returns the number of new assignments.
+        """
+        wanted = {prop.lower() for prop in properties}
+        added = 0
+        for title in smr.titles():
+            for prop, value in smr.annotations(title):
+                if prop.lower() in wanted and isinstance(value, str) and value.strip():
+                    if self.create(title, value):
+                        added += 1
+        return added
+
+    def import_assignments(self, assignments: List[Tuple[str, str]]) -> int:
+        """Bulk-add ``(page, tag)`` pairs; returns how many were new."""
+        return sum(1 for page, tag in assignments if self.create(page, tag))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def tags_of(self, page: str) -> List[str]:
+        """The tags on ``page``, sorted."""
+        return sorted(self._tags_of.get(page.strip(), set()))
+
+    def pages_of(self, tag: str) -> List[str]:
+        """The pages carrying ``tag``, sorted."""
+        return sorted(self._pages_of.get(normalize_tag(tag), set()))
+
+    def tags(self) -> List[str]:
+        """Every distinct tag, sorted."""
+        return sorted(self._pages_of)
+
+    def counts(self) -> Dict[str, int]:
+        """tag -> frequency ("the number of entries that are assigned")."""
+        return {tag: len(pages) for tag, pages in self._pages_of.items()}
+
+    def count(self, tag: str) -> int:
+        """How many pages carry ``tag``."""
+        return len(self._pages_of.get(normalize_tag(tag), set()))
+
+    def top_tags(self, k: int) -> List[Tuple[str, int]]:
+        """The ``k`` most-used tags as (tag, count), most used first."""
+        ranked = Counter(self.counts())
+        return sorted(ranked.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+    @property
+    def tag_count(self) -> int:
+        return len(self._pages_of)
+
+    @property
+    def assignment_count(self) -> int:
+        return sum(len(tags) for tags in self._tags_of.values())

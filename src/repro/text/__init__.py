@@ -1,0 +1,40 @@
+"""Text and information-retrieval substrate.
+
+The advanced search interface needs keyword search over page text and
+metadata values, autocomplete for the query form, and cosine similarity
+between tag vectors (Section IV). This package supplies those pieces:
+
+- :mod:`repro.text.tokenize` — tokenizer and n-gram helpers;
+- :mod:`repro.text.stopwords` — the English stopword list;
+- :mod:`repro.text.stemmer` — a from-scratch Porter stemmer;
+- :mod:`repro.text.tfidf` — TF-IDF vectors and cosine similarity;
+- :mod:`repro.text.inverted_index` — ranked keyword search (TF-IDF and
+  BM25 scoring);
+- :mod:`repro.text.trie` — prefix trie powering autocomplete.
+"""
+
+from repro.text.tokenize import tokenize, normalize_token
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.stemmer import porter_stem
+from repro.text.tfidf import TfidfVectorizer, cosine_similarity
+from repro.text.fuzzy import levenshtein, suggest
+from repro.text.inverted_index import InvertedIndex, SearchHit
+from repro.text.snippet import Snippet, best_snippet
+from repro.text.trie import Trie
+
+__all__ = [
+    "tokenize",
+    "normalize_token",
+    "STOPWORDS",
+    "is_stopword",
+    "porter_stem",
+    "TfidfVectorizer",
+    "cosine_similarity",
+    "InvertedIndex",
+    "SearchHit",
+    "Snippet",
+    "best_snippet",
+    "levenshtein",
+    "suggest",
+    "Trie",
+]

@@ -1,0 +1,67 @@
+"""Fuzzy matching: edit distance and "did you mean" suggestions.
+
+When a search returns nothing, the interface proposes close spellings
+from the live vocabulary (titles, property names, property values) —
+ranked by edit distance, then by popularity weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def levenshtein(a: str, b: str, limit: Optional[int] = None) -> int:
+    """Edit distance between ``a`` and ``b`` (insert/delete/substitute).
+
+    With ``limit``, computation short-circuits and returns ``limit + 1``
+    as soon as the distance provably exceeds it (banded algorithm).
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if limit is not None and len(b) - len(a) > limit:
+        return limit + 1
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            value = min(previous[i] + 1, current[i - 1] + 1, previous[i - 1] + cost)
+            current.append(value)
+            row_min = min(row_min, value)
+        if limit is not None and row_min > limit:
+            return limit + 1
+        previous = current
+    return previous[-1]
+
+
+def suggest(
+    word: str,
+    vocabulary: Sequence[str],
+    max_distance: int = 2,
+    limit: int = 5,
+    weights: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    """Closest vocabulary entries to ``word`` within ``max_distance``.
+
+    Ranked by (distance, -weight, entry) so popular terms win ties;
+    exact matches are excluded (nothing to suggest).
+    """
+    if max_distance < 0:
+        raise ReproError(f"max_distance must be non-negative, got {max_distance}")
+    word = word.lower()
+    weights = weights or {}
+    scored: List[Tuple[int, float, str]] = []
+    for entry in vocabulary:
+        lowered = entry.lower()
+        if lowered == word:
+            continue
+        distance = levenshtein(word, lowered, limit=max_distance)
+        if distance <= max_distance:
+            scored.append((distance, -weights.get(entry, 0.0), entry))
+    scored.sort()
+    return [entry for _, _, entry in scored[:limit]]

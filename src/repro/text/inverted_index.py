@@ -1,0 +1,151 @@
+"""Ranked keyword search over documents (the "basic search" the paper
+extends).
+
+Documents are added as ``(doc_id, text)``; tokens are stemmed and
+stopword-filtered before indexing. Queries run through the same pipeline,
+then candidate documents are scored with either TF-IDF cosine or Okapi
+BM25 — BM25 is the default because short metadata pages benefit from its
+length normalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ReproError
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenize import tokenize
+
+_BM25_K1 = 1.5
+_BM25_B = 0.75
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result: the document id and its relevance score."""
+
+    doc_id: str
+    score: float
+
+
+def _analyze(text: str) -> List[str]:
+    """Tokenize, drop stopwords, stem — the shared indexing pipeline."""
+    return [porter_stem(token) for token in tokenize(text) if not is_stopword(token)]
+
+
+class InvertedIndex:
+    """An in-memory inverted index with BM25 / TF-IDF scoring."""
+
+    def __init__(self):
+        # term -> doc_id -> term frequency
+        self._postings: Dict[str, Dict[str, int]] = {}
+        self._doc_lengths: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index ``text`` under ``doc_id``; re-adding replaces the document."""
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        terms = _analyze(text)
+        self._doc_lengths[doc_id] = len(terms)
+        for term in terms:
+            self._postings.setdefault(term, {})
+            self._postings[term][doc_id] = self._postings[term].get(doc_id, 0) + 1
+
+    def remove(self, doc_id: str) -> None:
+        """Drop a document from the index (no-op if absent)."""
+        if doc_id not in self._doc_lengths:
+            return
+        del self._doc_lengths[doc_id]
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        """Documents containing ``term`` (after analysis of the term)."""
+        analyzed = _analyze(term)
+        if not analyzed:
+            return 0
+        return len(self._postings.get(analyzed[0], {}))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        scoring: str = "bm25",
+        require_all: bool = False,
+    ) -> List[SearchHit]:
+        """Return documents ranked by relevance to ``query``.
+
+        ``require_all=True`` keeps only documents containing every query
+        term (AND semantics); the default is OR with ranking.
+        """
+        if scoring not in ("bm25", "tfidf"):
+            raise ReproError(f"unknown scoring {scoring!r}; use 'bm25' or 'tfidf'")
+        terms = _analyze(query)
+        if not terms:
+            return []
+        candidates: Set[str] = set()
+        per_term_docs = [set(self._postings.get(term, {})) for term in terms]
+        if require_all:
+            candidates = set.intersection(*per_term_docs) if per_term_docs else set()
+        else:
+            for docs in per_term_docs:
+                candidates |= docs
+        if not candidates:
+            return []
+        scorer = self._bm25 if scoring == "bm25" else self._tfidf_score
+        hits = [SearchHit(doc_id, scorer(terms, doc_id)) for doc_id in candidates]
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:limit] if limit is not None else hits
+
+    def _idf(self, term: str) -> float:
+        df = len(self._postings.get(term, {}))
+        n = self.document_count
+        # BM25+ style floor keeps idf positive even for very common terms.
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5)) if df else 0.0
+
+    def _bm25(self, terms: List[str], doc_id: str) -> float:
+        avg_len = sum(self._doc_lengths.values()) / max(1, self.document_count)
+        length = self._doc_lengths[doc_id]
+        score = 0.0
+        for term in terms:
+            tf = self._postings.get(term, {}).get(doc_id, 0)
+            if tf == 0:
+                continue
+            idf = self._idf(term)
+            denom = tf + _BM25_K1 * (1 - _BM25_B + _BM25_B * length / max(avg_len, 1e-9))
+            score += idf * tf * (_BM25_K1 + 1) / denom
+        return score
+
+    def _tfidf_score(self, terms: List[str], doc_id: str) -> float:
+        length = max(1, self._doc_lengths[doc_id])
+        score = 0.0
+        for term in terms:
+            tf = self._postings.get(term, {}).get(doc_id, 0)
+            if tf == 0:
+                continue
+            score += (tf / length) * self._idf(term)
+        return score

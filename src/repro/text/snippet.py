@@ -1,0 +1,82 @@
+"""Result snippets: the best-matching window of a page's text, highlighted.
+
+Search UIs show a fragment of each hit with the query terms emphasized.
+:func:`best_snippet` slides a fixed-size token window over the text,
+scores each window by the number of (stemmed) query-term occurrences plus
+a small bonus for distinct terms, and returns the best window with
+matching tokens wrapped in ``**`` markers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Set
+
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenize import tokenize
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """The chosen fragment plus its match statistics."""
+
+    text: str
+    matches: int
+    distinct_terms: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _query_stems(query: str) -> Set[str]:
+    return {
+        porter_stem(token) for token in tokenize(query) if not is_stopword(token)
+    }
+
+
+def best_snippet(text: str, query: str, window: int = 24) -> Snippet:
+    """Return the best ``window``-word fragment of ``text`` for ``query``.
+
+    Query terms are matched after stemming, so "measurement" highlights
+    "measurements". If nothing matches, the snippet is the head of the
+    text with zero matches.
+    """
+    stems = _query_stems(query)
+    words = _WORD_RE.findall(text)
+    if not words:
+        return Snippet("", 0, 0)
+    word_spans = list(_WORD_RE.finditer(text))
+    hits = [porter_stem(word.lower()) in stems for word in words]
+    best_start, best_score, best_distinct = 0, -1, 0
+    for start in range(0, max(1, len(words) - window + 1)):
+        segment = hits[start : start + window]
+        count = sum(segment)
+        distinct = len(
+            {porter_stem(words[start + i].lower()) for i, hit in enumerate(segment) if hit}
+        )
+        score = count + 2 * distinct
+        if score > best_score:
+            best_start, best_score, best_distinct = start, score, distinct
+    end_index = min(len(words), best_start + window) - 1
+    span_start = word_spans[best_start].start()
+    span_end = word_spans[end_index].end()
+    fragment = text[span_start:span_end]
+    highlighted = _highlight(fragment, stems)
+    prefix = "…" if span_start > 0 else ""
+    suffix = "…" if span_end < len(text) else ""
+    matches = sum(hits[best_start : best_start + window])
+    return Snippet(prefix + highlighted + suffix, matches, best_distinct)
+
+
+def _highlight(fragment: str, stems: Set[str]) -> str:
+    def mark(match: "re.Match[str]") -> str:
+        word = match.group(0)
+        if porter_stem(word.lower()) in stems:
+            return f"**{word}**"
+        return word
+
+    return _WORD_RE.sub(mark, fragment)

@@ -1,0 +1,26 @@
+"""English stopwords filtered out of keyword indexes and tag vocabularies.
+
+A compact list tuned for metadata text: grammatical glue words only —
+domain words like "station" or "data" are deliberately *not* stopwords,
+because users search for them.
+"""
+
+from __future__ import annotations
+
+STOPWORDS = frozenset(
+    """
+    a about above after again all also am an and any are as at be because
+    been before being below between both but by can did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my no nor
+    not now of off on once only or other our ours out over own same she so
+    some such than that the their theirs them then there these they this
+    those through to too under until up very was we were what when where
+    which while who whom why will with you your yours
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return True when ``token`` (already lower-case) is a stopword."""
+    return token in STOPWORDS

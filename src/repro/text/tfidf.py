@@ -1,0 +1,98 @@
+"""TF-IDF vectors and cosine similarity.
+
+Used twice in the system: ranking keyword matches in the inverted index
+and — centrally for Section IV — measuring similarity between tags, where
+each tag's "document" is the multiset of pages it annotates and two tags
+are considered similar above the paper's 50 % cosine threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import ReproError
+
+Vector = Dict[str, float]
+
+
+def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Return the cosine of two sparse vectors (0.0 when either is empty).
+
+    The result is clamped to [0, 1] for non-negative inputs; negative
+    components are allowed and can push it to [-1, 1].
+    """
+    if not a or not b:
+        return 0.0
+    # Iterate over the smaller dict for the dot product.
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    dot = sum(value * large.get(key, 0.0) for key, value in small.items())
+    norm_a = math.sqrt(sum(value * value for value in a.values()))
+    norm_b = math.sqrt(sum(value * value for value in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+class TfidfVectorizer:
+    """Fit on a corpus of token lists; transform documents to TF-IDF dicts.
+
+    IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so terms
+    present in every document keep a small positive weight instead of
+    vanishing (metadata corpora are tiny; exact-zero IDF hurts recall).
+    """
+
+    def __init__(self):
+        self._idf: Dict[str, float] = {}
+        self._fitted = False
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """The fitted vocabulary, sorted."""
+        self._require_fitted()
+        return sorted(self._idf)
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfVectorizer":
+        """Learn IDF weights from an iterable of token sequences."""
+        doc_freq: Dict[str, int] = {}
+        count = 0
+        for tokens in documents:
+            count += 1
+            for term in set(tokens):
+                doc_freq[term] = doc_freq.get(term, 0) + 1
+        if count == 0:
+            raise ReproError("cannot fit a TF-IDF vectorizer on an empty corpus")
+        self._idf = {
+            term: math.log((1 + count) / (1 + df)) + 1.0 for term, df in doc_freq.items()
+        }
+        self._fitted = True
+        return self
+
+    def transform(self, tokens: Sequence[str]) -> Vector:
+        """Return the TF-IDF vector of one document (unknown terms dropped)."""
+        self._require_fitted()
+        counts: Dict[str, int] = {}
+        for term in tokens:
+            counts[term] = counts.get(term, 0) + 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {
+            term: (freq / total) * self._idf[term]
+            for term, freq in counts.items()
+            if term in self._idf
+        }
+
+    def fit_transform(self, documents: Sequence[Sequence[str]]) -> List[Vector]:
+        """Fit on ``documents`` and return their vectors."""
+        self.fit(documents)
+        return [self.transform(doc) for doc in documents]
+
+    def idf(self, term: str) -> float:
+        """Return the IDF of ``term`` (0.0 for unseen terms)."""
+        self._require_fitted()
+        return self._idf.get(term, 0.0)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ReproError("vectorizer used before fit()")

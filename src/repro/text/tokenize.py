@@ -1,0 +1,36 @@
+"""Tokenization for metadata text.
+
+Sensor metadata mixes prose with identifiers ("WAN-007", "SN12345",
+"wind_speed"), so the tokenizer keeps alphanumeric runs together,
+splits on everything else, and lower-cases. Numbers survive as tokens —
+searching for a serial number must work.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_token(token: str) -> str:
+    """Lower-case and strip a single token candidate."""
+    return token.strip().lower()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lower-case alphanumeric tokens.
+
+    >>> tokenize("Wind speed at WAN-007!")
+    ['wind', 'speed', 'at', 'wan', '007']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def ngrams(tokens: Iterable[str], n: int) -> List[tuple]:
+    """Return the ``n``-grams of a token sequence (empty if too short)."""
+    tokens = list(tokens)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

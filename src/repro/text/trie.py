@@ -1,0 +1,74 @@
+"""A prefix trie powering the query form's autocomplete (Fig. 7).
+
+Entries carry a weight (typically page popularity or property frequency);
+:meth:`Trie.complete` returns the heaviest completions of a prefix, which
+is what the demo's autocomplete drop-downs display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("children", "weight", "terminal")
+
+    def __init__(self):
+        self.children: Dict[str, _Node] = {}
+        self.weight = 0.0
+        self.terminal = False
+
+
+class Trie:
+    """A weighted prefix trie over lower-cased strings."""
+
+    def __init__(self):
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, word: str) -> bool:
+        node = self._find(word.lower())
+        return node is not None and node.terminal
+
+    def insert(self, word: str, weight: float = 1.0) -> None:
+        """Insert ``word``; re-inserting accumulates weight."""
+        node = self._root
+        for ch in word.lower():
+            node = node.children.setdefault(ch, _Node())
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.weight += weight
+
+    def _find(self, prefix: str) -> Optional[_Node]:
+        node = self._root
+        for ch in prefix:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node
+
+    def _walk(self, node: _Node, prefix: str) -> Iterator[Tuple[str, float]]:
+        if node.terminal:
+            yield prefix, node.weight
+        for ch in sorted(node.children):
+            yield from self._walk(node.children[ch], prefix + ch)
+
+    def complete(self, prefix: str, limit: int = 10) -> List[str]:
+        """Return up to ``limit`` completions of ``prefix``, heaviest first.
+
+        Ties break alphabetically so results are deterministic.
+        """
+        start = self._find(prefix.lower())
+        if start is None:
+            return []
+        matches = list(self._walk(start, prefix.lower()))
+        matches.sort(key=lambda item: (-item[1], item[0]))
+        return [word for word, _ in matches[:limit]]
+
+    def words(self) -> List[str]:
+        """Return every inserted word, alphabetical."""
+        return [word for word, _ in self._walk(self._root, "")]

@@ -1,0 +1,50 @@
+"""Visualization toolkit — every output of Fig. 2, self-contained.
+
+The production demo leaned on Google Maps/Charts, GraphViz and a
+HyperGraph applet; this package regenerates the same artifact types as
+standalone SVG/HTML/DOT text:
+
+- :mod:`repro.viz.table` — plain tabular formats (text + HTML);
+- :mod:`repro.viz.bar` / :mod:`repro.viz.pie` — "real-time bar and pie
+  diagrams" over facet distributions;
+- :mod:`repro.viz.maprender` — result maps with clustered markers and
+  match-degree coloring;
+- :mod:`repro.viz.graphviz` — semantic-relation graphs (DOT export plus
+  a force-directed SVG renderer from :mod:`repro.viz.layout`);
+- :mod:`repro.viz.hypergraph` — the browsable link-structure hypergraph;
+- :mod:`repro.viz.tagcloud` — tag clouds with clique coloring;
+- :mod:`repro.viz.svg` / :mod:`repro.viz.color` — the shared substrate.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.color import categorical_color, match_degree_color
+from repro.viz.table import render_html_table, render_text_table
+from repro.viz.bar import BarChart
+from repro.viz.line import LineChart
+from repro.viz.pie import PieChart
+from repro.viz.maprender import MapMarker, MapRenderer
+from repro.viz.layout import circular_layout, force_directed_layout
+from repro.viz.graphviz import GraphRenderer, to_dot
+from repro.viz.hypergraph import Hypergraph, HypergraphRenderer
+from repro.viz.tagcloud import render_tag_cloud_html, render_tag_cloud_svg
+
+__all__ = [
+    "SvgCanvas",
+    "categorical_color",
+    "match_degree_color",
+    "render_text_table",
+    "render_html_table",
+    "BarChart",
+    "LineChart",
+    "PieChart",
+    "MapMarker",
+    "MapRenderer",
+    "circular_layout",
+    "force_directed_layout",
+    "GraphRenderer",
+    "to_dot",
+    "Hypergraph",
+    "HypergraphRenderer",
+    "render_tag_cloud_html",
+    "render_tag_cloud_svg",
+]

@@ -1,0 +1,68 @@
+"""Bar diagrams over facet distributions (Fig. 2, "real-time bar ... diagrams")."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.errors import VizError
+from repro.viz.color import categorical_color
+from repro.viz.svg import SvgCanvas
+
+_MARGIN = 40
+_LABEL_SPACE = 110
+
+
+class BarChart:
+    """A horizontal bar chart of ``(label, value)`` pairs.
+
+    Values may be negative (real-time sensor means dip below zero); the
+    bars then extend left of the zero baseline.
+    """
+
+    def __init__(self, data: Sequence[Tuple[Any, float]], title: str = ""):
+        if not data:
+            raise VizError("bar chart needs at least one data point")
+        for _, value in data:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise VizError(f"bar values must be numbers, got {value!r}")
+        self.data = [
+            (("(none)" if label is None else str(label)), float(value))
+            for label, value in data
+        ]
+        self.title = title
+
+    def to_svg(self, width: int = 640, height: int = 0) -> str:
+        """Render the chart as an SVG document string."""
+        bar_height = 22
+        gap = 8
+        height = height or (_MARGIN * 2 + len(self.data) * (bar_height + gap))
+        canvas = SvgCanvas(width, height, background="#ffffff")
+        if self.title:
+            canvas.text(width / 2, 22, self.title, size=15, anchor="middle", weight="bold")
+        plot_width = width - _MARGIN - _LABEL_SPACE - 60
+        low = min(0.0, min(value for _, value in self.data))
+        high = max(0.0, max(value for _, value in self.data))
+        span = (high - low) or 1.0
+        baseline_x = _LABEL_SPACE + (-low) / span * plot_width
+        y = _MARGIN
+        for i, (label, value) in enumerate(self.data):
+            length = abs(value) / span * plot_width
+            bar_x = baseline_x if value >= 0 else baseline_x - length
+            canvas.text(
+                _LABEL_SPACE - 8, y + bar_height * 0.7, label, size=12, anchor="end"
+            )
+            canvas.rect(
+                bar_x,
+                y,
+                max(length, 0.5),
+                bar_height,
+                fill=categorical_color(i),
+                title=f"{label}: {value:g}",
+            )
+            value_x = bar_x + length + 6 if value >= 0 else bar_x - 6
+            anchor = "start" if value >= 0 else "end"
+            canvas.text(value_x, y + bar_height * 0.7, f"{value:g}", size=11, anchor=anchor)
+            y += bar_height + gap
+        # Zero baseline axis.
+        canvas.line(baseline_x, _MARGIN - 4, baseline_x, y - gap + 4, stroke="#333333")
+        return canvas.to_string()

@@ -1,0 +1,63 @@
+"""Color utilities: categorical palettes and the match-degree scale."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import VizError
+
+# A color-blind-friendly categorical palette (Okabe-Ito).
+PALETTE = [
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#D55E00",
+    "#CC79A7",
+    "#56B4E9",
+    "#F0E442",
+    "#999999",
+]
+
+
+def categorical_color(index: int) -> str:
+    """The palette color for series/clique ``index`` (cycles)."""
+    if index < 0:
+        raise VizError(f"color index must be non-negative, got {index}")
+    return PALETTE[index % len(PALETTE)]
+
+
+def _parse_hex(color: str) -> Tuple[int, int, int]:
+    text = color.lstrip("#")
+    if len(text) != 6:
+        raise VizError(f"expected #rrggbb, got {color!r}")
+    try:
+        return int(text[0:2], 16), int(text[2:4], 16), int(text[4:6], 16)
+    except ValueError:
+        raise VizError(f"expected #rrggbb, got {color!r}") from None
+
+
+def _to_hex(rgb: Tuple[int, int, int]) -> str:
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def interpolate(color_a: str, color_b: str, t: float) -> str:
+    """Linear interpolation between two hex colors, ``t`` in [0, 1]."""
+    if not 0.0 <= t <= 1.0:
+        raise VizError(f"interpolation parameter must lie in [0, 1], got {t}")
+    a = _parse_hex(color_a)
+    b = _parse_hex(color_b)
+    mixed = tuple(round(x + (y - x) * t) for x, y in zip(a, b))
+    return _to_hex(mixed)
+
+
+# Match-degree endpoints: weak matches red, perfect matches green —
+# "different colors for describing the degree of matching of each result".
+_LOW = "#d7301f"
+_HIGH = "#1a9850"
+
+
+def match_degree_color(degree: float) -> str:
+    """Map a match degree in [0, 1] to the red-green scale."""
+    if not 0.0 <= degree <= 1.0:
+        raise VizError(f"match degree must lie in [0, 1], got {degree}")
+    return interpolate(_LOW, _HIGH, degree)

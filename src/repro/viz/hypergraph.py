@@ -1,0 +1,127 @@
+"""User-browsable hypergraphs of the page-linking structure.
+
+"User-browsable hypergraphs are dynamically generated based on the
+linking structure of the metadata pages ... help them identify popular
+(clustered) pages." Each page induces one hyperedge — the page together
+with the pages it links to — so a page contained in many hyperedges is
+*popular*. :meth:`Hypergraph.neighborhood` supports the browsing
+interaction (expand around a focus page);
+:class:`HypergraphRenderer` draws the focus view as SVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import VizError
+from repro.viz.color import categorical_color
+from repro.viz.layout import circular_layout
+from repro.viz.svg import SvgCanvas
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """One hyperedge: a label plus its member nodes."""
+
+    label: str
+    members: FrozenSet[str]
+
+
+class Hypergraph:
+    """Nodes plus labelled hyperedges over them."""
+
+    def __init__(self):
+        self._edges: List[Hyperedge] = []
+        self._membership: Dict[str, List[int]] = {}
+
+    @classmethod
+    def from_link_structure(cls, links: Dict[str, Sequence[str]]) -> "Hypergraph":
+        """Build from ``page -> linked pages``: one hyperedge per page."""
+        graph = cls()
+        for page in sorted(links):
+            members = {page, *links[page]}
+            graph.add_edge(page, members)
+        return graph
+
+    def add_edge(self, label: str, members: Set[str]) -> None:
+        """Add a labelled hyperedge over ``members`` (non-empty)."""
+        if not members:
+            raise VizError(f"hyperedge {label!r} needs at least one member")
+        index = len(self._edges)
+        self._edges.append(Hyperedge(label, frozenset(members)))
+        for node in members:
+            self._membership.setdefault(node, []).append(index)
+
+    @property
+    def edges(self) -> List[Hyperedge]:
+        return list(self._edges)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._membership)
+
+    def degree(self, node: str) -> int:
+        """How many hyperedges contain ``node`` (its popularity)."""
+        return len(self._membership.get(node, []))
+
+    def popular_pages(self, k: int = 10) -> List[Tuple[str, int]]:
+        """The most-contained pages — the clusters users spot visually."""
+        ranked = sorted(
+            ((node, self.degree(node)) for node in self._membership),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:k]
+
+    def edges_of(self, node: str) -> List[Hyperedge]:
+        """The hyperedges containing ``node``."""
+        return [self._edges[i] for i in self._membership.get(node, [])]
+
+    def neighborhood(self, node: str) -> Set[str]:
+        """Every page sharing a hyperedge with ``node`` (browse step)."""
+        neighbors: Set[str] = set()
+        for edge in self.edges_of(node):
+            neighbors |= edge.members
+        neighbors.discard(node)
+        return neighbors
+
+
+class HypergraphRenderer:
+    """Draws the focus view: one page, its hyperedges, their members."""
+
+    def __init__(self, width: int = 700, height: int = 700):
+        self.width = width
+        self.height = height
+
+    def render_focus(self, graph: Hypergraph, focus: str) -> str:
+        """Render the hyperedges around ``focus`` as an SVG string."""
+        edges = graph.edges_of(focus)
+        if not edges:
+            raise VizError(f"page {focus!r} belongs to no hyperedge")
+        members = sorted({m for edge in edges for m in edge.members if m != focus})
+        positions = circular_layout(members, self.width, self.height, margin=80)
+        cx, cy = self.width / 2, self.height / 2
+        canvas = SvgCanvas(self.width, self.height, background="#ffffff")
+        canvas.text(
+            self.width / 2, 24, f"Hypergraph around {focus}", size=14, anchor="middle", weight="bold"
+        )
+        for i, edge in enumerate(edges):
+            color = categorical_color(i)
+            for member in sorted(edge.members):
+                if member == focus:
+                    continue
+                x, y = positions[member]
+                canvas.line(cx, cy, x, y, stroke=color, width=1.5, opacity=0.6)
+        for member in members:
+            x, y = positions[member]
+            popularity = graph.degree(member)
+            radius = 6 + min(10, popularity)
+            canvas.circle(x, y, radius, fill="#cfe3f5", stroke="#33536e", title=f"{member} (in {popularity} edges)")
+            canvas.text(x, y - radius - 4, _short(member), size=9, anchor="middle")
+        canvas.circle(cx, cy, 18, fill="#f3c14b", stroke="#333333", title=focus)
+        canvas.text(cx, cy - 24, _short(focus), size=11, anchor="middle", weight="bold")
+        return canvas.to_string()
+
+
+def _short(title: str, limit: int = 20) -> str:
+    return title if len(title) <= limit else title[: limit - 1] + "…"

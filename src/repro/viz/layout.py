@@ -1,0 +1,97 @@
+"""Graph layout algorithms (circular and force-directed).
+
+The force-directed layout is Fruchterman–Reingold with simulated
+annealing, seeded for determinism — the same family of layouts GraphViz's
+spring engines produce for the Fig. 2 relation graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import VizError
+
+Point = Tuple[float, float]
+
+
+def circular_layout(
+    nodes: Sequence[str], width: float, height: float, margin: float = 40.0
+) -> Dict[str, Point]:
+    """Place ``nodes`` evenly on a circle inscribed in the canvas."""
+    if not nodes:
+        return {}
+    cx, cy = width / 2, height / 2
+    radius = max(10.0, min(width, height) / 2 - margin)
+    positions = {}
+    for i, node in enumerate(nodes):
+        theta = 2 * math.pi * i / len(nodes) - math.pi / 2
+        positions[node] = (cx + radius * math.cos(theta), cy + radius * math.sin(theta))
+    return positions
+
+
+def force_directed_layout(
+    nodes: Sequence[str],
+    edges: Iterable[Tuple[str, str]],
+    width: float,
+    height: float,
+    iterations: int = 60,
+    seed: int = 0,
+) -> Dict[str, Point]:
+    """Fruchterman–Reingold layout inside a ``width`` × ``height`` box."""
+    nodes = list(nodes)
+    if not nodes:
+        return {}
+    if width <= 0 or height <= 0:
+        raise VizError(f"layout area must be positive, got {width}x{height}")
+    node_set = set(nodes)
+    edge_list = [(a, b) for a, b in edges if a in node_set and b in node_set and a != b]
+    rng = random.Random(seed)
+    positions: Dict[str, List[float]] = {
+        node: [rng.uniform(0.1, 0.9) * width, rng.uniform(0.1, 0.9) * height]
+        for node in nodes
+    }
+    if len(nodes) == 1:
+        only = nodes[0]
+        return {only: (width / 2, height / 2)}
+    area = width * height
+    k = math.sqrt(area / len(nodes))  # ideal spring length
+    temperature = width / 8
+    cooling = temperature / (iterations + 1)
+    for _ in range(iterations):
+        displacement = {node: [0.0, 0.0] for node in nodes}
+        # Repulsion between all pairs.
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                dx = positions[a][0] - positions[b][0]
+                dy = positions[a][1] - positions[b][1]
+                dist = math.hypot(dx, dy) or 1e-6
+                force = k * k / dist
+                fx, fy = dx / dist * force, dy / dist * force
+                displacement[a][0] += fx
+                displacement[a][1] += fy
+                displacement[b][0] -= fx
+                displacement[b][1] -= fy
+        # Attraction along edges.
+        for a, b in edge_list:
+            dx = positions[a][0] - positions[b][0]
+            dy = positions[a][1] - positions[b][1]
+            dist = math.hypot(dx, dy) or 1e-6
+            force = dist * dist / k
+            fx, fy = dx / dist * force, dy / dist * force
+            displacement[a][0] -= fx
+            displacement[a][1] -= fy
+            displacement[b][0] += fx
+            displacement[b][1] += fy
+        # Apply displacements, capped by the temperature, inside the box.
+        for node in nodes:
+            dx, dy = displacement[node]
+            dist = math.hypot(dx, dy) or 1e-6
+            step = min(dist, temperature)
+            positions[node][0] += dx / dist * step
+            positions[node][1] += dy / dist * step
+            positions[node][0] = min(width - 20.0, max(20.0, positions[node][0]))
+            positions[node][1] = min(height - 20.0, max(20.0, positions[node][1]))
+        temperature = max(0.5, temperature - cooling)
+    return {node: (xy[0], xy[1]) for node, xy in positions.items()}

@@ -1,0 +1,103 @@
+"""Line charts — used for the Fig. 3 convergence/time curves.
+
+Supports multiple named series, linear or log-10 y scale (residual
+histories span many orders of magnitude), axis ticks and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import VizError
+from repro.viz.color import categorical_color
+from repro.viz.svg import SvgCanvas
+
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 160
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 45
+
+
+class LineChart:
+    """Multi-series line chart over ``(x, y)`` points."""
+
+    def __init__(
+        self,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        log_y: bool = False,
+    ):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.log_y = log_y
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> "LineChart":
+        """Add one named series; points are sorted by x."""
+        cleaned = [(float(x), float(y)) for x, y in points]
+        if not cleaned:
+            raise VizError(f"series {name!r} needs at least one point")
+        if self.log_y and any(y <= 0 for _, y in cleaned):
+            raise VizError(f"series {name!r} has non-positive values; log scale impossible")
+        self._series[name] = sorted(cleaned)
+        return self
+
+    def _y_transform(self, y: float) -> float:
+        return math.log10(y) if self.log_y else y
+
+    def to_svg(self, width: int = 720, height: int = 420) -> str:
+        """Render the chart as an SVG document string."""
+        if not self._series:
+            raise VizError("line chart needs at least one series")
+        canvas = SvgCanvas(width, height, background="#ffffff")
+        plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+        xs = [x for pts in self._series.values() for x, _ in pts]
+        ys = [self._y_transform(y) for pts in self._series.values() for _, y in pts]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+
+        def px(x: float) -> float:
+            return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+        def py(y: float) -> float:
+            return _MARGIN_TOP + (y_max - self._y_transform(y)) / (y_max - y_min) * plot_h
+
+        # Frame and title.
+        canvas.rect(_MARGIN_LEFT, _MARGIN_TOP, plot_w, plot_h, fill="none", stroke="#999999")
+        if self.title:
+            canvas.text(width / 2, 22, self.title, size=15, anchor="middle", weight="bold")
+        # Axis ticks: 5 per axis.
+        for i in range(6):
+            tick_x = x_min + (x_max - x_min) * i / 5
+            canvas.line(px(tick_x), _MARGIN_TOP + plot_h, px(tick_x), _MARGIN_TOP + plot_h + 5, stroke="#666666")
+            canvas.text(px(tick_x), _MARGIN_TOP + plot_h + 18, f"{tick_x:g}", size=10, anchor="middle")
+            raw_y = y_min + (y_max - y_min) * i / 5
+            label = f"1e{raw_y:.1f}" if self.log_y else f"{raw_y:g}"
+            y_pixel = _MARGIN_TOP + plot_h - plot_h * i / 5
+            canvas.line(_MARGIN_LEFT - 5, y_pixel, _MARGIN_LEFT, y_pixel, stroke="#666666")
+            canvas.text(_MARGIN_LEFT - 9, y_pixel + 4, label, size=10, anchor="end")
+        if self.x_label:
+            canvas.text(_MARGIN_LEFT + plot_w / 2, height - 10, self.x_label, size=11, anchor="middle")
+        if self.y_label:
+            canvas.text(14, _MARGIN_TOP - 10, self.y_label, size=11)
+        # Series.
+        for index, (name, points) in enumerate(sorted(self._series.items())):
+            color = categorical_color(index)
+            if len(points) > 1:
+                d = "M " + " L ".join(f"{px(x):.2f} {py(y):.2f}" for x, y in points)
+                canvas.path(d, stroke=color, width=1.8)
+            for x, y in points:
+                canvas.circle(px(x), py(y), 2.4, fill=color, title=f"{name}: ({x:g}, {y:g})")
+            # Legend.
+            legend_y = _MARGIN_TOP + 14 + index * 18
+            canvas.line(width - _MARGIN_RIGHT + 12, legend_y - 4, width - _MARGIN_RIGHT + 34, legend_y - 4, stroke=color, width=2.5)
+            canvas.text(width - _MARGIN_RIGHT + 40, legend_y, name, size=11)
+        return canvas.to_string()

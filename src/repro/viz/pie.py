@@ -1,0 +1,62 @@
+"""Pie diagrams over facet distributions (Fig. 2)."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence, Tuple
+
+from repro.errors import VizError
+from repro.viz.color import categorical_color
+from repro.viz.svg import SvgCanvas
+
+
+class PieChart:
+    """A pie chart of ``(label, value)`` pairs with a side legend."""
+
+    def __init__(self, data: Sequence[Tuple[Any, float]], title: str = ""):
+        if not data:
+            raise VizError("pie chart needs at least one data point")
+        cleaned = []
+        for label, value in data:
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise VizError(f"pie values must be non-negative numbers, got {value!r}")
+            cleaned.append((("(none)" if label is None else str(label)), float(value)))
+        if sum(value for _, value in cleaned) <= 0:
+            raise VizError("pie chart needs a positive total")
+        self.data = cleaned
+        self.title = title
+
+    def to_svg(self, size: int = 360) -> str:
+        """Render the chart as an SVG document string."""
+        legend_width = 180
+        canvas = SvgCanvas(size + legend_width, size, background="#ffffff")
+        cx = size / 2
+        cy = size / 2 + (10 if self.title else 0)
+        radius = size / 2 - 30
+        if self.title:
+            canvas.text((size + legend_width) / 2, 20, self.title, size=15, anchor="middle", weight="bold")
+        total = sum(value for _, value in self.data)
+        angle = -math.pi / 2  # start at 12 o'clock
+        for i, (label, value) in enumerate(self.data):
+            fraction = value / total
+            sweep = fraction * 2 * math.pi
+            color = categorical_color(i)
+            if fraction >= 0.999999:
+                canvas.circle(cx, cy, radius, fill=color, title=f"{label}: {value:g}")
+            else:
+                x1 = cx + radius * math.cos(angle)
+                y1 = cy + radius * math.sin(angle)
+                x2 = cx + radius * math.cos(angle + sweep)
+                y2 = cy + radius * math.sin(angle + sweep)
+                large = 1 if sweep > math.pi else 0
+                d = (
+                    f"M {cx:.2f} {cy:.2f} L {x1:.2f} {y1:.2f} "
+                    f"A {radius:.2f} {radius:.2f} 0 {large} 1 {x2:.2f} {y2:.2f} Z"
+                )
+                canvas.path(d, fill=color, title=f"{label}: {value:g} ({fraction:.0%})")
+            angle += sweep
+            # Legend entry.
+            ly = 40 + i * 20
+            canvas.rect(size + 10, ly - 10, 12, 12, fill=color)
+            canvas.text(size + 28, ly, f"{label} ({fraction:.0%})", size=12)
+        return canvas.to_string()

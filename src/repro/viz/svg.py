@@ -1,0 +1,127 @@
+"""A minimal SVG document builder.
+
+Every renderer in :mod:`repro.viz` draws through this canvas, so output
+escaping and document structure live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import VizError
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _fmt(value: float) -> str:
+    # Compact numeric formatting keeps documents small and diffs stable.
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; :meth:`to_string` renders the document."""
+
+    def __init__(self, width: int, height: int, background: Optional[str] = None):
+        if width <= 0 or height <= 0:
+            raise VizError(f"canvas must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    @staticmethod
+    def _attrs(**attrs) -> str:
+        rendered = []
+        for key, value in attrs.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            rendered.append(f'{name}="{_escape(str(value))}"')
+        return " ".join(rendered)
+
+    def _emit(self, tag: str, attr_text: str, title: Optional[str] = None) -> None:
+        if title is None:
+            self._elements.append(f"<{tag} {attr_text}/>")
+        else:
+            self._elements.append(
+                f"<{tag} {attr_text}><title>{_escape(title)}</title></{tag}>"
+            )
+
+    def rect(self, x, y, w, h, fill="none", stroke=None, rx=None, opacity=None, title=None):
+        """Add a rectangle (optionally with a tooltip ``title``)."""
+        attrs = self._attrs(
+            x=_fmt(x), y=_fmt(y), width=_fmt(w), height=_fmt(h),
+            fill=fill, stroke=stroke, rx=rx, opacity=opacity,
+        )
+        self._emit("rect", attrs, title)
+
+    def circle(self, cx, cy, r, fill="none", stroke=None, opacity=None, title=None):
+        """Add a circle (optionally with a tooltip ``title``)."""
+        attrs = self._attrs(
+            cx=_fmt(cx), cy=_fmt(cy), r=_fmt(r), fill=fill, stroke=stroke, opacity=opacity
+        )
+        self._emit("circle", attrs, title)
+
+    def line(self, x1, y1, x2, y2, stroke="#000000", width=1.0, opacity=None, dash=None):
+        """Add a straight line segment."""
+        attrs = self._attrs(
+            x1=_fmt(x1), y1=_fmt(y1), x2=_fmt(x2), y2=_fmt(y2),
+            stroke=stroke, stroke_width=width, opacity=opacity, stroke_dasharray=dash,
+        )
+        self._emit("line", attrs)
+
+    def text(
+        self,
+        x,
+        y,
+        content: str,
+        size: int = 12,
+        fill: str = "#000000",
+        anchor: str = "start",
+        weight: Optional[str] = None,
+        family: str = "sans-serif",
+    ):
+        """Add a text element (content is XML-escaped)."""
+        attrs = self._attrs(
+            x=_fmt(x),
+            y=_fmt(y),
+            font_size=size,
+            fill=fill,
+            text_anchor=anchor,
+            font_weight=weight,
+            font_family=family,
+        )
+        self._elements.append(f"<text {attrs}>{_escape(content)}</text>")
+
+    def polygon(self, points: Sequence[Tuple[float, float]], fill="none", stroke=None, opacity=None):
+        """Add a filled/stroked polygon of >= 3 points."""
+        if len(points) < 3:
+            raise VizError(f"polygon needs >= 3 points, got {len(points)}")
+        rendered = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        attrs = self._attrs(fill=fill, stroke=stroke, opacity=opacity)
+        self._elements.append(f'<polygon points="{rendered}" {attrs}/>')
+
+    def path(self, d: str, fill="none", stroke=None, width: float = 1.0, title=None):
+        """Add a raw SVG path element."""
+        attrs = self._attrs(d=d, fill=fill, stroke=stroke, stroke_width=width)
+        self._emit("path", attrs, title)
+
+    @property
+    def element_count(self) -> int:
+        return len(self._elements)
+
+    def to_string(self) -> str:
+        """Serialize the accumulated elements as an SVG document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">'
+        )
+        return "\n".join([header, *self._elements, "</svg>"])

@@ -1,0 +1,61 @@
+"""Plain tabular result formats (text and HTML)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.errors import VizError
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_text_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """An aligned monospace table with a header rule."""
+    if not columns:
+        raise VizError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(columns):
+            raise VizError(f"row has {len(row)} cells but {len(columns)} columns declared")
+    texts = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in texts)) if texts else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * width for width in widths)
+    lines = [header, rule]
+    for row in texts:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _html_escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_html_table(
+    columns: Sequence[str], rows: Sequence[Sequence[Any]], caption: str = ""
+) -> str:
+    """A semantic HTML table (used by the web demo)."""
+    if not columns:
+        raise VizError("a table needs at least one column")
+    parts: List[str] = ["<table>"]
+    if caption:
+        parts.append(f"<caption>{_html_escape(caption)}</caption>")
+    parts.append("<thead><tr>")
+    parts.extend(f"<th>{_html_escape(str(col))}</th>" for col in columns)
+    parts.append("</tr></thead><tbody>")
+    for row in rows:
+        if len(row) != len(columns):
+            raise VizError(f"row has {len(row)} cells but {len(columns)} columns declared")
+        parts.append("<tr>")
+        parts.extend(f"<td>{_html_escape(_cell(value))}</td>" for value in row)
+        parts.append("</tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)

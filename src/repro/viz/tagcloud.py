@@ -1,0 +1,76 @@
+"""Tag-cloud rendering with clique coloring (Figs. 2 and 5).
+
+Tags are colored by their (first) maximal clique; a tag belonging to
+several cliques — the paper's "Apple" — is underlined with every clique
+color so its multiple senses show, as in Fig. 5's multi-color encoding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import VizError
+from repro.tagging.cloud import TagCloud
+from repro.viz.color import categorical_color
+from repro.viz.svg import SvgCanvas
+
+_BASE_FONT = 11
+_FONT_STEP = 3
+
+
+def _px(size: int) -> int:
+    return _BASE_FONT + (size - 1) * _FONT_STEP
+
+
+def render_tag_cloud_html(cloud: TagCloud) -> str:
+    """Render the cloud as an HTML fragment (inline styles only)."""
+    parts: List[str] = ['<div class="tag-cloud">']
+    for entry in cloud.entries:
+        color = categorical_color(entry.clique_ids[0]) if entry.clique_ids else "#333333"
+        decoration = "underline" if entry.bridges_cliques else "none"
+        safe = entry.tag.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        parts.append(
+            f'<span style="font-size:{_px(entry.size)}px;color:{color};'
+            f'text-decoration:{decoration};margin:0 6px;" '
+            f'title="count {entry.count}, cliques {entry.clique_ids}">{safe}</span>'
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_tag_cloud_svg(cloud: TagCloud, width: int = 760) -> str:
+    """Render the cloud as SVG with simple line wrapping."""
+    if width <= 100:
+        raise VizError(f"tag cloud needs width > 100, got {width}")
+    # First pass: flow layout to know the height.
+    placements = []
+    x, y = 16.0, 40.0
+    line_height = 0.0
+    for entry in cloud.entries:
+        font = _px(entry.size)
+        advance = font * 0.62 * len(entry.tag) + 18
+        if x + advance > width - 16 and x > 16.0:
+            x = 16.0
+            y += line_height + 10
+            line_height = 0.0
+        placements.append((entry, x, y, font))
+        x += advance
+        line_height = max(line_height, float(font))
+    height = int(y + line_height + 24)
+    canvas = SvgCanvas(width, max(height, 80), background="#ffffff")
+    for entry, px_x, px_y, font in placements:
+        color = categorical_color(entry.clique_ids[0]) if entry.clique_ids else "#333333"
+        canvas.text(px_x, px_y, entry.tag, size=font, fill=color)
+        if entry.bridges_cliques:
+            # One underline stripe per clique the tag belongs to.
+            stripe_width = font * 0.62 * len(entry.tag)
+            for stripe, clique_id in enumerate(entry.clique_ids):
+                canvas.line(
+                    px_x,
+                    px_y + 3 + stripe * 2.5,
+                    px_x + stripe_width,
+                    px_y + 3 + stripe * 2.5,
+                    stroke=categorical_color(clique_id),
+                    width=1.8,
+                )
+    return canvas.to_string()

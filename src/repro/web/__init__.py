@@ -1,0 +1,12 @@
+"""A small HTTP/JSON API mirroring the demo web interface.
+
+Stdlib-only: a WSGI application (:func:`repro.web.app.create_app`) plus a
+tiny router. Being WSGI, the app is unit-testable by calling it with an
+environ dict — no sockets — and servable with ``wsgiref`` for the live
+demo (``examples/web_demo.py``).
+"""
+
+from repro.web.http import JsonResponse, Router, SvgResponse, TextResponse
+from repro.web.app import create_app, serve
+
+__all__ = ["Router", "JsonResponse", "SvgResponse", "TextResponse", "create_app", "serve"]

@@ -1,0 +1,410 @@
+"""The demo web application: JSON + SVG endpoints over the search engine.
+
+Endpoints (all under ``/api``):
+
+    GET  /api/search?q=<compact query>        ranked results
+    GET  /api/page/{title}                    one page's metadata
+    GET  /api/autocomplete/title?prefix=
+    GET  /api/autocomplete/property?prefix=
+    GET  /api/values?prop=&kind=              dynamic drop-down values
+    GET  /api/facets?q=&prop=                 facet counts
+    GET  /api/recommend?q=&k=                 recommendations
+    GET  /api/pagerank/top?k=                 highest-ranked pages
+    GET  /api/tags/cloud?top=                 tag cloud (JSON)
+    GET  /api/tags/cloud.svg?top=             tag cloud (SVG)
+    POST /api/tags                            {"page": ..., "tag": ...}
+    GET  /api/viz/map.svg?q=                  result map
+    GET  /api/viz/facets.svg?q=&prop=&chart=  bar|pie facet chart
+
+Errors surface as JSON with appropriate status codes; the engine's
+exception hierarchy maps 1:1 onto 400s.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+from wsgiref.simple_server import make_server
+
+from repro.core.engine import AdvancedSearchEngine
+from repro.errors import ReproError
+from repro.tagging.interface import TaggingSystem
+from repro.viz.bar import BarChart
+from repro.viz.maprender import MapMarker, MapRenderer
+from repro.viz.pie import PieChart
+from repro.viz.tagcloud import render_tag_cloud_svg
+from repro.web.http import HtmlResponse, JsonResponse, Request, Response, Router, SvgResponse
+
+_INDEX_HTML = """<!doctype html>
+<html><head><title>Sensor Metadata Search (ICDE'11 reproduction)</title></head>
+<body>
+<h1>Advanced Sensor Metadata Search</h1>
+<p><a href="/search">Interactive search page</a></p>
+<p>JSON/SVG API endpoints:</p>
+<ul>
+  <li><a href="/api/stats">/api/stats</a></li>
+  <li><a href="/api/suggest?q=wnd">/api/suggest?q=</a></li>
+  <li><a href="/api/search?q=kind%3Dstation">/api/search?q=&lt;query&gt;</a></li>
+  <li>/api/page/{title}</li>
+  <li><a href="/api/autocomplete/title?prefix=Station">/api/autocomplete/title?prefix=</a></li>
+  <li><a href="/api/autocomplete/property?prefix=s">/api/autocomplete/property?prefix=</a></li>
+  <li><a href="/api/values?prop=status&kind=station">/api/values?prop=&amp;kind=</a></li>
+  <li><a href="/api/facets?q=kind%3Dsensor&prop=sensor_type">/api/facets?q=&amp;prop=</a></li>
+  <li><a href="/api/recommend?q=kind%3Dsensor">/api/recommend?q=&amp;k=</a></li>
+  <li>/api/related/{title}?k=</li>
+  <li>/api/snippet/{title}?q=</li>
+  <li><a href="/api/pagerank/top?k=10">/api/pagerank/top?k=</a></li>
+  <li><a href="/api/tags/cloud">/api/tags/cloud</a> |
+      <a href="/api/tags/cloud.svg">/api/tags/cloud.svg</a> |
+      POST /api/tags</li>
+  <li><a href="/api/viz/map.svg?q=kind%3Dstation">/api/viz/map.svg?q=</a></li>
+  <li><a href="/api/viz/facets.svg?q=kind%3Dstation&prop=status&chart=pie">/api/viz/facets.svg?q=&amp;prop=&amp;chart=bar|pie</a></li>
+</ul>
+<p>Query syntax: <code>keyword=wind kind=sensor elevation_m&gt;=2000 sort=pagerank
+order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
+</body></html>
+"""
+
+
+def _html_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _keyword_of(query_text: str) -> str:
+    """Best-effort keyword extraction for snippet highlighting."""
+    from repro.core.query import parse_query
+
+    try:
+        return parse_query(query_text).keyword
+    except Exception:
+        return ""
+
+
+def _result_payload(result) -> Dict[str, Any]:
+    return {
+        "title": result.title,
+        "kind": result.kind,
+        "score": result.score,
+        "relevance": result.relevance,
+        "pagerank": result.pagerank,
+        "match_degree": result.match_degree,
+        "annotations": result.annotations,
+        "location": (
+            {"lat": result.location.lat, "lon": result.location.lon}
+            if result.location
+            else None
+        ),
+    }
+
+
+def create_app(
+    engine: AdvancedSearchEngine,
+    tagging: Optional[TaggingSystem] = None,
+    observations=None,
+):
+    """Build the WSGI application over ``engine``.
+
+    ``tagging`` defaults to an empty tagging system; ``observations`` is
+    an optional :class:`~repro.observations.store.ObservationStore` —
+    when given, the ``/api/observations/...`` endpoints serve live data.
+    """
+    tagging = tagging or TaggingSystem()
+    router = Router()
+
+    @router.get("/api/observations/{sensor}")
+    def observation_stats(request: Request, sensor: str) -> Response:
+        if observations is None:
+            return JsonResponse(
+                {"error": "no observation store configured"}, status="404 Not Found"
+            )
+        window = int(request.params.get("window", "288"))
+        stats = observations.window_stats(sensor, window=window)
+        latest = observations.latest(sensor)
+        return JsonResponse(
+            {
+                "sensor": sensor,
+                "window": window,
+                "count": stats.count,
+                "min": stats.minimum,
+                "max": stats.maximum,
+                "mean": stats.mean,
+                "last": stats.last,
+                "latest_tick": latest[0] if latest else None,
+                "stale": observations.is_stale(sensor),
+            }
+        )
+
+    @router.get("/api/observations/{sensor}/series.svg")
+    def observation_series(request: Request, sensor: str) -> Response:
+        if observations is None:
+            return JsonResponse(
+                {"error": "no observation store configured"}, status="404 Not Found"
+            )
+        from repro.viz.line import LineChart
+
+        bucket = int(request.params.get("bucket", "12"))
+        chart = LineChart(title=sensor, x_label="tick", y_label="value")
+        chart.add_series("readings", observations.series(sensor).downsample(bucket))
+        return SvgResponse(chart.to_svg())
+
+    def _search(request: Request):
+        text = request.params.get("q", "")
+        return engine.search(engine.parse(text))
+
+    @router.get("/")
+    def index(request: Request) -> Response:
+        return HtmlResponse(_INDEX_HTML)
+
+    @router.get("/search")
+    def search_page(request: Request) -> Response:
+        """The human-facing search form + results page (Fig. 7 analog)."""
+        text = request.params.get("q", "")
+        body = [
+            "<!doctype html><html><head><title>Metadata search</title></head><body>",
+            "<h1>Advanced metadata search</h1>",
+            '<form method="get" action="/search">',
+            f'<input name="q" size="70" value="{_html_escape(text)}" '
+            'placeholder="keyword=wind kind=sensor sort=pagerank"/>',
+            '<button type="submit">Search</button></form>',
+        ]
+        if text.strip():
+            try:
+                results = engine.search(engine.parse(text))
+            except ReproError as exc:
+                body.append(f"<p><strong>Error:</strong> {_html_escape(str(exc))}</p>")
+            else:
+                body.append(
+                    f"<p>{len(results)} of {results.total_candidates} candidates</p>"
+                )
+                if not results and " " not in text and "=" not in text:
+                    suggestions = engine.did_you_mean(text)
+                    if suggestions:
+                        links = ", ".join(
+                            f'<a href="/search?q={_html_escape(s)}">{_html_escape(s)}</a>'
+                            for s in suggestions
+                        )
+                        body.append(f"<p>Did you mean: {links}?</p>")
+                keyword = _keyword_of(text)
+                body.append("<ol>")
+                for result in results:
+                    snippet_html = ""
+                    if keyword:
+                        fragment = engine.snippet(result.title, keyword)
+                        rendered = _html_escape(fragment.text).replace(
+                            "**", "<b>", 1
+                        )
+                        # crude but adequate: alternate open/close markers
+                        while "**" in rendered:
+                            rendered = rendered.replace("**", "</b>", 1)
+                            rendered = rendered.replace("**", "<b>", 1)
+                        snippet_html = f"<br/><small>{rendered}</small>"
+                    body.append(
+                        f"<li><b>{_html_escape(result.title)}</b> "
+                        f"({result.kind}, match {result.match_degree:.0%}, "
+                        f"pagerank {result.pagerank:.4f}){snippet_html}</li>"
+                    )
+                body.append("</ol>")
+        body.append("</body></html>")
+        return HtmlResponse("".join(body))
+
+    @router.get("/api/related/{title}")
+    def related(request: Request, title: str) -> Response:
+        k = int(request.params.get("k", "5"))
+        pages = engine.related_pages(title, k=k)
+        return JsonResponse(
+            {"related": [{"title": t, "score": s} for t, s in pages]}
+        )
+
+    @router.get("/api/snippet/{title}")
+    def snippet(request: Request, title: str) -> Response:
+        query = request.params.get("q", "")
+        result = engine.snippet(title, query)
+        return JsonResponse(
+            {
+                "snippet": result.text,
+                "matches": result.matches,
+                "distinct_terms": result.distinct_terms,
+            }
+        )
+
+    @router.get("/api/search")
+    def search(request: Request) -> Response:
+        results = _search(request)
+        return JsonResponse(
+            {
+                "query": results.query_description,
+                "total_candidates": results.total_candidates,
+                "results": [_result_payload(r) for r in results],
+            }
+        )
+
+    @router.get("/api/page/{title}")
+    def page(request: Request, title: str) -> Response:
+        kind = engine.smr.kind_of(title)
+        return JsonResponse(
+            {
+                "title": engine.smr.wiki.get(title).title,
+                "kind": kind,
+                "annotations": dict(engine.smr.annotations(title)),
+                "pagerank": engine.ranker.score(engine.smr.wiki.get(title).title),
+                "revisions": engine.smr.wiki.get(title).revision_count,
+            }
+        )
+
+    @router.get("/api/autocomplete/title")
+    def autocomplete_title(request: Request) -> Response:
+        prefix = request.params.get("prefix", "")
+        return JsonResponse({"completions": engine.autocomplete.complete_title(prefix)})
+
+    @router.get("/api/autocomplete/property")
+    def autocomplete_property(request: Request) -> Response:
+        prefix = request.params.get("prefix", "")
+        return JsonResponse({"completions": engine.autocomplete.complete_property(prefix)})
+
+    @router.get("/api/values")
+    def values(request: Request) -> Response:
+        prop = request.params.get("prop", "")
+        kind = request.params.get("kind") or None
+        pairs = engine.autocomplete.values_for(prop, kind=kind)
+        return JsonResponse({"values": [{"value": v, "count": c} for v, c in pairs]})
+
+    @router.get("/api/facets")
+    def facets(request: Request) -> Response:
+        results = _search(request)
+        prop = request.params.get("prop", "")
+        pairs = engine.facets(results, prop)
+        return JsonResponse({"facets": [{"value": v, "count": c} for v, c in pairs]})
+
+    @router.get("/api/recommend")
+    def recommend(request: Request) -> Response:
+        results = _search(request)
+        k = int(request.params.get("k", "5"))
+        recommendations = engine.recommend(results, k=k)
+        return JsonResponse(
+            {
+                "recommendations": [
+                    {"title": rec.title, "score": rec.score, "reasons": rec.reasons}
+                    for rec in recommendations
+                ]
+            }
+        )
+
+    @router.get("/api/stats")
+    def stats(request: Request) -> Response:
+        from repro.core.stats import corpus_statistics
+
+        report = corpus_statistics(engine.smr, top_values_for=("project", "institution"))
+        return JsonResponse(
+            {
+                "page_count": report.page_count,
+                "pages_per_kind": report.pages_per_kind,
+                "property_coverage": report.property_coverage,
+                "web_links": report.web_links.__dict__,
+                "semantic_links": report.semantic_links.__dict__,
+                "top_values": report.top_values,
+            }
+        )
+
+    @router.get("/api/suggest")
+    def suggest_endpoint(request: Request) -> Response:
+        keyword = request.params.get("q", "")
+        return JsonResponse({"suggestions": engine.did_you_mean(keyword)})
+
+    @router.get("/api/queries/popular")
+    def popular_queries(request: Request) -> Response:
+        k = int(request.params.get("k", "10"))
+        return JsonResponse(
+            {
+                "popular": [
+                    {"query": q, "count": c} for q, c in engine.query_log.popular(k)
+                ],
+                "zero_results": engine.query_log.zero_result_queries(k),
+            }
+        )
+
+    @router.get("/api/pagerank/top")
+    def pagerank_top(request: Request) -> Response:
+        k = int(request.params.get("k", "10"))
+        return JsonResponse(
+            {"pages": [{"title": t, "score": s} for t, s in engine.ranker.top(k)]}
+        )
+
+    @router.get("/api/tags/cloud")
+    def tag_cloud(request: Request) -> Response:
+        top = request.params.get("top")
+        cloud = tagging.cloud(top=int(top) if top else None)
+        return JsonResponse(
+            {
+                "tags": [
+                    {
+                        "tag": e.tag,
+                        "count": e.count,
+                        "size": e.size,
+                        "cliques": e.clique_ids,
+                    }
+                    for e in cloud.entries
+                ],
+                "clique_count": len(cloud.cliques),
+            }
+        )
+
+    @router.get("/api/tags/cloud.svg")
+    def tag_cloud_svg(request: Request) -> Response:
+        top = request.params.get("top")
+        cloud = tagging.cloud(top=int(top) if top else None)
+        return SvgResponse(render_tag_cloud_svg(cloud))
+
+    @router.post("/api/tags")
+    def create_tag(request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict) or "page" not in payload or "tag" not in payload:
+            return JsonResponse(
+                {"error": "body must be {\"page\": ..., \"tag\": ...}"},
+                status="400 Bad Request",
+            )
+        created = tagging.create_tag(str(payload["page"]), str(payload["tag"]))
+        return JsonResponse({"created": created}, status="201 Created" if created else "200 OK")
+
+    @router.get("/api/viz/map.svg")
+    def viz_map(request: Request) -> Response:
+        results = _search(request)
+        markers = [
+            MapMarker(r.location, r.title, r.match_degree) for r in results.located()
+        ]
+        return SvgResponse(MapRenderer().render(markers, title=results.query_description))
+
+    @router.get("/api/viz/facets.svg")
+    def viz_facets(request: Request) -> Response:
+        results = _search(request)
+        prop = request.params.get("prop", "")
+        chart = request.params.get("chart", "bar")
+        pairs = engine.facets(results, prop)
+        if chart == "pie":
+            return SvgResponse(PieChart(pairs, title=f"{prop} facets").to_svg())
+        return SvgResponse(BarChart(pairs, title=f"{prop} facets").to_svg())
+
+    def application(environ, start_response):
+        request = Request(environ)
+        try:
+            response = router.dispatch(request)
+        except ReproError as exc:
+            response = JsonResponse(
+                {"error": str(exc), "type": type(exc).__name__}, status="400 Bad Request"
+            )
+        except (ValueError, KeyError) as exc:
+            response = JsonResponse({"error": str(exc)}, status="400 Bad Request")
+        start_response(response.status, response.headers)
+        return [response.body]
+
+    return application
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Serve the app with wsgiref (blocking; demo use only)."""
+    with make_server(host, port, app) as server:
+        print(f"serving on http://{host}:{port}")
+        server.serve_forever()

@@ -1,0 +1,111 @@
+"""A minimal WSGI router and response helpers."""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, List, Tuple
+from urllib.parse import parse_qs
+
+Handler = Callable[..., "Response"]
+
+
+class Response:
+    """Base response: status, headers, body bytes."""
+
+    def __init__(self, body: bytes, status: str, content_type: str):
+        self.body = body
+        self.status = status
+        self.headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+        ]
+
+
+class JsonResponse(Response):
+    def __init__(self, payload: Any, status: str = "200 OK"):
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode("utf-8")
+        super().__init__(body, status, "application/json; charset=utf-8")
+
+
+class TextResponse(Response):
+    def __init__(self, text: str, status: str = "200 OK", content_type: str = "text/plain"):
+        super().__init__(text.encode("utf-8"), status, f"{content_type}; charset=utf-8")
+
+
+class SvgResponse(Response):
+    def __init__(self, svg: str, status: str = "200 OK"):
+        super().__init__(svg.encode("utf-8"), status, "image/svg+xml")
+
+
+class HtmlResponse(Response):
+    def __init__(self, html: str, status: str = "200 OK"):
+        super().__init__(html.encode("utf-8"), status, "text/html; charset=utf-8")
+
+
+class Request:
+    """Parsed WSGI request: method, path, query params, JSON body."""
+
+    def __init__(self, environ: Dict[str, Any]):
+        self.method = environ.get("REQUEST_METHOD", "GET").upper()
+        self.path = environ.get("PATH_INFO", "/")
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        self.params: Dict[str, str] = {key: values[0] for key, values in query.items()}
+        self._environ = environ
+
+    def json(self) -> Any:
+        """The parsed JSON request body, or None when absent/invalid."""
+        try:
+            length = int(self._environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            return None
+        raw = self._environ["wsgi.input"].read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+
+class Router:
+    """Maps ``METHOD /path/{param}`` patterns to handlers."""
+
+    def __init__(self):
+        self._routes: List[Tuple[str, "re.Pattern[str]", Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``METHOD pattern``."""
+        regex = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
+        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler))
+
+    def get(self, pattern: str):
+        """Decorator registering a GET handler for ``pattern``."""
+        def decorator(handler: Handler) -> Handler:
+            self.add("GET", pattern, handler)
+            return handler
+
+        return decorator
+
+    def post(self, pattern: str):
+        """Decorator registering a POST handler for ``pattern``."""
+        def decorator(handler: Handler) -> Handler:
+            self.add("POST", pattern, handler)
+            return handler
+
+        return decorator
+
+    def dispatch(self, request: Request) -> Response:
+        """Route ``request`` to its handler (404/405 JSON otherwise)."""
+        path_matched = False
+        for method, regex, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if method != request.method:
+                continue
+            return handler(request, **match.groupdict())
+        if path_matched:
+            return JsonResponse({"error": "method not allowed"}, status="405 Method Not Allowed")
+        return JsonResponse({"error": f"no route for {request.path}"}, status="404 Not Found")

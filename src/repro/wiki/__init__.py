@@ -1,0 +1,32 @@
+"""The Semantic-MediaWiki-like substrate (paper, Section II).
+
+The SMR is "established upon Semantic MediaWiki", which "offers a
+technique of annotating wiki pages with semantics in the form of
+(attribute, value)-pairs ... connecting them semantically to each other".
+This package reproduces the pieces the search system relies on:
+
+- :mod:`repro.wiki.page` — pages with revision history;
+- :mod:`repro.wiki.wikitext` — the ``[[link]]`` / ``[[prop::value]]`` /
+  ``[[Category:...]]`` markup parser;
+- :mod:`repro.wiki.site` — the wiki itself: page store, the two link
+  structures (ordinary links and semantic links), category index, and
+  RDF export;
+- :mod:`repro.wiki.schema_map` — the RDF-schema -> database-schema
+  mapping the Query Management module consults.
+"""
+
+from repro.wiki.page import Page, Revision
+from repro.wiki.wikitext import ParsedWikitext, parse_wikitext, render_annotations
+from repro.wiki.site import WikiSite
+from repro.wiki.schema_map import PropertyMapping, SchemaMapping
+
+__all__ = [
+    "Page",
+    "Revision",
+    "ParsedWikitext",
+    "parse_wikitext",
+    "render_annotations",
+    "WikiSite",
+    "PropertyMapping",
+    "SchemaMapping",
+]

@@ -1,0 +1,78 @@
+"""Wiki pages and their revision history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WikiError
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One saved version of a page's wikitext."""
+
+    number: int
+    text: str
+    author: str = ""
+    comment: str = ""
+
+
+class Page:
+    """A wiki page: a title plus an append-only revision list.
+
+    Titles may carry a namespace prefix (``Sensor:WAN-001``); the part
+    before the first colon is the namespace, defaulting to ``Main``.
+    """
+
+    def __init__(self, title: str, text: str = "", author: str = "", comment: str = ""):
+        if not title or title != title.strip():
+            raise WikiError(f"invalid page title {title!r}")
+        if title.startswith(":") or title.endswith(":"):
+            raise WikiError(f"invalid page title {title!r}")
+        self.title = title
+        self._revisions: List[Revision] = []
+        self.edit(text, author=author, comment=comment or "created")
+
+    @property
+    def namespace(self) -> str:
+        if ":" in self.title:
+            return self.title.split(":", 1)[0]
+        return "Main"
+
+    @property
+    def local_title(self) -> str:
+        """The title without its namespace prefix."""
+        if ":" in self.title:
+            return self.title.split(":", 1)[1]
+        return self.title
+
+    @property
+    def text(self) -> str:
+        """The current wikitext."""
+        return self._revisions[-1].text
+
+    @property
+    def revision_count(self) -> int:
+        return len(self._revisions)
+
+    def edit(self, text: str, author: str = "", comment: str = "") -> Revision:
+        """Append a new revision and return it."""
+        revision = Revision(len(self._revisions) + 1, text, author, comment)
+        self._revisions.append(revision)
+        return revision
+
+    def revision(self, number: int) -> Revision:
+        """Fetch revision ``number`` (1-based)."""
+        if not 1 <= number <= len(self._revisions):
+            raise WikiError(
+                f"page {self.title!r} has revisions 1..{len(self._revisions)}, asked for {number}"
+            )
+        return self._revisions[number - 1]
+
+    def history(self) -> List[Revision]:
+        """All revisions, oldest first."""
+        return list(self._revisions)
+
+    def __repr__(self) -> str:
+        return f"Page({self.title!r}, revisions={self.revision_count})"

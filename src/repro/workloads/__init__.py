@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for the Swiss Experiment live data.
+
+The paper runs over the Swiss Experiment Platform's proprietary corpus of
+sensor-metadata wiki pages. We cannot ship that corpus, so this package
+generates statistically similar substitutes under a seeded RNG:
+
+- :mod:`repro.workloads.webgraphs` — random link structures (uniform,
+  preferential-attachment/power-law, and paired web+semantic graphs) for
+  the Fig. 3 PageRank study;
+- :mod:`repro.workloads.generator` — a full synthetic SMR corpus
+  (institutions, field sites, deployments, stations, sensors) with
+  realistic property distributions, coordinates in the Swiss Alps, and
+  inter-page links;
+- :mod:`repro.workloads.tags` — tag assignment workloads with planted
+  cliques for the Fig. 5 study.
+"""
+
+from repro.workloads.webgraphs import (
+    erdos_renyi_graph,
+    paired_link_structures,
+    preferential_attachment_graph,
+)
+from repro.workloads.generator import CorpusSpec, SyntheticCorpus, generate_corpus
+from repro.workloads.tags import TagWorkload, generate_tag_workload
+
+__all__ = [
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "paired_link_structures",
+    "CorpusSpec",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "TagWorkload",
+    "generate_tag_workload",
+]

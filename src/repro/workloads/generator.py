@@ -1,0 +1,219 @@
+"""Synthetic Swiss-Experiment-like metadata corpus (seeded, deterministic).
+
+:func:`generate_corpus` produces a :class:`SyntheticCorpus`: plain record
+dicts for institutions, field sites, deployments, stations and sensors,
+plus the page-link and semantic-link structure among them. The corpus is
+substrate-agnostic — ``repro.smr`` turns it into wiki pages, relational
+rows and RDF triples; the PageRank and tagging studies consume the link
+structures directly.
+
+Coordinates are drawn inside a Swiss-Alps bounding box so the map
+visualizations (Fig. 2) render plausible clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.workloads import names
+
+# Rough bounding box of the Swiss Alps (lat, lon).
+_LAT_RANGE = (45.8, 47.0)
+_LON_RANGE = (6.8, 10.5)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Size knobs for the synthetic corpus.
+
+    The defaults give a corpus of a few hundred pages — comparable to a
+    single-institution slice of the real platform and quick to index.
+    """
+
+    institutions: int = 8
+    field_sites: int = 10
+    deployments: int = 20
+    stations: int = 60
+    sensors: int = 240
+    seed: int = 42
+
+    def validate(self) -> None:
+        """Raise :class:`ReproError` when any size knob is invalid."""
+        for name, value in (
+            ("institutions", self.institutions),
+            ("field_sites", self.field_sites),
+            ("deployments", self.deployments),
+            ("stations", self.stations),
+            ("sensors", self.sensors),
+        ):
+            if value <= 0:
+                raise ReproError(f"corpus spec field {name!r} must be positive, got {value}")
+        if self.institutions > len(names.INSTITUTIONS):
+            raise ReproError(
+                f"at most {len(names.INSTITUTIONS)} institutions available, "
+                f"requested {self.institutions}"
+            )
+        if self.field_sites > len(names.FIELD_SITES):
+            raise ReproError(
+                f"at most {len(names.FIELD_SITES)} field sites available, "
+                f"requested {self.field_sites}"
+            )
+
+
+@dataclass
+class SyntheticCorpus:
+    """The generated corpus: records plus linking structure.
+
+    Attributes
+    ----------
+    records:
+        Kind -> list of record dicts. Every record carries ``title`` (its
+        wiki page title) and kind-specific properties.
+    page_links:
+        Ordinary web links as ``(source_title, target_title)`` pairs.
+    semantic_links:
+        Links induced by semantic properties, as
+        ``(source_title, property_name, target_title)`` triples.
+    """
+
+    spec: CorpusSpec
+    records: Dict[str, List[dict]] = field(default_factory=dict)
+    page_links: List[Tuple[str, str]] = field(default_factory=list)
+    semantic_links: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    def all_titles(self) -> List[str]:
+        """Return every page title, grouped by kind, deterministic order."""
+        titles: List[str] = []
+        for kind in sorted(self.records):
+            titles.extend(record["title"] for record in self.records[kind])
+        return titles
+
+    @property
+    def page_count(self) -> int:
+        return sum(len(rows) for rows in self.records.values())
+
+    def records_of(self, kind: str) -> List[dict]:
+        """Return the records of one kind (empty list if absent)."""
+        return self.records.get(kind, [])
+
+
+def generate_corpus(spec: CorpusSpec | None = None) -> SyntheticCorpus:
+    """Generate the corpus described by ``spec`` (defaults apply otherwise)."""
+    spec = spec or CorpusSpec()
+    spec.validate()
+    rng = random.Random(spec.seed)
+    corpus = SyntheticCorpus(spec=spec)
+
+    institutions = [
+        {
+            "title": f"Institution:{name}",
+            "name": name,
+            "country": "Switzerland",
+            "contact": rng.choice(names.PEOPLE),
+        }
+        for name in names.INSTITUTIONS[: spec.institutions]
+    ]
+
+    field_sites = []
+    for site_name in names.FIELD_SITES[: spec.field_sites]:
+        field_sites.append(
+            {
+                "title": f"Fieldsite:{site_name}",
+                "name": site_name,
+                "latitude": round(rng.uniform(*_LAT_RANGE), 5),
+                "longitude": round(rng.uniform(*_LON_RANGE), 5),
+                "elevation_m": rng.randrange(400, 4000, 10),
+            }
+        )
+
+    deployments = []
+    for i in range(spec.deployments):
+        site = rng.choice(field_sites)
+        institution = rng.choice(institutions)
+        project = rng.choice(names.PROJECTS)
+        deployments.append(
+            {
+                "title": f"Deployment:{site['name']} {project} {i + 1}",
+                "name": f"{site['name']} {project} {i + 1}",
+                "field_site": site["title"],
+                "institution": institution["title"],
+                "project": project,
+                "start_year": rng.randrange(2004, 2011),
+                "status": rng.choice(["active", "completed", "maintenance"]),
+            }
+        )
+
+    stations = []
+    for i in range(spec.stations):
+        deployment = rng.choice(deployments)
+        site = next(s for s in field_sites if s["title"] == deployment["field_site"])
+        prefix = rng.choice(names.STATION_PREFIXES)
+        stations.append(
+            {
+                "title": f"Station:{prefix}-{i + 1:03d}",
+                "name": f"{prefix}-{i + 1:03d}",
+                "deployment": deployment["title"],
+                "latitude": round(site["latitude"] + rng.uniform(-0.05, 0.05), 5),
+                "longitude": round(site["longitude"] + rng.uniform(-0.05, 0.05), 5),
+                "elevation_m": site["elevation_m"] + rng.randrange(-100, 100),
+                "status": rng.choice(["online", "online", "online", "offline"]),
+            }
+        )
+
+    sensors = []
+    for i in range(spec.sensors):
+        station = rng.choice(stations)
+        sensor_type = rng.choice(names.SENSOR_TYPES)
+        sensors.append(
+            {
+                "title": f"Sensor:{station['name']}-{sensor_type.replace(' ', '_')}-{i + 1}",
+                "name": f"{station['name']} {sensor_type} #{i + 1}",
+                "station": station["title"],
+                "sensor_type": sensor_type,
+                "manufacturer": rng.choice(names.MANUFACTURERS),
+                "serial": f"SN{rng.randrange(10_000, 99_999)}",
+                "sampling_rate_s": rng.choice([1, 10, 30, 60, 300, 600]),
+                "accuracy": round(rng.uniform(0.05, 2.0), 2),
+                "installed_year": rng.randrange(2005, 2011),
+            }
+        )
+
+    corpus.records = {
+        "institution": institutions,
+        "field_site": field_sites,
+        "deployment": deployments,
+        "station": stations,
+        "sensor": sensors,
+    }
+
+    _derive_links(corpus, rng)
+    return corpus
+
+
+def _derive_links(corpus: SyntheticCorpus, rng: random.Random) -> None:
+    """Populate semantic links from properties and add free-form page links."""
+    semantic = corpus.semantic_links
+    for deployment in corpus.records["deployment"]:
+        semantic.append((deployment["title"], "field_site", deployment["field_site"]))
+        semantic.append((deployment["title"], "institution", deployment["institution"]))
+    for station in corpus.records["station"]:
+        semantic.append((station["title"], "deployment", station["deployment"]))
+    for sensor in corpus.records["sensor"]:
+        semantic.append((sensor["title"], "station", sensor["station"]))
+
+    # Free-form wiki links: pages casually referencing popular pages, with a
+    # bias toward institutions and field sites (hub pages on the platform).
+    titles = corpus.all_titles()
+    hubs = [r["title"] for r in corpus.records["institution"]]
+    hubs += [r["title"] for r in corpus.records["field_site"]]
+    for title in titles:
+        for _ in range(rng.randrange(0, 4)):
+            target = rng.choice(hubs) if rng.random() < 0.6 else rng.choice(titles)
+            if target != title:
+                corpus.page_links.append((title, target))
+    # Deduplicate while keeping deterministic order.
+    corpus.page_links = sorted(set(corpus.page_links))
+    corpus.semantic_links = sorted(set(corpus.semantic_links))

@@ -1,0 +1,120 @@
+"""Name pools for the synthetic Swiss-Experiment-like corpus.
+
+The real platform hosts environmental-research metadata contributed by
+Swiss institutes; these pools mirror that vocabulary so generated pages
+read like the ones in the paper's screenshots (field sites in the Alps,
+weather stations, snow/wind/temperature sensors, participating
+universities). Purely fictional entries are mixed in to avoid implying the
+data is real.
+"""
+
+from __future__ import annotations
+
+INSTITUTIONS = [
+    "EPFL",
+    "ETH Zurich",
+    "WSL",
+    "SLF Davos",
+    "University of Basel",
+    "University of Bern",
+    "EAWAG",
+    "MeteoSwiss",
+    "University of Zurich",
+    "PSI",
+    "Empa",
+    "University of Geneva",
+]
+
+FIELD_SITES = [
+    "Wannengrat",
+    "Davos",
+    "Zermatt",
+    "Grimsel",
+    "Jungfraujoch",
+    "Val Ferret",
+    "Rietholzbach",
+    "Genepi",
+    "Aletsch",
+    "Lago Bianco",
+    "Plaine Morte",
+    "Furka Pass",
+    "Lauteraar",
+    "Piz Corvatsch",
+    "Monte Rosa",
+    "Engadin",
+]
+
+PROJECTS = [
+    "Swiss Experiment",
+    "SensorScope",
+    "PermaSense",
+    "Hydrosys",
+    "SnowFlux",
+    "AlpWatch",
+    "GlacierNet",
+    "WindMap CH",
+    "AvalancheWarn",
+    "ClimArc",
+]
+
+SENSOR_TYPES = [
+    "temperature",
+    "humidity",
+    "wind speed",
+    "wind direction",
+    "snow height",
+    "solar radiation",
+    "precipitation",
+    "soil moisture",
+    "pressure",
+    "water level",
+    "discharge",
+    "turbidity",
+    "co2",
+    "infrared surface temperature",
+]
+
+MANUFACTURERS = [
+    "Campbell Scientific",
+    "Vaisala",
+    "Sensirion",
+    "Decagon",
+    "Kipp & Zonen",
+    "Lufft",
+    "OTT Hydromet",
+    "Gill Instruments",
+]
+
+STATION_PREFIXES = [
+    "WAN",
+    "DAV",
+    "ZER",
+    "GRI",
+    "JUN",
+    "VFE",
+    "RIE",
+    "GEN",
+    "ALE",
+    "LBI",
+]
+
+PEOPLE = [
+    "N. Dawes",
+    "K. Aberer",
+    "M. Lehning",
+    "S. Michel",
+    "A. Salehi",
+    "H. Jeung",
+    "I. Paparrizos",
+    "M. Parlange",
+    "G. Barrenetxea",
+    "M. Bavay",
+]
+
+TAG_TOPICS = {
+    "weather": ["temperature", "wind", "humidity", "precipitation", "forecast", "storm"],
+    "snow": ["snow height", "avalanche", "snowpack", "slf", "winter", "skiing"],
+    "hydrology": ["discharge", "river", "water level", "turbidity", "catchment", "flood"],
+    "infrastructure": ["station", "gsn", "wireless", "battery", "maintenance", "solar panel"],
+    "institutions": ["epfl", "eth", "wsl", "meteoswiss", "university", "lab"],
+}

@@ -1,0 +1,103 @@
+"""Tag workloads with planted cliques for the Fig. 5 study.
+
+The paper's Fig. 5 shows the tag "Apple" belonging to two cliques, with the
+cliques revealing the tag's senses. :func:`generate_tag_workload` plants a
+configurable number of topic cliques (drawn from the Swiss-Experiment-like
+vocabulary), makes some *bridge tags* members of two topics, and assigns
+tags to pages with a Zipf-like frequency profile so that the Eq. 6 font
+sizing has a realistic spread to work with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.workloads import names
+
+
+@dataclass
+class TagWorkload:
+    """Tag assignments plus ground truth about planted structure.
+
+    Attributes
+    ----------
+    assignments:
+        ``(page_title, tag)`` pairs; a tag may appear on many pages.
+    topics:
+        topic name -> list of member tags (the planted cliques).
+    bridge_tags:
+        Tags deliberately planted in two topics (the "Apple" analogs).
+    """
+
+    assignments: List[Tuple[str, str]] = field(default_factory=list)
+    topics: Dict[str, List[str]] = field(default_factory=dict)
+    bridge_tags: List[str] = field(default_factory=list)
+
+    def tag_counts(self) -> Dict[str, int]:
+        """Return tag -> number of pages it is assigned to."""
+        counts: Dict[str, int] = {}
+        for _, tag in self.assignments:
+            counts[tag] = counts.get(tag, 0) + 1
+        return counts
+
+    @property
+    def distinct_tags(self) -> List[str]:
+        return sorted({tag for _, tag in self.assignments})
+
+
+def generate_tag_workload(
+    pages: int = 120,
+    topics: int = 4,
+    bridges: int = 2,
+    tags_per_page: int = 4,
+    seed: int = 7,
+) -> TagWorkload:
+    """Generate a tag workload with ``topics`` planted topic cliques.
+
+    Pages are synthetic titles ``Page:0001`` …; each page draws most of its
+    tags from a single topic (making within-topic tags co-occur, hence
+    similar, hence clique-forming) plus an occasional cross-topic tag.
+    ``bridges`` tags are shared between consecutive topic pairs.
+    """
+    if pages <= 0:
+        raise ReproError(f"pages must be positive, got {pages}")
+    topic_names = list(names.TAG_TOPICS)
+    if not 1 <= topics <= len(topic_names):
+        raise ReproError(f"topics must lie in 1..{len(topic_names)}, got {topics}")
+    if bridges < 0 or (topics < 2 and bridges > 0):
+        raise ReproError("bridge tags need at least two topics")
+    rng = random.Random(seed)
+
+    workload = TagWorkload()
+    for topic in topic_names[:topics]:
+        workload.topics[topic] = list(names.TAG_TOPICS[topic])
+
+    # Plant bridge tags: members of two adjacent topics, like "Apple".
+    chosen_topics = topic_names[:topics]
+    for b in range(bridges):
+        first = chosen_topics[b % topics]
+        second = chosen_topics[(b + 1) % topics]
+        bridge = f"bridge-{b + 1}"
+        workload.topics[first].append(bridge)
+        workload.topics[second].append(bridge)
+        workload.bridge_tags.append(bridge)
+
+    # Zipf-ish popularity inside each topic: earlier tags more popular.
+    for page_index in range(pages):
+        title = f"Page:{page_index + 1:04d}"
+        topic = chosen_topics[page_index % topics]
+        pool = workload.topics[topic]
+        weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+        picked: set[str] = set()
+        while len(picked) < min(tags_per_page, len(pool)):
+            picked.add(rng.choices(pool, weights=weights, k=1)[0])
+        # A cross-topic tag now and then keeps the graph connected.
+        if rng.random() < 0.2:
+            other = workload.topics[rng.choice(chosen_topics)]
+            picked.add(rng.choice(other))
+        for tag in sorted(picked):
+            workload.assignments.append((title, tag))
+    return workload

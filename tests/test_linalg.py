@@ -1,0 +1,213 @@
+"""Unit and property-based tests for the sparse linear-algebra substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg import CooMatrix, CsrMatrix, identity_csr, norm1, norm2, norminf, normalize1
+
+
+class TestVectorHelpers:
+    def test_norm1(self):
+        assert norm1([1.0, -2.0, 3.0]) == 6.0
+
+    def test_norm2(self):
+        assert norm2([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_norminf(self):
+        assert norminf([1.0, -7.0, 3.0]) == 7.0
+
+    def test_norminf_empty(self):
+        assert norminf([]) == 0.0
+
+    def test_normalize1(self):
+        result = normalize1([2.0, 2.0])
+        assert result.tolist() == [0.5, 0.5]
+
+    def test_normalize1_zero_vector_rejected(self):
+        with pytest.raises(LinalgError):
+            normalize1([0.0, 0.0])
+
+    def test_non_vector_rejected(self):
+        with pytest.raises(LinalgError):
+            norm1([[1.0, 2.0]])
+
+
+class TestCooMatrix:
+    def test_shape_and_nnz(self):
+        coo = CooMatrix(3, 4)
+        coo.add(0, 0, 1.0)
+        coo.add(2, 3, -2.0)
+        assert coo.shape == (3, 4)
+        assert coo.nnz == 2
+
+    def test_out_of_range_rejected(self):
+        coo = CooMatrix(2, 2)
+        with pytest.raises(LinalgError):
+            coo.add(2, 0, 1.0)
+        with pytest.raises(LinalgError):
+            coo.add(0, -1, 1.0)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(LinalgError):
+            CooMatrix(-1, 2)
+
+    def test_duplicates_sum_in_csr(self):
+        coo = CooMatrix(2, 2)
+        coo.add(0, 1, 1.5)
+        coo.add(0, 1, 2.5)
+        csr = coo.to_csr()
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 1] == 4.0
+
+    def test_extend(self):
+        coo = CooMatrix(2, 2)
+        coo.extend([(0, 0, 1.0), (1, 1, 2.0)])
+        assert coo.nnz == 2
+
+
+class TestCsrMatrix:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        assert csr.nnz == 4
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(LinalgError):
+            CsrMatrix.from_dense([1.0, 2.0])
+
+    def test_matvec_matches_dense(self):
+        dense = np.array([[1.0, 2.0], [0.0, 3.0], [4.0, 0.0]])
+        csr = CsrMatrix.from_dense(dense)
+        x = np.array([1.0, -1.0])
+        np.testing.assert_allclose(csr.matvec(x), dense @ x)
+
+    def test_matvec_shape_check(self):
+        csr = identity_csr(3)
+        with pytest.raises(LinalgError):
+            csr.matvec([1.0, 2.0])
+
+    def test_rmatvec_matches_dense(self):
+        dense = np.array([[1.0, 2.0], [0.0, 3.0], [4.0, 0.0]])
+        csr = CsrMatrix.from_dense(dense)
+        y = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(csr.rmatvec(y), dense.T @ y)
+
+    def test_transpose(self):
+        dense = np.array([[1.0, 2.0], [0.0, 3.0]])
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_row_access_sorted(self):
+        dense = np.array([[0.0, 5.0, 1.0], [0.0, 0.0, 0.0]])
+        csr = CsrMatrix.from_dense(dense)
+        cols, vals = csr.row(0)
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [5.0, 1.0]
+        cols_empty, vals_empty = csr.row(1)
+        assert cols_empty.size == 0 and vals_empty.size == 0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(LinalgError):
+            identity_csr(2).row(2)
+
+    def test_diagonal(self):
+        dense = np.array([[7.0, 1.0], [0.0, 9.0]])
+        assert CsrMatrix.from_dense(dense).diagonal().tolist() == [7.0, 9.0]
+
+    def test_row_sums(self):
+        dense = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, -1.0]])
+        assert CsrMatrix.from_dense(dense).row_sums().tolist() == [3.0, 0.0, 2.0]
+
+    def test_scale_and_scale_rows(self):
+        dense = np.array([[1.0, 2.0], [3.0, 4.0]])
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.scale(2.0).to_dense(), 2 * dense)
+        np.testing.assert_array_equal(
+            csr.scale_rows([1.0, 10.0]).to_dense(), np.array([[1.0, 2.0], [30.0, 40.0]])
+        )
+
+    def test_scale_rows_shape_check(self):
+        with pytest.raises(LinalgError):
+            identity_csr(3).scale_rows([1.0, 2.0])
+
+    def test_add(self):
+        a = CsrMatrix.from_dense([[1.0, 0.0], [0.0, 2.0]])
+        b = CsrMatrix.from_dense([[0.0, 3.0], [0.0, -2.0]])
+        result = a.add(b).to_dense()
+        np.testing.assert_array_equal(result, np.array([[1.0, 3.0], [0.0, 0.0]]))
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(LinalgError):
+            identity_csr(2).add(identity_csr(3))
+
+    def test_entries_iteration(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        entries = list(CsrMatrix.from_dense(dense).entries())
+        assert entries == [(0, 1, 1.0), (1, 0, 2.0)]
+
+    def test_identity(self):
+        eye = identity_csr(4)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(4))
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(eye.matvec(x), x)
+
+    def test_matmul_operator(self):
+        eye = identity_csr(2)
+        np.testing.assert_array_equal(eye @ np.array([1.0, 2.0]), [1.0, 2.0])
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(LinalgError):
+            CsrMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_bad_column_rejected(self):
+        with pytest.raises(LinalgError):
+            CsrMatrix(1, 1, [0, 1], [5], [1.0])
+
+
+@st.composite
+def random_sparse(draw):
+    """A random dense matrix (kept dense for oracle comparison)."""
+    nrows = draw(st.integers(min_value=1, max_value=8))
+    ncols = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=nrows * ncols,
+            max_size=nrows * ncols,
+        )
+    )
+    dense = np.array(values).reshape(nrows, ncols)
+    # Sparsify roughly half the entries deterministically.
+    mask = (np.arange(dense.size).reshape(dense.shape) * 7) % 2 == 0
+    return dense * mask
+
+
+class TestCsrProperties:
+    @given(random_sparse())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip(self, dense):
+        np.testing.assert_allclose(CsrMatrix.from_dense(dense).to_dense(), dense)
+
+    @given(random_sparse())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_agrees_with_numpy(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        x = np.linspace(-1, 1, dense.shape[1])
+        np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-12)
+
+    @given(random_sparse())
+    @settings(max_examples=60, deadline=None)
+    def test_rmatvec_is_transpose_matvec(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        y = np.linspace(-1, 1, dense.shape[0])
+        np.testing.assert_allclose(csr.rmatvec(y), csr.transpose().matvec(y), atol=1e-12)
+
+    @given(random_sparse())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.transpose().transpose().to_dense(), dense)

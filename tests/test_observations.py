@@ -1,0 +1,212 @@
+"""Tests for the observation-data substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.observations import (
+    ObservationStore,
+    SignalModel,
+    TimeSeries,
+    signal_for_sensor_type,
+)
+from repro.observations.signals import TICKS_PER_DAY
+
+
+class TestTimeSeries:
+    def test_append_and_latest(self):
+        series = TimeSeries(capacity=4)
+        series.append(0, 1.0)
+        series.append(1, 2.0)
+        assert len(series) == 2
+        assert series.latest == (1, 2.0)
+        assert series.first_tick == 0
+
+    def test_capacity_evicts_oldest(self):
+        series = TimeSeries(capacity=3)
+        series.extend([(i, float(i)) for i in range(5)])
+        assert len(series) == 3
+        assert series.first_tick == 2
+
+    def test_ticks_must_increase(self):
+        series = TimeSeries()
+        series.append(5, 1.0)
+        with pytest.raises(ReproError):
+            series.append(5, 2.0)
+        with pytest.raises(ReproError):
+            series.append(4, 2.0)
+
+    def test_value_must_be_number(self):
+        series = TimeSeries()
+        with pytest.raises(ReproError):
+            series.append(0, "high")
+        with pytest.raises(ReproError):
+            series.append(0, True)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError):
+            TimeSeries(capacity=0)
+
+    def test_window_stats(self):
+        series = TimeSeries()
+        series.extend([(i, float(i)) for i in range(10)])
+        stats = series.window_stats(window=5)
+        assert stats.count == 5
+        assert stats.minimum == 5.0 and stats.maximum == 9.0
+        assert stats.mean == pytest.approx(7.0)
+        assert stats.last == 9.0
+
+    def test_window_stats_explicit_now(self):
+        series = TimeSeries()
+        series.extend([(i, float(i)) for i in range(10)])
+        stats = series.window_stats(window=3, now=20)
+        assert stats.count == 0 and stats.mean is None
+
+    def test_window_stats_empty_series(self):
+        stats = TimeSeries().window_stats(window=5)
+        assert stats.count == 0 and stats.last is None
+
+    def test_window_validation(self):
+        with pytest.raises(ReproError):
+            TimeSeries().window_stats(window=0)
+
+    def test_values_since(self):
+        series = TimeSeries()
+        series.extend([(i, float(i * 10)) for i in range(5)])
+        assert series.values_since(3) == [30.0, 40.0]
+
+    def test_downsample(self):
+        series = TimeSeries()
+        series.extend([(i, float(i)) for i in range(6)])
+        buckets = series.downsample(bucket=3)
+        assert buckets == [(0, 1.0), (3, 4.0)]
+        with pytest.raises(ReproError):
+            series.downsample(0)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_stats_match_python(self, values):
+        series = TimeSeries(capacity=100)
+        series.extend(list(enumerate(values)))
+        stats = series.window_stats(window=len(values))
+        assert stats.count == len(values)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+        assert stats.mean == pytest.approx(sum(values) / len(values))
+
+
+class TestSignals:
+    def test_deterministic(self):
+        model = signal_for_sensor_type("temperature")
+        a = list(model.generate(100, seed=7))
+        b = list(model.generate(100, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        model = signal_for_sensor_type("temperature")
+        assert list(model.generate(100, seed=1)) != list(model.generate(100, seed=2))
+
+    def test_minimum_respected(self):
+        model = signal_for_sensor_type("wind speed")
+        values = [value for _, value in model.generate(500, seed=3)]
+        assert all(value >= 0 for value in values)
+
+    def test_dropouts_skip_ticks(self):
+        model = SignalModel(base=1.0, amplitude=0.0, noise=0.0, dropout=0.5)
+        points = list(model.generate(200, seed=1))
+        assert 50 < len(points) < 150  # roughly half dropped
+
+    def test_diurnal_cycle_visible(self):
+        model = SignalModel(base=0.0, amplitude=10.0, noise=0.0, dropout=0.0)
+        points = dict(model.generate(TICKS_PER_DAY, seed=0))
+        quarter = TICKS_PER_DAY // 4
+        assert points[quarter] > points[0]  # sinusoid peak at quarter day
+
+    def test_unknown_type_gets_default(self):
+        model = signal_for_sensor_type("quantum flux")
+        assert list(model.generate(10, seed=0))
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(ReproError):
+            list(signal_for_sensor_type("co2").generate(-1))
+
+
+@pytest.fixture(scope="module")
+def smr():
+    from repro.smr import SensorMetadataRepository
+
+    repo = SensorMetadataRepository()
+    repo.register("station", "Station:S1", [("name", "S1")])
+    for i, sensor_type in enumerate(["temperature", "temperature", "wind speed"]):
+        repo.register(
+            "sensor",
+            f"Sensor:S1-{i}",
+            [("name", f"sensor {i}"), ("station", "Station:S1"), ("sensor_type", sensor_type)],
+        )
+    return repo
+
+
+class TestObservationStore:
+    def test_record_and_latest(self):
+        store = ObservationStore()
+        store.record("Sensor:X", 0, 1.5)
+        store.record("Sensor:X", 1, 2.5)
+        assert store.latest("Sensor:X") == (1, 2.5)
+        assert store.now == 1
+        assert store.sensor_count == 1
+
+    def test_unknown_sensor(self):
+        store = ObservationStore()
+        assert store.latest("ghost") is None
+        with pytest.raises(ReproError):
+            store.series("ghost")
+
+    def test_simulate_from_smr(self, smr):
+        store = ObservationStore()
+        stored = store.simulate_from_smr(smr, ticks=100, seed=1)
+        assert store.sensor_count == 3
+        assert stored > 250  # 3 sensors x 100 ticks minus dropouts
+
+    def test_simulation_deterministic(self, smr):
+        a = ObservationStore()
+        a.simulate_from_smr(smr, ticks=50, seed=1)
+        b = ObservationStore()
+        b.simulate_from_smr(smr, ticks=50, seed=1)
+        for title in smr.titles("sensor"):
+            assert a.series(title).points() == b.series(title).points()
+
+    def test_staleness(self, smr):
+        store = ObservationStore(stale_after=10)
+        store.record("Sensor:S1-0", 0, 1.0)
+        store.record("Sensor:S1-1", 50, 1.0)  # advances now to 50
+        report = dict(store.staleness_report(smr))
+        assert report["Sensor:S1-0"] is True  # 50 ticks old
+        assert report["Sensor:S1-1"] is False
+        assert report["Sensor:S1-2"] is True  # never reported
+
+    def test_mean_by_group(self, smr):
+        store = ObservationStore()
+        store.record("Sensor:S1-0", 1, 10.0)
+        store.record("Sensor:S1-1", 2, 20.0)
+        store.record("Sensor:S1-2", 3, 5.0)
+        groups = dict(store.mean_by_group(smr, "sensor_type", window=1000))
+        assert groups["temperature"] == pytest.approx(15.0)
+        assert groups["wind speed"] == pytest.approx(5.0)
+
+    def test_mean_by_station(self, smr):
+        store = ObservationStore()
+        store.record("Sensor:S1-0", 1, 4.0)
+        groups = dict(store.mean_by_group(smr, "station", window=1000))
+        assert groups == {"Station:S1": pytest.approx(4.0)}
+
+    def test_window_stats_uses_store_clock(self, smr):
+        store = ObservationStore()
+        store.record("Sensor:S1-0", 0, 1.0)
+        store.record("Sensor:S1-1", 1000, 9.0)  # now = 1000
+        stats = store.window_stats("Sensor:S1-0", window=100)
+        assert stats.count == 0  # the old reading is outside the window
+
+    def test_invalid_stale_after(self):
+        with pytest.raises(ReproError):
+            ObservationStore(stale_after=0)

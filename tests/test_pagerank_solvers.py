@@ -1,0 +1,275 @@
+"""Tests for the PageRank solver suite (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg import norm1
+from repro.pagerank import (
+    ConvergenceStudy,
+    PageRankProblem,
+    build_linear_system,
+    solve_pagerank,
+)
+from repro.pagerank.solvers import SOLVERS
+from repro.pagerank.solvers.gauss_seidel import TriangularSweeper, naive_sweep
+from repro.pagerank.webgraph import LinkGraph
+from repro.workloads.webgraphs import paired_link_structures, preferential_attachment_graph
+
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def medium_problem():
+    web, sem = paired_link_structures(150, seed=3)
+    from repro.pagerank import combine_link_structures
+
+    return combine_link_structures(web, sem, alpha=0.5)
+
+
+@pytest.fixture(scope="module")
+def reference_scores(medium_problem):
+    return solve_pagerank(medium_problem, method="power", tol=1e-12, max_iter=5000).scores
+
+
+def star_graph():
+    """Hub 0 pointed at by 1..4; hub links back to 1."""
+    graph = LinkGraph(5)
+    for node in range(1, 5):
+        graph.add_edge(node, 0)
+    graph.add_edge(0, 1)
+    return graph
+
+
+class TestSolverRegistry:
+    def test_all_methods_registered(self):
+        assert set(SOLVERS) == {
+            "power",
+            "power_extrapolated",
+            "jacobi",
+            "gauss_seidel",
+            "sor",
+            "gmres",
+            "bicgstab",
+            "arnoldi",
+        }
+
+    def test_unknown_solver_rejected(self, medium_problem):
+        with pytest.raises(LinalgError, match="unknown solver"):
+            solve_pagerank(medium_problem, method="cholesky")
+
+
+@pytest.mark.parametrize("method", sorted(SOLVERS))
+class TestEverySolver:
+    def test_converges_and_agrees(self, method, medium_problem, reference_scores):
+        result = solve_pagerank(medium_problem, method=method, tol=TOL, max_iter=5000)
+        assert result.converged, f"{method} did not converge"
+        assert norm1(result.scores - reference_scores) < 1e-6
+
+    def test_scores_form_distribution(self, method, medium_problem):
+        result = solve_pagerank(medium_problem, method=method, tol=1e-8, max_iter=5000)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert np.all(result.scores >= 0)
+
+    def test_residual_history_monotone_tail(self, method, medium_problem):
+        """The last recorded residual must be the smallest-ish (converged)."""
+        result = solve_pagerank(medium_problem, method=method, tol=1e-8, max_iter=5000)
+        assert result.final_residual < 1e-8 or not result.converged
+
+    def test_result_metadata(self, method, medium_problem):
+        result = solve_pagerank(medium_problem, method=method, tol=1e-8, max_iter=5000)
+        assert result.solver == method
+        assert result.iterations >= 1
+        assert result.matvecs >= 1
+        assert result.elapsed >= 0.0
+        assert len(result.residuals) >= 1
+
+    def test_iteration_budget_respected(self, method, medium_problem):
+        result = solve_pagerank(medium_problem, method=method, tol=1e-16, max_iter=3)
+        assert not result.converged or result.final_residual < 1e-16
+        assert result.iterations <= 3 or method in {"gmres"}  # gmres counts inner steps
+        if method == "gmres":
+            assert result.iterations <= 3
+
+
+class TestStarGraphRanking:
+    """On a star, the hub must dominate — a ranking sanity oracle."""
+
+    @pytest.mark.parametrize("method", sorted(SOLVERS))
+    def test_hub_ranks_first(self, method):
+        problem = PageRankProblem.from_graph(star_graph())
+        result = solve_pagerank(problem, method=method, tol=1e-10, max_iter=2000)
+        assert result.top_pages(1) == [0]
+        # Node 1 receives the hub's entire endorsement: second place.
+        assert result.top_pages(2)[1] == 1
+
+
+class TestGaussSeidelMachinery:
+    def test_level_schedule_matches_naive_sweep(self, medium_problem):
+        system, rhs = build_linear_system(medium_problem)
+        sweeper = TriangularSweeper(system)
+        x_fast = rhs.copy()
+        x_slow = rhs.copy()
+        for _ in range(3):
+            sweeper.sweep(x_fast, rhs)
+            naive_sweep(system, rhs, x_slow)
+        np.testing.assert_allclose(x_fast, x_slow, atol=1e-12)
+
+    def test_level_schedule_matches_naive_sor(self, medium_problem):
+        system, rhs = build_linear_system(medium_problem)
+        sweeper = TriangularSweeper(system)
+        x_fast = rhs.copy()
+        x_slow = rhs.copy()
+        for _ in range(3):
+            sweeper.sweep(x_fast, rhs, relaxation=1.2)
+            naive_sweep(system, rhs, x_slow, relaxation=1.2)
+        np.testing.assert_allclose(x_fast, x_slow, atol=1e-12)
+
+    def test_level_count_far_below_n(self, medium_problem):
+        system, _ = build_linear_system(medium_problem)
+        sweeper = TriangularSweeper(system)
+        assert sweeper.level_count < system.nrows / 2
+
+    def test_sor_omega_validated(self, medium_problem):
+        with pytest.raises(LinalgError):
+            solve_pagerank(medium_problem, method="sor", omega=2.5)
+
+    def test_gauss_seidel_beats_jacobi_iterations(self, medium_problem):
+        gs = solve_pagerank(medium_problem, method="gauss_seidel", tol=1e-8, max_iter=5000)
+        jac = solve_pagerank(medium_problem, method="jacobi", tol=1e-8, max_iter=5000)
+        assert gs.iterations < jac.iterations
+
+
+class TestLinearSystem:
+    def test_system_shape_and_rhs(self, medium_problem):
+        system, rhs = build_linear_system(medium_problem)
+        assert system.shape == (medium_problem.n, medium_problem.n)
+        np.testing.assert_allclose(rhs, medium_problem.personalization)
+
+    def test_solution_solves_system(self, medium_problem):
+        """Eq. 5 inverse check: A x_raw = u for the converged solution."""
+        system, rhs = build_linear_system(medium_problem)
+        result = solve_pagerank(medium_problem, method="gmres", tol=1e-12, max_iter=5000)
+        # Rescale the normalized scores back: A (s/k) = u for some k > 0.
+        scores = result.scores
+        image = system.matvec(scores)
+        # image must be parallel to u: image = k * u componentwise.
+        ratios = image / rhs
+        assert np.allclose(ratios, ratios[0], atol=1e-6)
+
+
+class TestConvergenceStudy:
+    def test_records_and_series(self, medium_problem):
+        study = ConvergenceStudy(methods=["power", "gauss_seidel"], tol=1e-8)
+        rows = study.run(medium_problem, label="toy")
+        assert {row.solver for row in rows} == {"power", "gauss_seidel"}
+        assert study.iterations_series()["power"][0] == rows[0].iterations
+        assert len(study.time_series()["gauss_seidel"]) == 1
+
+    def test_format_table_contains_rows(self, medium_problem):
+        study = ConvergenceStudy(methods=["power"], tol=1e-8)
+        study.run(medium_problem, label="fmt")
+        table = study.format_table()
+        assert "power" in table and "fmt" in table
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(LinalgError):
+            ConvergenceStudy(methods=["does-not-exist"])
+
+    def test_as_row_dict(self, medium_problem):
+        study = ConvergenceStudy(methods=["power"], tol=1e-8)
+        (row,) = study.run(medium_problem, label="dict")
+        data = row.as_row()
+        assert data["solver"] == "power"
+        assert data["converged"] is True
+
+
+class TestDoubleLink:
+    def test_alpha_bounds(self):
+        from repro.pagerank import DoubleLinkGraph
+
+        web, sem = paired_link_structures(40, seed=0)
+        double = DoubleLinkGraph(web, sem)
+        with pytest.raises(LinalgError):
+            double.transition_matrix(alpha=1.5)
+
+    def test_mismatched_sizes_rejected(self):
+        from repro.pagerank import DoubleLinkGraph
+
+        with pytest.raises(LinalgError):
+            DoubleLinkGraph(LinkGraph(3), LinkGraph(4))
+
+    def test_alpha_one_equals_web_only(self):
+        from repro.pagerank import DoubleLinkGraph
+
+        web, sem = paired_link_structures(60, seed=2)
+        double = DoubleLinkGraph(web, sem)
+        blended = double.transition_matrix(alpha=1.0).to_dense()
+        web_only = web.transition_matrix().to_dense()
+        np.testing.assert_allclose(blended, web_only, atol=1e-12)
+
+    def test_fallback_for_single_structure_pages(self):
+        """A page with only semantic links must keep full probability mass."""
+        from repro.pagerank import DoubleLinkGraph
+
+        web = LinkGraph(3, [(0, 1)])
+        sem = LinkGraph(3, [(1, 2), (2, 0)])
+        blended = DoubleLinkGraph(web, sem).transition_matrix(alpha=0.5)
+        sums = blended.row_sums()
+        np.testing.assert_allclose(sums, [1.0, 1.0, 1.0])
+
+    def test_dangling_in_both(self):
+        from repro.pagerank import DoubleLinkGraph
+
+        web = LinkGraph(3, [(0, 1)])
+        sem = LinkGraph(3, [(1, 2)])
+        double = DoubleLinkGraph(web, sem)
+        assert double.dangling_nodes().tolist() == [False, False, True]
+
+    def test_blend_changes_ranking(self):
+        """Web-only and semantic-only rankings must differ on this corpus."""
+        from repro.pagerank import combine_link_structures
+
+        web, sem = paired_link_structures(120, seed=5)
+        web_rank = solve_pagerank(
+            combine_link_structures(web, sem, alpha=1.0), method="power", tol=1e-10
+        ).top_pages(10)
+        sem_rank = solve_pagerank(
+            combine_link_structures(web, sem, alpha=0.0), method="power", tol=1e-10
+        ).top_pages(10)
+        assert web_rank != sem_rank
+
+
+class TestWorkloadGraphs:
+    def test_preferential_attachment_deterministic(self):
+        a = preferential_attachment_graph(100, seed=9)
+        b = preferential_attachment_graph(100, seed=9)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_sink_pairs_are_closed(self):
+        graph = preferential_attachment_graph(100, sink_pairs=5, seed=1)
+        for pair in range(5):
+            first = 100 - 10 + 2 * pair
+            second = first + 1
+            assert graph.out_links(first) == frozenset({second})
+            assert graph.out_links(second) == frozenset({first})
+
+    def test_dangling_fraction_roughly_respected(self):
+        graph = preferential_attachment_graph(400, dangling_fraction=0.3, sink_pairs=0, seed=2)
+        dangling = graph.dangling_nodes().sum()
+        assert 0.15 * 400 < dangling < 0.45 * 400
+
+    def test_erdos_renyi_size(self):
+        from repro.workloads.webgraphs import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(50, avg_out_degree=5, seed=0)
+        assert graph.n == 50
+        assert 50 < graph.edge_count < 500
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LinalgError):
+            preferential_attachment_graph(0)
+        with pytest.raises(LinalgError):
+            preferential_attachment_graph(10, sink_pairs=6)
+        with pytest.raises(LinalgError):
+            paired_link_structures(50, semantic_coverage=0.0)

@@ -1,0 +1,138 @@
+"""Tests for link graphs, transition matrices and the PageRank problem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.pagerank.webgraph import LinkGraph, PageRankProblem
+
+
+def small_graph():
+    # 0 -> 1, 0 -> 2, 1 -> 2, 2 is dangling.
+    return LinkGraph(3, [(0, 1), (0, 2), (1, 2)])
+
+
+class TestLinkGraph:
+    def test_edges_deduplicate(self):
+        graph = LinkGraph(2, [(0, 1), (0, 1)])
+        assert graph.edge_count == 1
+
+    def test_out_links_and_degree(self):
+        graph = small_graph()
+        assert graph.out_links(0) == frozenset({1, 2})
+        assert graph.out_degree(1) == 1
+        assert graph.out_degree(2) == 0
+
+    def test_edge_bounds_checked(self):
+        with pytest.raises(LinalgError):
+            LinkGraph(2, [(0, 2)])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(LinalgError):
+            LinkGraph(-1)
+
+    def test_dangling_nodes(self):
+        assert small_graph().dangling_nodes().tolist() == [False, False, True]
+
+    def test_adjacency(self):
+        adj = small_graph().adjacency().to_dense()
+        expected = np.array([[0, 1, 1], [0, 0, 1], [0, 0, 0]], dtype=float)
+        np.testing.assert_array_equal(adj, expected)
+
+    def test_transition_rows_sum_to_one_or_zero(self):
+        p = small_graph().transition_matrix()
+        sums = p.row_sums()
+        np.testing.assert_allclose(sums, [1.0, 1.0, 0.0])
+
+    def test_transition_uniform_over_outlinks(self):
+        p = small_graph().transition_matrix().to_dense()
+        assert p[0, 1] == pytest.approx(0.5)
+        assert p[0, 2] == pytest.approx(0.5)
+        assert p[1, 2] == pytest.approx(1.0)
+
+    def test_reversed(self):
+        rev = small_graph().reversed()
+        assert rev.out_links(2) == frozenset({0, 1})
+        assert rev.out_degree(0) == 0
+
+    def test_edges_sorted_deterministic(self):
+        graph = LinkGraph(3, [(0, 2), (0, 1)])
+        assert list(graph.edges()) == [(0, 1), (0, 2)]
+
+
+class TestPageRankProblem:
+    def test_from_graph_defaults(self):
+        problem = PageRankProblem.from_graph(small_graph())
+        assert problem.n == 3
+        assert problem.teleport == 0.85
+        np.testing.assert_allclose(problem.personalization, [1 / 3] * 3)
+        assert problem.dangling.tolist() == [False, False, True]
+
+    def test_teleport_range_enforced(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(LinalgError):
+                PageRankProblem.from_graph(small_graph(), teleport=bad)
+
+    def test_personalization_validated(self):
+        with pytest.raises(LinalgError):
+            PageRankProblem.from_graph(small_graph(), personalization=[0.5, 0.5])
+        with pytest.raises(LinalgError):
+            PageRankProblem.from_graph(small_graph(), personalization=[0.5, 0.7, -0.2])
+
+    def test_google_matrix_preserves_total_mass(self):
+        problem = PageRankProblem.from_graph(small_graph())
+        x = np.array([0.2, 0.3, 0.5])
+        y = problem.apply_google_matrix(x)
+        assert y.sum() == pytest.approx(1.0)
+        assert np.all(y > 0)
+
+    def test_google_matrix_matches_dense_construction(self):
+        """Eq. 2 materialized densely must agree with the implicit operator."""
+        problem = PageRankProblem.from_graph(small_graph(), teleport=0.9)
+        n = problem.n
+        p = problem.transition.to_dense()
+        d = problem.dangling.astype(float)
+        u = problem.personalization
+        p_prime = p + np.outer(d, u)
+        p_dprime = 0.9 * p_prime + 0.1 * np.outer(np.ones(n), u)
+        x = np.array([0.1, 0.6, 0.3])
+        np.testing.assert_allclose(problem.apply_google_matrix(x), p_dprime.T @ x, atol=1e-12)
+
+    def test_residual_zero_at_fixed_point(self):
+        problem = PageRankProblem.from_graph(small_graph())
+        x = problem.personalization.copy()
+        for _ in range(200):
+            x = problem.apply_google_matrix(x)
+        assert problem.residual(x) < 1e-12
+
+    def test_rejects_nonsquare(self):
+        from repro.linalg import CsrMatrix
+
+        rect = CsrMatrix.from_dense(np.zeros((2, 3)))
+        with pytest.raises(LinalgError):
+            PageRankProblem(rect)
+
+    def test_rejects_super_stochastic_rows(self):
+        from repro.linalg import CsrMatrix
+
+        bad = CsrMatrix.from_dense(np.array([[0.7, 0.7], [0.0, 0.0]]))
+        with pytest.raises(LinalgError):
+            PageRankProblem(bad)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation_random_graphs(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = LinkGraph(n)
+        for _ in range(n * 2):
+            src, dst = rng.randrange(n), rng.randrange(n)
+            if src != dst:
+                graph.add_edge(src, dst)
+        problem = PageRankProblem.from_graph(graph)
+        x = np.full(n, 1.0 / n)
+        y = problem.apply_google_matrix(x)
+        assert y.sum() == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Property-based SPARQL testing against a brute-force oracle.
+
+Random small graphs and random basic graph patterns are evaluated both by
+the engine (indexed, most-bound-first backtracking) and by a naive oracle
+that enumerates every assignment of variables to graph terms. Any
+disagreement is an evaluator bug.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, IRI, Literal, Namespace, Variable
+from repro.rdf.sparql import GroupPattern, SparqlEngine
+
+EX = Namespace("http://o/")
+
+_SUBJECTS = [EX.s0, EX.s1, EX.s2]
+_PREDICATES = [EX.p0, EX.p1]
+_OBJECTS = [EX.s0, EX.s1, Literal(1), Literal("x")]
+_VARS = [Variable("a"), Variable("b"), Variable("c")]
+
+
+def brute_force_bgp(graph, patterns):
+    """All consistent variable assignments, by exhaustive enumeration."""
+    variables = sorted(
+        {t for pattern in patterns for t in pattern if isinstance(t, Variable)},
+        key=lambda v: v.name,
+    )
+    universe = set()
+    for s, p, o in graph.triples():
+        universe.update((s, p, o))
+    universe = sorted(universe, key=lambda t: t.n3())
+    solutions = set()
+    for combo in itertools.product(universe, repeat=len(variables)):
+        binding = dict(zip(variables, combo))
+
+        def resolve(term):
+            return binding.get(term, term) if isinstance(term, Variable) else term
+
+        if all(
+            (resolve(s), resolve(p), resolve(o)) in graph for s, p, o in patterns
+        ):
+            solutions.add(tuple(binding[v].n3() for v in variables))
+    return solutions
+
+
+triple_strategy = st.tuples(
+    st.sampled_from(_SUBJECTS), st.sampled_from(_PREDICATES), st.sampled_from(_OBJECTS)
+)
+
+pattern_term = st.one_of(
+    st.sampled_from(_VARS),
+    st.sampled_from(_SUBJECTS),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_OBJECTS),
+)
+
+pattern_strategy = st.tuples(
+    st.one_of(st.sampled_from(_VARS), st.sampled_from(_SUBJECTS)),
+    st.one_of(st.sampled_from(_VARS), st.sampled_from(_PREDICATES)),
+    pattern_term,
+)
+
+
+class TestBgpOracle:
+    @given(
+        st.lists(triple_strategy, max_size=12),
+        st.lists(pattern_strategy, min_size=1, max_size=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_engine_matches_brute_force(self, triples, patterns):
+        graph = Graph()
+        for s, p, o in triples:
+            graph.add(s, p, o)
+        engine = SparqlEngine(graph)
+        group = GroupPattern(triples=list(patterns))
+        variables = sorted(
+            {t for pat in patterns for t in pat if isinstance(t, Variable)},
+            key=lambda v: v.name,
+        )
+        engine_solutions = {
+            tuple(sol[v].n3() for v in variables)
+            for sol in engine._eval_group(group, {})
+            if all(v in sol for v in variables)
+        }
+        oracle = brute_force_bgp(graph, patterns)
+        assert engine_solutions == oracle

@@ -1,0 +1,94 @@
+"""Every SVG renderer must emit well-formed XML.
+
+The artifacts are consumed by browsers and the paper-figure pipeline;
+a single unescaped character breaks them silently. Each renderer's output
+is parsed with the stdlib XML parser, including inputs full of markup
+metacharacters.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.tagging import TagCloudBuilder, TagStore
+from repro.viz import (
+    BarChart,
+    GraphRenderer,
+    Hypergraph,
+    HypergraphRenderer,
+    LineChart,
+    MapMarker,
+    MapRenderer,
+    PieChart,
+    SvgCanvas,
+    render_tag_cloud_svg,
+)
+
+NASTY = 'label <with> "quotes" & ampersands'
+
+
+def assert_well_formed(svg: str) -> ET.Element:
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestWellFormedness:
+    def test_canvas_with_nasty_text(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(5, 5, NASTY)
+        canvas.circle(10, 10, 3, fill="#000000", title=NASTY)
+        assert_well_formed(canvas.to_string())
+
+    def test_bar_chart(self):
+        svg = BarChart([(NASTY, 3), ("ok", 1)], title=NASTY).to_svg()
+        assert_well_formed(svg)
+
+    def test_pie_chart(self):
+        svg = PieChart([(NASTY, 2), ("b", 5)], title=NASTY).to_svg()
+        assert_well_formed(svg)
+
+    def test_line_chart(self):
+        chart = LineChart(title=NASTY, x_label="<x>", y_label='"y"')
+        chart.add_series(NASTY, [(0, 1), (1, 2)])
+        assert_well_formed(chart.to_svg())
+
+    def test_map(self):
+        markers = [
+            MapMarker(GeoPoint(46.8 + i * 1e-3, 9.8), NASTY, 0.5) for i in range(4)
+        ]
+        assert_well_formed(MapRenderer().render(markers, title=NASTY))
+
+    def test_graph(self):
+        svg = GraphRenderer(seed=1).render(
+            [NASTY, "b"], [(NASTY, "b", "<label>")], title=NASTY
+        )
+        assert_well_formed(svg)
+
+    def test_hypergraph(self):
+        graph = Hypergraph.from_link_structure({NASTY: ["b"], "b": []})
+        assert_well_formed(HypergraphRenderer().render_focus(graph, NASTY))
+
+    def test_tag_cloud(self):
+        store = TagStore()
+        store.create("P1", 'weird & <tag>')
+        store.create("P2", 'weird & <tag>')
+        store.create("P1", "plain")
+        cloud = TagCloudBuilder().build(store)
+        assert_well_formed(render_tag_cloud_svg(cloud))
+
+    def test_dimensions_match_viewbox(self):
+        svg = BarChart([("a", 1)]).to_svg(width=500)
+        root = assert_well_formed(svg)
+        assert root.attrib["width"] == "500"
+        assert root.attrib["viewBox"].split()[2] == "500"
+
+    def test_benchmark_artifacts_are_well_formed(self, tmp_path):
+        """End to end: the Fig. 2 map artifact from a live engine parses."""
+        from repro import build_demo_engine
+
+        engine = build_demo_engine(seed=1, stations=12, sensors=30)
+        results = engine.search(engine.parse("kind=station limit=0"))
+        markers = [MapMarker(r.location, r.title, r.match_degree) for r in results.located()]
+        assert_well_formed(MapRenderer().render(markers))

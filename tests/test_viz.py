@@ -1,0 +1,278 @@
+"""Tests for the visualization toolkit."""
+
+import pytest
+
+from repro.errors import VizError
+from repro.geo import GeoPoint
+from repro.tagging import TagCloudBuilder, TagStore
+from repro.viz import (
+    BarChart,
+    GraphRenderer,
+    Hypergraph,
+    HypergraphRenderer,
+    MapMarker,
+    MapRenderer,
+    PieChart,
+    SvgCanvas,
+    categorical_color,
+    circular_layout,
+    force_directed_layout,
+    match_degree_color,
+    render_html_table,
+    render_tag_cloud_html,
+    render_tag_cloud_svg,
+    render_text_table,
+    to_dot,
+)
+from repro.viz.color import interpolate
+
+
+class TestColor:
+    def test_categorical_cycles(self):
+        assert categorical_color(0) == categorical_color(8)
+        with pytest.raises(VizError):
+            categorical_color(-1)
+
+    def test_interpolate_endpoints(self):
+        assert interpolate("#000000", "#ffffff", 0.0) == "#000000"
+        assert interpolate("#000000", "#ffffff", 1.0) == "#ffffff"
+        assert interpolate("#000000", "#ffffff", 0.5) == "#808080"
+
+    def test_interpolate_validation(self):
+        with pytest.raises(VizError):
+            interpolate("#000", "#ffffff", 0.5)
+        with pytest.raises(VizError):
+            interpolate("#000000", "#ffffff", 1.5)
+
+    def test_match_degree_scale(self):
+        assert match_degree_color(0.0) != match_degree_color(1.0)
+        with pytest.raises(VizError):
+            match_degree_color(2.0)
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, fill="#ff0000")
+        canvas.circle(5, 5, 2, fill="#00ff00", title="dot")
+        canvas.line(0, 0, 10, 10)
+        canvas.text(1, 1, "hello & <world>")
+        canvas.polygon([(0, 0), (1, 0), (1, 1)], fill="#000000")
+        canvas.path("M 0 0 L 10 10")
+        svg = canvas.to_string()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "hello &amp; &lt;world&gt;" in svg
+        assert "<title>dot</title>" in svg
+        assert canvas.element_count == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(VizError):
+            SvgCanvas(0, 10)
+
+    def test_polygon_needs_three_points(self):
+        with pytest.raises(VizError):
+            SvgCanvas(10, 10).polygon([(0, 0), (1, 1)])
+
+
+class TestTables:
+    def test_text_table_alignment(self):
+        out = render_text_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_text_table_none_and_float(self):
+        out = render_text_table(["x"], [[None], [1.23456789]])
+        assert "1.235" in out
+
+    def test_html_table(self):
+        out = render_html_table(["a"], [["<x>"]], caption="Cap & tion")
+        assert "<th>a</th>" in out
+        assert "&lt;x&gt;" in out
+        assert "Cap &amp; tion" in out
+
+    def test_arity_checked(self):
+        with pytest.raises(VizError):
+            render_text_table(["a", "b"], [[1]])
+        with pytest.raises(VizError):
+            render_html_table([], [])
+
+
+class TestCharts:
+    def test_bar_chart(self):
+        svg = BarChart([("a", 3), ("b", 1), (None, 0)], title="T").to_svg()
+        assert "T" in svg and svg.count("<rect") >= 4  # background + 3 bars
+        assert "(none)" in svg
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(VizError):
+            BarChart([])
+        with pytest.raises(VizError):
+            BarChart([("a", "not-a-number")])
+
+    def test_bar_chart_negative_values(self):
+        svg = BarChart([("cold", -6.1), ("warm", 3.2)], title="temps").to_svg()
+        assert "-6.1" in svg and "3.2" in svg
+
+    def test_pie_chart(self):
+        svg = PieChart([("x", 2), ("y", 2)], title="P").to_svg()
+        assert svg.count("<path") == 2
+        assert "(50%)" in svg
+
+    def test_pie_single_slice_renders_circle(self):
+        svg = PieChart([("only", 5)]).to_svg()
+        assert "<circle" in svg
+
+    def test_pie_validation(self):
+        with pytest.raises(VizError):
+            PieChart([])
+        with pytest.raises(VizError):
+            PieChart([("a", 0)])
+
+
+class TestLayouts:
+    def test_circular_positions_on_circle(self):
+        positions = circular_layout(["a", "b", "c", "d"], 200, 200)
+        assert len(positions) == 4
+        for x, y in positions.values():
+            assert abs(((x - 100) ** 2 + (y - 100) ** 2) ** 0.5 - 60) < 1e-6
+
+    def test_circular_empty(self):
+        assert circular_layout([], 100, 100) == {}
+
+    def test_force_layout_deterministic_and_bounded(self):
+        nodes = [str(i) for i in range(8)]
+        edges = [(str(i), str((i + 1) % 8)) for i in range(8)]
+        a = force_directed_layout(nodes, edges, 300, 300, seed=5)
+        b = force_directed_layout(nodes, edges, 300, 300, seed=5)
+        assert a == b
+        for x, y in a.values():
+            assert 0 <= x <= 300 and 0 <= y <= 300
+
+    def test_force_layout_separates_nodes(self):
+        positions = force_directed_layout(["a", "b"], [], 300, 300, seed=1)
+        (x1, y1), (x2, y2) = positions["a"], positions["b"]
+        assert ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5 > 50
+
+    def test_force_layout_single_node_centered(self):
+        assert force_directed_layout(["only"], [], 100, 100) == {"only": (50, 50)}
+
+    def test_force_layout_invalid_area(self):
+        with pytest.raises(VizError):
+            force_directed_layout(["a"], [], 0, 10)
+
+
+class TestGraphRendering:
+    def test_dot_export(self):
+        dot = to_dot(
+            ["A", "B"],
+            [("A", "B", "deployment")],
+            node_groups={"A": "station", "B": "deployment"},
+        )
+        assert dot.startswith("digraph")
+        assert '"A" -> "B" [label="deployment"]' in dot
+        assert "fillcolor" in dot
+
+    def test_dot_escaping(self):
+        dot = to_dot(['Has "quotes"'], [])
+        assert '\\"quotes\\"' in dot
+
+    def test_svg_render(self):
+        svg = GraphRenderer(width=400, height=300, seed=2).render(
+            ["A", "B", "C"],
+            [("A", "B", "links"), ("B", "C", "station")],
+            node_groups={"A": "g", "B": "g", "C": "h"},
+            title="relations",
+        )
+        assert "<svg" in svg and "relations" in svg
+        assert svg.count("<circle") == 3
+        assert "<polygon" in svg  # arrow heads
+
+
+class TestMapRenderer:
+    def test_clustered_map(self):
+        markers = [
+            MapMarker(GeoPoint(46.80 + i * 1e-4, 9.80), f"S{i}", 0.5) for i in range(6)
+        ]
+        markers.append(MapMarker(GeoPoint(46.0, 7.0), "far away", 1.0))
+        svg = MapRenderer(cluster_grid=5).render(markers, title="stations")
+        assert "results" in svg  # cluster badge tooltip
+        assert "match degree" in svg  # legend
+
+    def test_unclustered_map(self):
+        markers = [MapMarker(GeoPoint(46.8, 9.8), "one", 0.25)]
+        svg = MapRenderer().render(markers, clustered=False)
+        assert "(match 25%)" in svg
+
+    def test_empty_markers_rejected(self):
+        with pytest.raises(VizError):
+            MapRenderer().render([])
+
+    def test_bad_match_degree(self):
+        with pytest.raises(VizError):
+            MapMarker(GeoPoint(0, 0), "x", 1.5)
+
+
+class TestHypergraph:
+    @pytest.fixture
+    def graph(self):
+        return Hypergraph.from_link_structure(
+            {"P1": ["P2", "P3"], "P2": ["P3"], "P3": [], "P4": ["P3"]}
+        )
+
+    def test_popularity(self, graph):
+        popular = graph.popular_pages(2)
+        assert popular[0] == ("P3", 4)
+
+    def test_neighborhood(self, graph):
+        assert graph.neighborhood("P3") == {"P1", "P2", "P4"}
+
+    def test_edges_of(self, graph):
+        assert {e.label for e in graph.edges_of("P2")} == {"P1", "P2"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(VizError):
+            Hypergraph().add_edge("x", set())
+
+    def test_render_focus(self, graph):
+        svg = HypergraphRenderer(width=400, height=400).render_focus(graph, "P3")
+        assert "Hypergraph around P3" in svg
+
+    def test_render_unknown_focus(self, graph):
+        with pytest.raises(VizError):
+            HypergraphRenderer().render_focus(graph, "ghost")
+
+
+class TestTagCloudRendering:
+    @pytest.fixture
+    def cloud(self):
+        store = TagStore()
+        for i in range(6):
+            for tag in ("apple", "banana"):
+                store.create(f"F{i}", tag)
+        for i in range(6):
+            for tag in ("apple", "mac"):
+                store.create(f"T{i}", tag)
+        return TagCloudBuilder().build(store)
+
+    def test_html_rendering(self, cloud):
+        html = render_tag_cloud_html(cloud)
+        assert html.startswith('<div class="tag-cloud">')
+        assert "apple" in html
+        assert "underline" in html  # apple bridges two cliques
+
+    def test_svg_rendering(self, cloud):
+        svg = render_tag_cloud_svg(cloud)
+        assert "<svg" in svg and "apple" in svg
+        # Bridge tag gets one underline stripe per clique.
+        assert svg.count("<line") >= 2
+
+    def test_svg_width_validated(self, cloud):
+        with pytest.raises(VizError):
+            render_tag_cloud_svg(cloud, width=50)
+
+    def test_empty_cloud_renders(self):
+        empty = TagCloudBuilder().build(TagStore())
+        assert "<svg" in render_tag_cloud_svg(empty)
+        assert render_tag_cloud_html(empty) == '<div class="tag-cloud"></div>'

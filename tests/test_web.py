@@ -1,0 +1,237 @@
+"""Tests for the web API, driven through the WSGI interface directly."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import AdvancedSearchEngine
+from repro.smr import SensorMetadataRepository
+from repro.tagging import TaggingSystem
+from repro.web import create_app
+
+
+@pytest.fixture(scope="module")
+def app():
+    smr = SensorMetadataRepository()
+    smr.register(
+        "station",
+        "Station:WAN-001",
+        [
+            ("name", "WAN-001"),
+            ("latitude", 46.8),
+            ("longitude", 9.8),
+            ("elevation_m", 2400),
+            ("status", "online"),
+        ],
+    )
+    smr.register(
+        "station",
+        "Station:WAN-002",
+        [
+            ("name", "WAN-002"),
+            ("latitude", 46.81),
+            ("longitude", 9.81),
+            ("elevation_m", 2100),
+            ("status", "offline"),
+        ],
+    )
+    smr.register(
+        "sensor",
+        "Sensor:W1",
+        [("name", "wind sensor"), ("station", "Station:WAN-001"), ("sensor_type", "wind")],
+    )
+    engine = AdvancedSearchEngine(smr)
+    tagging = TaggingSystem()
+    tagging.create_tag("Station:WAN-001", "snow")
+    tagging.create_tag("Station:WAN-002", "snow")
+    tagging.create_tag("Station:WAN-001", "wind")
+    return create_app(engine, tagging)
+
+
+def call(app, method, path, query="", body=None):
+    """Invoke the WSGI app and return (status, headers, decoded body)."""
+    raw = json.dumps(body).encode() if body is not None else b""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    payload = b"".join(chunks)
+    content_type = captured["headers"].get("Content-Type", "")
+    decoded = (
+        json.loads(payload.decode()) if "json" in content_type else payload.decode()
+    )
+    return captured["status"], captured["headers"], decoded
+
+
+class TestSearchEndpoints:
+    def test_search(self, app):
+        status, _, body = call(app, "GET", "/api/search", "q=kind%3Dstation")
+        assert status == "200 OK"
+        assert body["total_candidates"] == 2
+        titles = {r["title"] for r in body["results"]}
+        assert titles == {"Station:WAN-001", "Station:WAN-002"}
+        assert body["results"][0]["location"]["lat"] == pytest.approx(46.8, abs=0.1)
+
+    def test_search_with_filter(self, app):
+        status, _, body = call(
+            app, "GET", "/api/search", "q=kind%3Dstation%20elevation_m%3E%3D2300"
+        )
+        assert status == "200 OK"
+        assert [r["title"] for r in body["results"]] == ["Station:WAN-001"]
+
+    def test_bad_query_is_400(self, app):
+        status, _, body = call(app, "GET", "/api/search", "q=")
+        assert status == "400 Bad Request"
+        assert body["type"] == "QueryError"
+
+    def test_page_detail(self, app):
+        status, _, body = call(app, "GET", "/api/page/Station:WAN-001")
+        assert status == "200 OK"
+        assert body["kind"] == "station"
+        assert body["annotations"]["elevation_m"] == 2400
+
+    def test_page_missing_is_400(self, app):
+        status, _, body = call(app, "GET", "/api/page/Nope")
+        assert status == "400 Bad Request"
+
+    def test_unknown_route_404(self, app):
+        status, _, _ = call(app, "GET", "/api/nothing")
+        assert status == "404 Not Found"
+
+    def test_method_not_allowed(self, app):
+        status, _, _ = call(app, "POST", "/api/search")
+        assert status == "405 Method Not Allowed"
+
+
+class TestAutocompleteEndpoints:
+    def test_title_completion(self, app):
+        _, _, body = call(app, "GET", "/api/autocomplete/title", "prefix=Station")
+        assert "Station:WAN-001" in body["completions"]
+
+    def test_property_completion(self, app):
+        _, _, body = call(app, "GET", "/api/autocomplete/property", "prefix=s")
+        assert any(c.startswith("s") for c in body["completions"])
+
+    def test_dropdown_values(self, app):
+        _, _, body = call(app, "GET", "/api/values", "prop=status&kind=station")
+        values = {entry["value"]: entry["count"] for entry in body["values"]}
+        assert values == {"online": 1, "offline": 1}
+
+
+class TestAnalysisEndpoints:
+    def test_facets(self, app):
+        _, _, body = call(app, "GET", "/api/facets", "q=kind%3Dstation&prop=status")
+        values = {entry["value"]: entry["count"] for entry in body["facets"]}
+        assert values == {"online": 1, "offline": 1}
+
+    def test_recommend(self, app):
+        _, _, body = call(app, "GET", "/api/recommend", "q=kind%3Dsensor&k=3")
+        titles = [rec["title"] for rec in body["recommendations"]]
+        assert "Station:WAN-001" in titles
+
+    def test_pagerank_top(self, app):
+        _, _, body = call(app, "GET", "/api/pagerank/top", "k=2")
+        assert len(body["pages"]) == 2
+        assert body["pages"][0]["score"] >= body["pages"][1]["score"]
+
+
+class TestTagEndpoints:
+    def test_cloud_json(self, app):
+        _, _, body = call(app, "GET", "/api/tags/cloud")
+        tags = {entry["tag"] for entry in body["tags"]}
+        assert "snow" in tags
+
+    def test_cloud_svg(self, app):
+        status, headers, body = call(app, "GET", "/api/tags/cloud.svg")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert body.startswith("<svg")
+
+    def test_create_tag(self, app):
+        status, _, body = call(
+            app, "POST", "/api/tags", body={"page": "Station:WAN-002", "tag": "alpine"}
+        )
+        assert status == "201 Created" and body["created"] is True
+        status, _, body = call(
+            app, "POST", "/api/tags", body={"page": "Station:WAN-002", "tag": "alpine"}
+        )
+        assert status == "200 OK" and body["created"] is False
+
+    def test_create_tag_bad_body(self, app):
+        status, _, body = call(app, "POST", "/api/tags", body={"nope": 1})
+        assert status == "400 Bad Request"
+
+
+class TestHtmlAndInfoEndpoints:
+    def test_index_page(self, app):
+        status, headers, body = call(app, "GET", "/")
+        assert status == "200 OK"
+        assert "text/html" in headers["Content-Type"]
+        assert "/api/search" in body
+
+    def test_search_page_form_only(self, app):
+        status, _, body = call(app, "GET", "/search")
+        assert status == "200 OK"
+        assert "<form" in body and "<ol>" not in body
+
+    def test_search_page_results_with_snippets(self, app):
+        status, _, body = call(app, "GET", "/search", "q=keyword%3Dwind")
+        assert status == "200 OK"
+        assert "<ol>" in body
+        assert "<b>wind</b>" in body  # highlighted snippet
+
+    def test_search_page_bad_query_shows_error(self, app):
+        _, _, body = call(app, "GET", "/search", "q=limit%3Dzz")
+        assert "Error:" in body
+
+    def test_stats_endpoint(self, app):
+        status, _, body = call(app, "GET", "/api/stats")
+        assert status == "200 OK"
+        assert body["page_count"] == 3
+        assert body["pages_per_kind"]["station"] == 2
+
+    def test_suggest_endpoint(self, app):
+        _, _, body = call(app, "GET", "/api/suggest", "q=wnd")
+        assert "wind" in body["suggestions"]
+
+    def test_related_endpoint(self, app):
+        status, _, body = call(app, "GET", "/api/related/Sensor:W1", "k=2")
+        assert status == "200 OK"
+        titles = [entry["title"] for entry in body["related"]]
+        assert "Station:WAN-001" in titles
+
+    def test_snippet_endpoint(self, app):
+        _, _, body = call(app, "GET", "/api/snippet/Sensor:W1", "q=wind")
+        assert "**wind**" in body["snippet"]
+
+
+class TestVizEndpoints:
+    def test_map_svg(self, app):
+        status, headers, body = call(app, "GET", "/api/viz/map.svg", "q=kind%3Dstation")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert "match degree" in body
+
+    def test_facet_bar_svg(self, app):
+        _, headers, body = call(
+            app, "GET", "/api/viz/facets.svg", "q=kind%3Dstation&prop=status&chart=bar"
+        )
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert "<rect" in body
+
+    def test_facet_pie_svg(self, app):
+        _, _, body = call(
+            app, "GET", "/api/viz/facets.svg", "q=kind%3Dstation&prop=status&chart=pie"
+        )
+        assert "<path" in body

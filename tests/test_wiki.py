@@ -1,0 +1,231 @@
+"""Tests for the semantic-wiki substrate."""
+
+import pytest
+
+from repro.errors import SmrError, WikiError
+from repro.rdf.namespace import RDF
+from repro.rdf.term import IRI, Literal
+from repro.relational.types import DataType
+from repro.wiki import (
+    ParsedWikitext,
+    PropertyMapping,
+    SchemaMapping,
+    WikiSite,
+    parse_wikitext,
+    render_annotations,
+)
+from repro.wiki.page import Page
+from repro.wiki.site import PROP, WIKI, title_to_iri
+
+
+class TestPage:
+    def test_create_and_edit(self):
+        page = Page("Station:WAN-001", "first", author="alice")
+        assert page.text == "first"
+        page.edit("second", author="bob", comment="fix")
+        assert page.text == "second"
+        assert page.revision_count == 2
+        assert page.revision(1).author == "alice"
+        assert page.revision(2).comment == "fix"
+
+    def test_namespace_split(self):
+        page = Page("Sensor:ABC", "")
+        assert page.namespace == "Sensor"
+        assert page.local_title == "ABC"
+        assert Page("NoNamespace", "").namespace == "Main"
+
+    def test_invalid_titles(self):
+        for bad in ("", " padded ", ":leading", "trailing:"):
+            with pytest.raises(WikiError):
+                Page(bad, "")
+
+    def test_revision_bounds(self):
+        page = Page("T", "x")
+        with pytest.raises(WikiError):
+            page.revision(0)
+        with pytest.raises(WikiError):
+            page.revision(2)
+
+
+class TestWikitext:
+    def test_plain_links(self):
+        parsed = parse_wikitext("See [[Station:WAN-001]] and [[Davos|the site]].")
+        assert parsed.links == ["Station:WAN-001", "Davos"]
+        assert parsed.plain_text == "See Station:WAN-001 and the site."
+
+    def test_annotations(self):
+        parsed = parse_wikitext("[[elevation_m::2400]] [[status::online]] [[ratio::2.5]]")
+        assert ("elevation_m", 2400) in parsed.annotations
+        assert ("status", "online") in parsed.annotations
+        assert ("ratio", 2.5) in parsed.annotations
+
+    def test_annotation_creates_link_for_strings_only(self):
+        parsed = parse_wikitext("[[station::Station:X]] [[elev::2400]]")
+        assert parsed.links == ["Station:X"]
+
+    def test_boolean_values(self):
+        parsed = parse_wikitext("[[online::true]] [[heated::False]]")
+        assert parsed.annotation_values("online") == [True]
+        assert parsed.annotation_values("heated") == [False]
+
+    def test_categories(self):
+        parsed = parse_wikitext("[[Category:Weather stations]] body [[category:Alpine]]")
+        assert parsed.categories == ["Weather stations", "Alpine"]
+        assert parsed.plain_text == "body"
+
+    def test_annotation_with_label(self):
+        parsed = parse_wikitext("[[station::Station:X|the station]]")
+        assert parsed.annotations == [("station", "Station:X")]
+        assert parsed.plain_text == "the station"
+
+    def test_empty_and_whitespace(self):
+        assert parse_wikitext("").plain_text == ""
+        assert parse_wikitext("   ").annotations == []
+
+    def test_malformed_markup_is_text(self):
+        parsed = parse_wikitext("[[unclosed and ]]stray")
+        assert parsed.plain_text.endswith("stray")
+
+    def test_render_roundtrip(self):
+        annotations = [("a", 1), ("b", "two"), ("c", True)]
+        text = render_annotations(annotations, links=["Other Page"])
+        parsed = parse_wikitext(text)
+        assert parsed.annotations == annotations
+        assert "Other Page" in parsed.links
+
+
+@pytest.fixture
+def site():
+    wiki = WikiSite()
+    wiki.save("Station:A", "[[deployment::Deployment:D]] [[elev::100]] [[Station:B]]")
+    wiki.save("Station:B", "[[deployment::Deployment:D]] [[Category:Stations]]")
+    wiki.save("Deployment:D", "[[institution::EPFL]] [[Station:A]] [[Station:B]]")
+    return wiki
+
+
+class TestWikiSite:
+    def test_save_and_get(self, site):
+        assert site.page_count == 3
+        assert site.get("station:a").title == "Station:A"
+        assert site.has("STATION:B")
+
+    def test_missing_page(self, site):
+        with pytest.raises(WikiError):
+            site.get("Nope")
+        with pytest.raises(WikiError):
+            site.parsed("Nope")
+        with pytest.raises(WikiError):
+            site.delete("Nope")
+
+    def test_edit_adds_revision(self, site):
+        site.save("Station:A", "new text")
+        assert site.get("Station:A").revision_count == 2
+        assert site.parsed("Station:A").annotations == []
+
+    def test_delete(self, site):
+        site.delete("Station:B")
+        assert not site.has("Station:B")
+        assert site.page_count == 2
+
+    def test_titles_sorted(self, site):
+        assert site.titles() == ["Deployment:D", "Station:A", "Station:B"]
+
+    def test_namespace_listing(self, site):
+        assert site.titles_in_namespace("station") == ["Station:A", "Station:B"]
+
+    def test_categories(self, site):
+        assert site.pages_in_category("Stations") == ["Station:B"]
+        assert site.categories() == {"Stations": ["Station:B"]}
+
+    def test_link_graph(self, site):
+        graph = site.link_graph()
+        index = site.page_index()
+        a, b, d = index["station:a"], index["station:b"], index["deployment:d"]
+        # Station:A links to B (plain) and D (via annotation value).
+        assert graph.out_links(a) == frozenset({b, d})
+        assert graph.out_links(d) == frozenset({a, b})
+
+    def test_semantic_graph_only_annotation_links(self, site):
+        graph = site.semantic_graph()
+        index = site.page_index()
+        a, b, d = index["station:a"], index["station:b"], index["deployment:d"]
+        assert graph.out_links(a) == frozenset({d})
+        assert graph.out_links(b) == frozenset({d})
+        assert graph.out_links(d) == frozenset()  # EPFL is not a page
+
+    def test_property_names_and_values(self, site):
+        assert site.property_names() == ["deployment", "elev", "institution"]
+        assert site.property_values("deployment") == ["Deployment:D", "Deployment:D"]
+
+    def test_export_rdf(self, site):
+        graph = site.export_rdf()
+        a = title_to_iri("Station:A")
+        d = title_to_iri("Deployment:D")
+        assert (a, RDF.type, WIKI.term("Station")) in graph
+        # Page-valued annotation becomes an IRI link, not a literal.
+        assert (a, PROP.deployment, d) in graph
+        assert (a, PROP.elev, Literal(100)) in graph
+        # Non-page value stays a literal.
+        assert (d, PROP.institution, Literal("EPFL")) in graph
+        # Category becomes a type triple.
+        b = title_to_iri("Station:B")
+        assert (b, RDF.type, WIKI.term("Category_Stations")) in graph
+        # Plain links are exported too.
+        assert (d, PROP.links_to, a) in graph
+
+
+class TestSchemaMapping:
+    @pytest.fixture
+    def mapping(self):
+        m = SchemaMapping()
+        m.declare(
+            "station",
+            [
+                PropertyMapping("name", "name", DataType.TEXT),
+                PropertyMapping("elevation_m", "elevation_m", DataType.INTEGER),
+                PropertyMapping("online", "online", DataType.BOOLEAN),
+            ],
+        )
+        return m
+
+    def test_table_schema(self, mapping):
+        schema = mapping.table_schema("station")
+        assert schema.primary_key == "title"
+        assert schema.column_names == ["title", "name", "elevation_m", "online"]
+
+    def test_duplicate_kind(self, mapping):
+        with pytest.raises(SmrError):
+            mapping.declare("station", [])
+
+    def test_reserved_column(self):
+        m = SchemaMapping()
+        with pytest.raises(SmrError):
+            m.declare("x", [PropertyMapping("title", "title", DataType.TEXT)])
+
+    def test_unknown_kind(self, mapping):
+        with pytest.raises(SmrError):
+            mapping.table_schema("nope")
+
+    def test_row_from_annotations(self, mapping):
+        row = mapping.row_from_annotations(
+            "station",
+            "Station:A",
+            [("name", "A"), ("elevation_m", "2400"), ("online", "yes"), ("junk", 1)],
+        )
+        assert row == {
+            "title": "Station:A",
+            "name": "A",
+            "elevation_m": 2400,
+            "online": True,
+        }
+
+    def test_coercion_failures_become_null(self, mapping):
+        row = mapping.row_from_annotations(
+            "station", "S", [("elevation_m", "not-a-number")]
+        )
+        assert row["elevation_m"] is None
+
+    def test_bidirectional_lookup(self, mapping):
+        assert mapping.column_for_property("station", "ELEVATION_M") == "elevation_m"
+        assert mapping.property_for_column("station", "elevation_m") == "elevation_m"
+        assert mapping.column_for_property("station", "nope") is None

@@ -1,0 +1,102 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import (
+    CorpusSpec,
+    TagWorkload,
+    generate_corpus,
+    generate_tag_workload,
+)
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        a = generate_corpus(CorpusSpec(seed=5))
+        b = generate_corpus(CorpusSpec(seed=5))
+        assert a.records == b.records
+        assert a.page_links == b.page_links
+        assert a.semantic_links == b.semantic_links
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusSpec(seed=1))
+        b = generate_corpus(CorpusSpec(seed=2))
+        assert a.records != b.records
+
+    def test_sizes_respected(self):
+        spec = CorpusSpec(institutions=3, field_sites=4, deployments=5, stations=6, sensors=7)
+        corpus = generate_corpus(spec)
+        assert len(corpus.records_of("institution")) == 3
+        assert len(corpus.records_of("field_site")) == 4
+        assert len(corpus.records_of("deployment")) == 5
+        assert len(corpus.records_of("station")) == 6
+        assert len(corpus.records_of("sensor")) == 7
+        assert corpus.page_count == 3 + 4 + 5 + 6 + 7
+
+    def test_referential_integrity(self):
+        corpus = generate_corpus(CorpusSpec(seed=9))
+        titles = set(corpus.all_titles())
+        for deployment in corpus.records_of("deployment"):
+            assert deployment["field_site"] in titles
+            assert deployment["institution"] in titles
+        for station in corpus.records_of("station"):
+            assert station["deployment"] in titles
+        for sensor in corpus.records_of("sensor"):
+            assert sensor["station"] in titles
+
+    def test_semantic_links_match_properties(self):
+        corpus = generate_corpus(CorpusSpec(seed=9))
+        for source, prop, target in corpus.semantic_links:
+            assert prop in ("field_site", "institution", "deployment", "station")
+            assert target in set(corpus.all_titles())
+
+    def test_coordinates_in_alps(self):
+        corpus = generate_corpus(CorpusSpec(seed=4))
+        for site in corpus.records_of("field_site"):
+            assert 45.0 < site["latitude"] < 48.0
+            assert 6.0 < site["longitude"] < 11.0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ReproError):
+            generate_corpus(CorpusSpec(institutions=0))
+        with pytest.raises(ReproError):
+            generate_corpus(CorpusSpec(institutions=999))
+
+    def test_unknown_kind_returns_empty(self):
+        corpus = generate_corpus(CorpusSpec(seed=1))
+        assert corpus.records_of("satellite") == []
+
+
+class TestTagWorkload:
+    def test_deterministic(self):
+        a = generate_tag_workload(seed=3)
+        b = generate_tag_workload(seed=3)
+        assert a.assignments == b.assignments
+
+    def test_bridges_span_two_topics(self):
+        workload = generate_tag_workload(topics=3, bridges=2, seed=1)
+        assert len(workload.bridge_tags) == 2
+        for bridge in workload.bridge_tags:
+            containing = [t for t, tags in workload.topics.items() if bridge in tags]
+            assert len(containing) == 2
+
+    def test_counts_positive(self):
+        workload = generate_tag_workload(pages=50, seed=2)
+        counts = workload.tag_counts()
+        assert counts
+        assert all(count > 0 for count in counts.values())
+        assert sum(counts.values()) == len(workload.assignments)
+
+    def test_distinct_tags_sorted(self):
+        workload = generate_tag_workload(seed=2)
+        tags = workload.distinct_tags
+        assert tags == sorted(tags)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            generate_tag_workload(pages=0)
+        with pytest.raises(ReproError):
+            generate_tag_workload(topics=99)
+        with pytest.raises(ReproError):
+            generate_tag_workload(topics=1, bridges=1)
