@@ -17,7 +17,10 @@ The package rebuilds the paper's full stack in pure Python:
   graphs, hypergraphs, tag clouds) as standalone SVG/HTML/DOT;
 - ``repro.web`` — a small JSON HTTP API mirroring the demo UI;
 - ``repro.workloads`` — seeded synthetic corpora standing in for the
-  Swiss Experiment data.
+  Swiss Experiment data;
+- ``repro.obs`` — the observability layer (metrics registry, span
+  tracing, Prometheus/JSON exposition) every other subsystem reports
+  through.
 
 Quickstart::
 

@@ -19,7 +19,10 @@ keyword relevance.
 from __future__ import annotations
 
 import re
+import time
 from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
 
 from repro.core.autocomplete import AutocompleteService
 from repro.core.facets import facet_counts
@@ -65,6 +68,46 @@ class AdvancedSearchEngine:
 
     def search(self, query: SearchQuery, user: User = ANONYMOUS) -> SearchResults:
         """Run an advanced search within the user's privileges."""
+        registry = obs.get_registry()
+        tracer = obs.get_tracer()
+        description = query.describe()
+        if not registry.enabled and not tracer.enabled:
+            # Observability off: skip the timers and span entirely so the
+            # hot path costs only this branch (the <1% disabled target).
+            results = self._search(query, user, description)
+            self.query_log.record(description, results.total_candidates)
+            return results
+        start = time.perf_counter()
+        try:
+            with tracer.span("engine.search", query=description):
+                results = self._search(query, user, description)
+        except Exception:
+            registry.counter(
+                "engine_query_errors_total", "Searches that raised an error."
+            ).inc()
+            raise
+        elapsed = time.perf_counter() - start
+        registry.counter(
+            "engine_queries_total", "Advanced searches executed."
+        ).inc()
+        registry.histogram(
+            "engine_query_seconds", "Advanced-search latency in seconds."
+        ).observe(elapsed)
+        registry.histogram(
+            "engine_result_count",
+            "Distribution of per-query candidate counts.",
+            buckets=obs.DEFAULT_COUNT_BUCKETS,
+        ).observe(results.total_candidates)
+        if results.total_candidates == 0:
+            registry.counter(
+                "engine_zero_result_queries_total", "Searches that matched nothing."
+            ).inc()
+        self.query_log.record(description, results.total_candidates, latency=elapsed)
+        return results
+
+    def _search(
+        self, query: SearchQuery, user: User, description: Optional[str] = None
+    ) -> SearchResults:
         if query.kind is not None:
             user.check_kind(query.kind)
         relevance: Dict[str, float] = {}
@@ -111,8 +154,9 @@ class AdvancedSearchEngine:
         results = results[query.offset :]
         if query.limit is not None:
             results = results[: query.limit]
-        self.query_log.record(query.describe(), total)
-        return SearchResults(results, total, query.describe())
+        if description is None:
+            description = query.describe()
+        return SearchResults(results, total, description)
 
     def facets(self, results: SearchResults, prop: str) -> List[Tuple[Any, int]]:
         """Facet counts of ``prop`` over a result set (for bar/pie charts)."""

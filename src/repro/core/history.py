@@ -29,22 +29,22 @@ class QueryLog:
         if capacity <= 0:
             raise QueryError(f"log capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._recent: Deque[Tuple[int, str, int]] = deque(maxlen=capacity)
+        self._recent: Deque[Tuple[int, str, int, float]] = deque(maxlen=capacity)
         self._counts: Counter = Counter()
         self._sequence = 0
 
-    def record(self, query_text: str, result_count: int) -> None:
-        """Log one executed search and how many results it returned."""
+    def record(self, query_text: str, result_count: int, latency: float = 0.0) -> None:
+        """Log one executed search, its result count and latency (seconds)."""
         canonical = normalize_query_text(query_text)
         self._sequence += 1
         if len(self._recent) == self.capacity:
             # The evicted entry leaves the popularity counts too, so
             # "popular" reflects the retained window, not all time.
-            _, evicted, _ = self._recent[0]
+            evicted = self._recent[0][1]
             self._counts[evicted] -= 1
             if self._counts[evicted] <= 0:
                 del self._counts[evicted]
-        self._recent.append((self._sequence, canonical, result_count))
+        self._recent.append((self._sequence, canonical, result_count, float(latency)))
         self._counts[canonical] += 1
 
     @property
@@ -55,7 +55,7 @@ class QueryLog:
     def recent(self, k: int = 10) -> List[str]:
         """The last ``k`` distinct queries, most recent first."""
         seen = []
-        for _, query, _ in reversed(self._recent):
+        for _, query, _, _ in reversed(self._recent):
             if query not in seen:
                 seen.append(query)
             if len(seen) == k:
@@ -69,9 +69,28 @@ class QueryLog:
     def zero_result_queries(self, k: int = 10) -> List[str]:
         """Recent queries that returned nothing (content-gap signal)."""
         seen = []
-        for _, query, count in reversed(self._recent):
+        for _, query, count, _ in reversed(self._recent):
             if count == 0 and query not in seen:
                 seen.append(query)
             if len(seen) == k:
                 break
         return seen
+
+    def slow_queries(self, k: int = 10) -> List[Tuple[str, float]]:
+        """The ``k`` slowest queries in the window, worst first.
+
+        Each distinct query reports its worst observed latency, so popular
+        and zero-result queries can be correlated with slow ones.
+        """
+        worst: dict = {}
+        for _, query, _, latency in self._recent:
+            if latency > worst.get(query, -1.0):
+                worst[query] = latency
+        ranked = sorted(worst.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def average_latency(self) -> float:
+        """Mean latency (seconds) over the retained window; 0.0 when empty."""
+        if not self._recent:
+            return 0.0
+        return sum(entry[3] for entry in self._recent) / len(self._recent)

@@ -97,3 +97,7 @@ class TaggingError(ReproError):
 
 class VizError(ReproError):
     """Visualization toolkit errors (bad dimensions, empty series)."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics/tracing misuse (bad metric names, label mismatches)."""

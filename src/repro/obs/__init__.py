@@ -1,0 +1,71 @@
+"""Observability subsystem: metrics, span tracing, and exposition.
+
+The paper justifies its design decisions with measurements — solver
+convergence iterations and wall-clock time (Fig. 3), tagging pipeline
+and cache behaviour (Fig. 4) — and the ROADMAP's scaling goals need the
+same numbers from every layer of this reproduction. This package is the
+single substrate they flow through:
+
+- :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` primitives and
+  the :func:`time_block` timer helper;
+- :mod:`repro.obs.tracing` — context-manager :class:`Span` trees with a
+  bounded in-memory buffer;
+- :mod:`repro.obs.exposition` — Prometheus text format and JSON
+  snapshots (served by ``GET /metrics`` and ``/api/stats``).
+
+Instrumented modules call :func:`get_registry` / :func:`get_tracer` at
+the point of use, so tests inject fresh instances with
+:func:`set_registry` / :func:`set_tracer` and production code can
+:meth:`~MetricsRegistry.disable` either one for near-zero overhead.
+
+Metric naming conventions (documented in README "Observability"):
+``<subsystem>_<quantity>_<unit|total>`` with snake_case names, e.g.
+``engine_query_seconds``, ``pagerank_iterations_total``; labels are
+low-cardinality only (solver name, endpoint pattern, cache name —
+never titles or raw query strings).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NOOP_METRIC,
+    get_registry,
+    set_registry,
+    time_block,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer, get_tracer, set_tracer
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    snapshot,
+    snapshot_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NOOP_METRIC",
+    "NOOP_SPAN",
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "snapshot",
+    "snapshot_json",
+    "time_block",
+]

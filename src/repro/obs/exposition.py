@@ -1,0 +1,109 @@
+"""Exposition formats for a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two renderings:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample per line,
+  histograms expanded into cumulative ``_bucket{le=...}`` series plus
+  ``_sum`` and ``_count``.
+- :func:`snapshot` — a JSON-friendly dict for programmatic consumers
+  (the ``/api/stats`` endpoint, benchmark reports).
+
+Output is deterministic: families sorted by name, children by label
+values, so tests can assert on exact text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names, values, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in ``registry`` as Prometheus exposition text."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.samples():
+            if family.kind in (COUNTER, GAUGE):
+                labels = _render_labels(family.label_names, label_values)
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+            elif family.kind == HISTOGRAM:
+                for bound, cumulative in child.bucket_counts():
+                    labels = _render_labels(
+                        family.label_names,
+                        label_values,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                labels = _render_labels(family.label_names, label_values)
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-friendly snapshot ``{metric_name: {type, help, samples}}``."""
+    out: Dict[str, Any] = {}
+    for family in registry.families():
+        samples: List[Dict[str, Any]] = []
+        for label_values, child in family.samples():
+            labels = dict(zip(family.label_names, label_values))
+            if family.kind == HISTOGRAM:
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "p50": child.quantile(0.5),
+                        "p95": child.quantile(0.95),
+                        "p99": child.quantile(0.99),
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        out[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    return out
+
+
+def snapshot_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The :func:`snapshot` dict serialized as JSON text."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)

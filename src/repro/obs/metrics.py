@@ -1,0 +1,519 @@
+"""Metric primitives and the thread-safe metrics registry.
+
+The paper evaluates its system with measured convergence iterations,
+computation times and cache behaviour (Fig. 3, Fig. 4); this module is
+the uniform substrate those measurements flow through. Three primitive
+kinds cover the repo's needs:
+
+- :class:`Counter` — monotonically increasing totals (queries served,
+  cache hits, records loaded);
+- :class:`Gauge` — a value that goes up and down (pages/sec of the last
+  bulk load, final solver residual);
+- :class:`Histogram` — fixed-bucket distributions (query latency,
+  solve time, result counts) with quantile estimation.
+
+Every metric belongs to a :class:`MetricsRegistry` and is created
+get-or-create style, so instrumentation sites never race on "who
+registers first". Metrics may carry labels; a labelled family hands out
+per-label-value children via :meth:`MetricFamily.labels`.
+
+Cost model: instrumentation must be safe to leave in hot paths. A
+disabled registry resolves every request to a shared no-op family whose
+operations are empty method calls — the fast path is one attribute
+check. The module-level default registry is swappable
+(:func:`set_registry`) so tests can inject a fresh one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default buckets for latency-style histograms, in seconds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for size/count-style histograms (result counts, rows).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000,
+)
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_VALID_REST = _VALID_FIRST | set("0123456789")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0] not in _VALID_FIRST or any(c not in _VALID_REST for c in name):
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(f"counters only go up; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and quantile estimation.
+
+    Buckets are cumulative in exposition (Prometheus ``le`` semantics)
+    but stored per-interval internally; an implicit +Inf bucket catches
+    everything above the last boundary.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float], lock: threading.Lock):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ObservabilityError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        cumulative = 0
+        out: List[Tuple[float, int]] = []
+        with self._lock:
+            counts = list(self._counts)
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by bucket interpolation.
+
+        Returns 0.0 when the histogram is empty. The estimate assumes a
+        uniform distribution inside each bucket — the standard Prometheus
+        ``histogram_quantile`` model.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                upper = self.buckets[index] if index < len(self.buckets) else self.buckets[-1]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                if index >= len(self.buckets):
+                    return float(upper)  # +Inf bucket: clamp to the last bound
+                fraction = min(1.0, max(0.0, (rank - previous) / count))
+                return lower + (upper - lower) * fraction
+        return float(self.buckets[-1])
+
+
+class MetricFamily:
+    """One named metric and its per-label-value children.
+
+    An unlabelled family has exactly one child (the empty label tuple)
+    and proxies the primitive's methods directly, so call sites read
+    ``family.inc()`` / ``family.observe(x)`` without a ``labels()`` hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Tuple[str, ...],
+        child_factory: Callable[[], Any],
+    ):
+        self.name = _check_name(name)
+        self.help = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self._child_factory = child_factory
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, *values: Any, **kwargs: Any) -> Any:
+        """The child metric for one combination of label values."""
+        if kwargs:
+            if values:
+                raise ObservabilityError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.label_names)
+            except KeyError as exc:
+                raise ObservabilityError(
+                    f"metric {self.name!r} expects labels {self.label_names}"
+                ) from exc
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ObservabilityError(
+                f"metric {self.name!r} expects {len(self.label_names)} label values, got {len(key)}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._child_factory())
+        return child
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Snapshot of ``(label_values, child)`` pairs, sorted by labels."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    # -- unlabelled convenience proxies ---------------------------------
+
+    def _solo(self) -> Any:
+        if self.label_names:
+            raise ObservabilityError(
+                f"metric {self.name!r} is labelled {self.label_names}; use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled child."""
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabelled child (gauges only)."""
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled child (gauges only)."""
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled child (histograms only)."""
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate from the unlabelled child (histograms only)."""
+        return self._solo().quantile(q)
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Bucket counts of the unlabelled child (histograms only)."""
+        return self._solo().bucket_counts()
+
+    def total(self) -> float:
+        """Sum of all children's counter/gauge values."""
+        return sum(child.value for _, child in self.samples())
+
+
+class _NoopMetric:
+    """Shared do-nothing stand-in for every metric kind when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, *values: Any, **kwargs: Any) -> "_NoopMetric":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def total(self) -> float:
+        return 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        return []
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        return []
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``enabled=False`` turns every accessor into a constant returning the
+    shared no-op metric, making instrumented code near-zero-cost; the
+    flag can also be flipped at runtime with :meth:`disable` /
+    :meth:`enable` (existing values are kept).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- creation (get-or-create, idempotent) ---------------------------
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labels: Iterable[str],
+        child_factory: Callable[[], Any],
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, help_text, kind, tuple(labels), child_factory
+                    )
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def _existing(self, name: str, kind: str) -> Optional[MetricFamily]:
+        """Fast path: the already-registered family, after a kind check.
+
+        Hot instrumentation sites call ``counter(...)``/``histogram(...)``
+        on every event, so the repeat-call path must not allocate locks
+        or re-validate bucket bounds.
+        """
+        family = self._families.get(name)
+        if family is not None and family.kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "", labels: Iterable[str] = ()) -> Any:
+        """Get or create the counter family ``name``."""
+        if not self.enabled:
+            return NOOP_METRIC
+        family = self._existing(name, COUNTER)
+        if family is not None:
+            return family
+        lock = threading.Lock()
+        return self._family(name, help_text, COUNTER, labels, lambda: Counter(lock))
+
+    def gauge(self, name: str, help_text: str = "", labels: Iterable[str] = ()) -> Any:
+        """Get or create the gauge family ``name``."""
+        if not self.enabled:
+            return NOOP_METRIC
+        family = self._existing(name, GAUGE)
+        if family is not None:
+            return family
+        lock = threading.Lock()
+        return self._family(name, help_text, GAUGE, labels, lambda: Gauge(lock))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Any:
+        """Get or create the histogram family ``name`` with fixed ``buckets``."""
+        if not self.enabled:
+            return NOOP_METRIC
+        family = self._existing(name, HISTOGRAM)
+        if family is not None:
+            return family
+        lock = threading.Lock()
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            # Validate eagerly: children are created lazily, and a bad
+            # bucket list should fail at the declaration site.
+            raise ObservabilityError(f"histogram buckets must be strictly increasing: {bounds}")
+        return self._family(
+            name, help_text, HISTOGRAM, labels, lambda: Histogram(bounds, lock)
+        )
+
+    # -- inspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        """Every registered family, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn metric collection on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn metric collection off; accessors return the no-op metric."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every family (for test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+
+class _TimeBlock:
+    """Context manager timing a block into a histogram (or any callback).
+
+    Implemented as a plain class rather than ``@contextmanager`` to keep
+    per-entry overhead at two method calls.
+    """
+
+    __slots__ = ("_sink", "_clock", "_start", "elapsed")
+
+    def __init__(self, sink: Any, clock: Callable[[], float] = time.perf_counter):
+        self._sink = sink
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_TimeBlock":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self._clock() - self._start
+        sink = self._sink
+        if sink is None:
+            return
+        if callable(sink):
+            sink(self.elapsed)
+        else:
+            sink.observe(self.elapsed)
+
+
+def time_block(sink: Any = None, clock: Callable[[], float] = time.perf_counter) -> _TimeBlock:
+    """Time a ``with`` block into ``sink``.
+
+    ``sink`` may be a histogram (``observe(elapsed)`` is called), any
+    callable (called with the elapsed seconds), or None to only expose
+    ``.elapsed`` on the context manager itself.
+    """
+    return _TimeBlock(sink, clock)
+
+
+# ----------------------------------------------------------------------
+# Module-level default registry with injection hooks
+# ----------------------------------------------------------------------
+
+_default_registry = MetricsRegistry(enabled=True)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumented code reports to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests inject a fresh one); returns the old."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,199 @@
+"""Lightweight span tracing for the repro stack.
+
+A :class:`Span` is a named, timed block with attributes; spans nest via
+a thread-local stack, so ``tagging.cloud`` naturally becomes the parent
+of ``tagging.cache`` and ``tagging.matrix`` without any plumbing at the
+call sites. Finished **root** spans (whole trees) land in a bounded
+in-memory ring buffer the ``/debug/trace`` endpoint reads from.
+
+This is deliberately not OpenTelemetry: no context propagation across
+processes, no sampling policy, no exporters — just enough structure to
+answer "where did that request spend its time" in tests, benchmarks and
+the demo web app. A disabled tracer hands out a shared no-op span, so
+instrumentation stays in place at near-zero cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+class Span:
+    """One timed, attributed block in a trace tree."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: Dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (so-far for a live span, final once exited)."""
+        end = self.end if self.end is not None else self._tracer._clock()
+        return end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on this span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start = self._tracer._clock()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self._tracer._clock()
+        if exc_type is not None:
+            self.attributes["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering of this span and its subtree."""
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NoopSpan:
+    """Shared span stand-in when tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attributes: Dict[str, Any] = {}
+    children: List[Any] = []
+    duration = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": "", "duration": 0.0, "attributes": {}, "children": []}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces spans and retains finished root traces in a ring buffer.
+
+    Parameters
+    ----------
+    buffer_size:
+        How many finished root spans (trace trees) to keep; the oldest
+        are dropped first.
+    enabled:
+        When False, :meth:`span` returns a shared no-op span.
+    clock:
+        Injectable monotonic time source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        buffer_size: int = 256,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if buffer_size <= 0:
+            raise ObservabilityError(f"trace buffer size must be positive, got {buffer_size}")
+        self.enabled = enabled
+        self._clock = clock
+        self._buffer: Deque[Span] = deque(maxlen=buffer_size)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Any:
+        """A context-manager span; nests under the current span if any."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(name, self, attributes)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, suppressed errors): pop
+        # back to this span instead of corrupting the whole stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack:
+            with self._lock:
+                self._buffer.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span on this thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- buffer access ---------------------------------------------------
+
+    def recent(self, k: int = 20) -> List[Dict[str, Any]]:
+        """The last ``k`` finished root traces, most recent first."""
+        with self._lock:
+            spans = list(self._buffer)
+        return [span.to_dict() for span in reversed(spans[-k:])]
+
+    def clear(self) -> None:
+        """Drop every retained trace."""
+        with self._lock:
+            self._buffer.clear()
+
+    def enable(self) -> None:
+        """Turn span collection on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn span collection off; :meth:`span` returns a no-op span."""
+        self.enabled = False
+
+
+# ----------------------------------------------------------------------
+# Module-level default tracer with injection hooks
+# ----------------------------------------------------------------------
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer instrumented code reports to."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (tests inject a fresh one); returns the old."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous

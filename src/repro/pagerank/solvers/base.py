@@ -7,12 +7,14 @@ study can compare iteration counts and wall-clock times uniformly.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro import obs
 from repro.errors import LinalgError
 from repro.pagerank.webgraph import PageRankProblem
 
@@ -91,14 +93,63 @@ SolverFn = Callable[..., SolverResult]
 _REGISTRY: Dict[str, SolverFn] = {}
 
 
+def _record_solve(name: str, result: SolverResult) -> None:
+    """Report one finished solve to the default metrics registry.
+
+    Instrumenting here — at the registry boundary — means every solver
+    reports iterations, residuals and solve time uniformly, whichever
+    path invoked it (``solve_pagerank``, the convergence study, direct
+    module calls).
+    """
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    labels = ("solver",)
+    registry.counter(
+        "pagerank_solves_total", "PageRank solves completed per solver.", labels=labels
+    ).labels(name).inc()
+    registry.counter(
+        "pagerank_iterations_total",
+        "Cumulative solver iterations per solver.",
+        labels=labels,
+    ).labels(name).inc(result.iterations)
+    registry.histogram(
+        "pagerank_solve_seconds", "Wall-clock seconds per solve.", labels=labels
+    ).labels(name).observe(result.elapsed)
+    registry.gauge(
+        "pagerank_last_residual", "Final residual of the most recent solve.", labels=labels
+    ).labels(name).set(result.final_residual)
+    if not result.converged:
+        registry.counter(
+            "pagerank_nonconverged_total",
+            "Solves that exhausted the iteration budget.",
+            labels=labels,
+        ).labels(name).inc()
+
+
 def register(name: str) -> Callable[[SolverFn], SolverFn]:
-    """Class of decorators adding a solver function to the registry."""
+    """Class of decorators adding a solver function to the registry.
+
+    The registered function is wrapped with observability: a
+    ``pagerank.solve`` span plus per-solver counters/histograms recorded
+    from the returned :class:`SolverResult`.
+    """
 
     def decorator(fn: SolverFn) -> SolverFn:
         if name in _REGISTRY:
             raise LinalgError(f"solver {name!r} registered twice")
-        _REGISTRY[name] = fn
-        return fn
+
+        @functools.wraps(fn)
+        def instrumented(*args, **kwargs) -> SolverResult:
+            with obs.get_tracer().span("pagerank.solve", solver=name) as span:
+                result = fn(*args, **kwargs)
+                span.set_attribute("iterations", result.iterations)
+                span.set_attribute("converged", result.converged)
+            _record_solve(name, result)
+            return result
+
+        _REGISTRY[name] = instrumented
+        return instrumented
 
     return decorator
 

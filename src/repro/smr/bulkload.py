@@ -13,9 +13,11 @@ from __future__ import annotations
 import csv
 import io
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Tuple
 
+from repro import obs
 from repro.errors import BulkLoadError, ReproError
 from repro.smr.model import KIND_ORDER, record_class_for
 from repro.smr.repository import SensorMetadataRepository
@@ -93,19 +95,45 @@ class BulkLoader:
         if kind not in KIND_ORDER:
             raise BulkLoadError(f"unknown kind {kind!r}; known: {KIND_ORDER}")
         report = BulkLoadReport()
-        for row_number, record in enumerate(records, start=1):
-            issues = validate_record(kind, record)
-            if issues:
-                self._fail(report, row_number, "; ".join(issues))
-                continue
-            try:
-                typed = record_class_for(kind).from_record(record)
-                self.smr.register(kind, typed.title, typed.annotations())
-            except ReproError as exc:
-                self._fail(report, row_number, str(exc))
-                continue
-            report.loaded += 1
+        start = time.perf_counter()
+        with obs.get_tracer().span("bulkload.batch", kind=kind) as span:
+            for row_number, record in enumerate(records, start=1):
+                issues = validate_record(kind, record)
+                if issues:
+                    self._fail(report, row_number, "; ".join(issues))
+                    continue
+                try:
+                    typed = record_class_for(kind).from_record(record)
+                    self.smr.register(kind, typed.title, typed.annotations())
+                except ReproError as exc:
+                    self._fail(report, row_number, str(exc))
+                    continue
+                report.loaded += 1
+            span.set_attribute("loaded", report.loaded)
+            span.set_attribute("errors", len(report.errors))
+        self._record_batch(kind, report, time.perf_counter() - start)
         return report
+
+    def _record_batch(self, kind: str, report: BulkLoadReport, elapsed: float) -> None:
+        """Report one finished batch to the default metrics registry."""
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        records = registry.counter(
+            "bulkload_records_total",
+            "Bulk-loaded records per kind and outcome.",
+            labels=("kind", "status"),
+        )
+        records.labels(kind, "loaded").inc(report.loaded)
+        records.labels(kind, "error").inc(len(report.errors))
+        registry.histogram(
+            "bulkload_batch_seconds", "Wall-clock seconds per bulk-load batch."
+        ).observe(elapsed)
+        if elapsed > 0:
+            registry.gauge(
+                "bulkload_pages_per_second",
+                "Throughput of the most recent bulk-load batch.",
+            ).set(report.loaded / elapsed)
 
     def load_corpus_dump(self, dump: Dict[str, List[Dict[str, Any]]]) -> BulkLoadReport:
         """Load a multi-kind dump ``{kind: [records...]}`` in dependency order."""

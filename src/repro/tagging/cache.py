@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
+from repro import obs
 from repro.errors import TaggingError
 
 _MISSING = object()
@@ -20,6 +21,14 @@ _MISSING = object()
 
 @dataclass
 class CacheStats:
+    """Local hit/miss/eviction bookkeeping, bridged to the metrics registry.
+
+    The attributes stay plain integers so the existing ``stats.hit_rate()``
+    API keeps working; the cache *also* reports every event to the default
+    :class:`~repro.obs.metrics.MetricsRegistry` under the cache's name, so
+    hit rates appear in ``/metrics`` without polling these fields.
+    """
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -54,6 +63,9 @@ class LruTtlCache:
     clock:
         A zero-argument callable returning the current time. The default
         logical clock makes behaviour fully deterministic.
+    name:
+        Label under which this cache reports to the metrics registry
+        (``tagging_cache_*_total{cache=<name>}``).
     """
 
     def __init__(
@@ -61,6 +73,7 @@ class LruTtlCache:
         capacity: int = 128,
         ttl: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        name: str = "tagcloud",
     ):
         if capacity <= 0:
             raise TaggingError(f"cache capacity must be positive, got {capacity}")
@@ -68,9 +81,19 @@ class LruTtlCache:
             raise TaggingError(f"cache ttl must be positive, got {ttl}")
         self.capacity = capacity
         self.ttl = ttl
+        self.name = name
         self._clock = clock or _LogicalClock()
         self._entries: "OrderedDict[Hashable, tuple[Any, float]]" = OrderedDict()
         self.stats = CacheStats()
+
+    def _bump(self, event: str) -> None:
+        """Count ``event`` locally and in the default metrics registry."""
+        setattr(self.stats, event, getattr(self.stats, event) + 1)
+        obs.get_registry().counter(
+            f"tagging_cache_{event}_total",
+            f"Tagging cache {event} per cache name.",
+            labels=("cache",),
+        ).labels(self.name).inc()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,9 +102,9 @@ class LruTtlCache:
         """The cached value for ``key``, or ``default`` (counts a hit/miss)."""
         value = self._lookup(key)
         if value is _MISSING:
-            self.stats.misses += 1
+            self._bump("misses")
             return default
-        self.stats.hits += 1
+        self._bump("hits")
         return value
 
     def _lookup(self, key: Hashable) -> Any:
@@ -102,15 +125,15 @@ class LruTtlCache:
         self._entries[key] = (value, self._clock())
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._bump("evictions")
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value or compute, store and return it."""
         value = self._lookup(key)
         if value is not _MISSING:
-            self.stats.hits += 1
+            self._bump("hits")
             return value
-        self.stats.misses += 1
+        self._bump("misses")
         value = compute()
         self.put(key, value)
         return value

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.tagging.cache import LruTtlCache
 from repro.tagging.cloud import TagCloud, TagCloudBuilder
 from repro.tagging.store import TagStore
@@ -48,18 +49,44 @@ class TaggingSystem:
 
     def sync_from_smr(self, smr, properties: List[str]) -> int:
         """Parser command: pull property values from the SMR as tags."""
-        return self.store.import_from_smr(smr, properties)
+        with obs.get_tracer().span("tagging.parser", properties=list(properties)) as span:
+            imported = self.store.import_from_smr(smr, properties)
+            span.set_attribute("imported", imported)
+        obs.get_registry().counter(
+            "tagging_parser_imports_total", "Tags imported from the SMR by the Parser."
+        ).inc(imported)
+        return imported
 
     # ------------------------------------------------------------------
     # Visualization input
     # ------------------------------------------------------------------
 
     def cloud(self, top: Optional[int] = None, min_count: int = 1) -> TagCloud:
-        """Build (or fetch from cache) the current tag cloud."""
+        """Build (or fetch from cache) the current tag cloud.
+
+        The pipeline stages are traced individually — ``tagging.cache``
+        for the lookup, ``tagging.matrix`` for the similarity-matrix /
+        clique build on a miss — under one ``tagging.cloud`` parent, the
+        Fig. 4 Parser→Cache→Matrix structure made observable.
+        """
+        tracer = obs.get_tracer()
         key = (self.store.version, top, min_count, self.builder.threshold, self.builder.max_font)
-        return self.cache.get_or_compute(
-            key, lambda: self.builder.build(self.store, top=top, min_count=min_count)
-        )
+        with tracer.span("tagging.cloud", top=top, min_count=min_count) as span:
+            with tracer.span("tagging.cache"):
+                cached = self.cache.get(key)
+            if cached is not None:
+                span.set_attribute("cache", "hit")
+                return cached
+            span.set_attribute("cache", "miss")
+            with obs.time_block(
+                obs.get_registry().histogram(
+                    "tagging_cloud_build_seconds",
+                    "Seconds spent building tag clouds on cache misses.",
+                )
+            ), tracer.span("tagging.matrix"):
+                built = self.builder.build(self.store, top=top, min_count=min_count)
+            self.cache.put(key, built)
+            return built
 
     def trends(self, k: int = 10) -> List[Tuple[str, int]]:
         """The k most used tags — "the trends of metadata"."""

@@ -16,15 +16,25 @@ Endpoints (all under ``/api``):
     GET  /api/viz/map.svg?q=                  result map
     GET  /api/viz/facets.svg?q=&prop=&chart=  bar|pie facet chart
 
+Observability (outside ``/api``):
+
+    GET  /metrics                             Prometheus text exposition
+    GET  /debug/trace?k=                      recent span trees (JSON)
+
+Every request passes through :class:`MetricsMiddleware`, which records
+per-endpoint request counters and latency histograms at the WSGI level.
+
 Errors surface as JSON with appropriate status codes; the engine's
 exception hierarchy maps 1:1 onto 400s.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional
 from wsgiref.simple_server import make_server
 
+from repro import obs
 from repro.core.engine import AdvancedSearchEngine
 from repro.errors import ReproError
 from repro.tagging.interface import TaggingSystem
@@ -32,7 +42,15 @@ from repro.viz.bar import BarChart
 from repro.viz.maprender import MapMarker, MapRenderer
 from repro.viz.pie import PieChart
 from repro.viz.tagcloud import render_tag_cloud_svg
-from repro.web.http import HtmlResponse, JsonResponse, Request, Response, Router, SvgResponse
+from repro.web.http import (
+    HtmlResponse,
+    JsonResponse,
+    Request,
+    Response,
+    Router,
+    SvgResponse,
+    TextResponse,
+)
 
 _INDEX_HTML = """<!doctype html>
 <html><head><title>Sensor Metadata Search (ICDE'11 reproduction)</title></head>
@@ -58,6 +76,8 @@ _INDEX_HTML = """<!doctype html>
       POST /api/tags</li>
   <li><a href="/api/viz/map.svg?q=kind%3Dstation">/api/viz/map.svg?q=</a></li>
   <li><a href="/api/viz/facets.svg?q=kind%3Dstation&prop=status&chart=pie">/api/viz/facets.svg?q=&amp;prop=&amp;chart=bar|pie</a></li>
+  <li><a href="/metrics">/metrics</a> (Prometheus) |
+      <a href="/debug/trace">/debug/trace</a> (recent spans)</li>
 </ul>
 <p>Query syntax: <code>keyword=wind kind=sensor elevation_m&gt;=2000 sort=pagerank
 order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
@@ -298,6 +318,11 @@ def create_app(
         from repro.core.stats import corpus_statistics
 
         report = corpus_statistics(engine.smr, top_values_for=("project", "institution"))
+        registry = obs.get_registry()
+        latency = registry.histogram(
+            "engine_query_seconds", "Advanced-search latency in seconds."
+        )
+        requests_family = registry.get("http_requests_total")
         return JsonResponse(
             {
                 "page_count": report.page_count,
@@ -306,8 +331,33 @@ def create_app(
                 "web_links": report.web_links.__dict__,
                 "semantic_links": report.semantic_links.__dict__,
                 "top_values": report.top_values,
+                "query_latency": {
+                    "count": latency.count,
+                    "p50_seconds": latency.quantile(0.5),
+                    "p95_seconds": latency.quantile(0.95),
+                    "mean_seconds": (
+                        latency.sum / latency.count if latency.count else 0.0
+                    ),
+                },
+                "http_requests_total": (
+                    requests_family.total() if requests_family else 0.0
+                ),
+                "slow_queries": [
+                    {"query": q, "seconds": s}
+                    for q, s in engine.query_log.slow_queries(5)
+                ],
             }
         )
+
+    @router.get("/metrics")
+    def metrics(request: Request) -> Response:
+        body = obs.render_prometheus(obs.get_registry())
+        return TextResponse(body, content_type=obs.PROMETHEUS_CONTENT_TYPE)
+
+    @router.get("/debug/trace")
+    def debug_trace(request: Request) -> Response:
+        k = int(request.params.get("k", "20"))
+        return JsonResponse({"traces": obs.get_tracer().recent(k)})
 
     @router.get("/api/suggest")
     def suggest_endpoint(request: Request) -> Response:
@@ -400,7 +450,52 @@ def create_app(
         start_response(response.status, response.headers)
         return [response.body]
 
-    return application
+    return MetricsMiddleware(application, router)
+
+
+class MetricsMiddleware:
+    """WSGI middleware recording per-endpoint request counts and latency.
+
+    Endpoints are labelled by the router's route *template* (e.g.
+    ``/api/page/{title}``), never the raw path, so label cardinality is
+    bounded by the route table. Each request also opens an ``http.request``
+    span, making the engine/tagging spans it triggers children of the
+    HTTP request in ``/debug/trace``.
+    """
+
+    def __init__(self, app, router: Router):
+        self.app = app
+        self.router = router
+
+    def __call__(self, environ, start_response):
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self.app(environ, start_response)
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        endpoint = self.router.endpoint_of(method, path)
+        captured: Dict[str, str] = {"status": "500"}
+
+        def capturing_start_response(status, headers, exc_info=None):
+            captured["status"] = status.split(" ", 1)[0]
+            return start_response(status, headers, exc_info) if exc_info else start_response(status, headers)
+
+        start = time.perf_counter()
+        with obs.get_tracer().span("http.request", method=method, endpoint=endpoint) as span:
+            body = self.app(environ, capturing_start_response)
+            span.set_attribute("status", captured["status"])
+        elapsed = time.perf_counter() - start
+        registry.counter(
+            "http_requests_total",
+            "HTTP requests served per endpoint, method and status.",
+            labels=("endpoint", "method", "status"),
+        ).labels(endpoint, method, captured["status"]).inc()
+        registry.histogram(
+            "http_request_seconds",
+            "HTTP request latency per endpoint.",
+            labels=("endpoint",),
+        ).labels(endpoint).observe(elapsed)
+        return body
 
 
 def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:

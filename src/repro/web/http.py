@@ -72,12 +72,25 @@ class Router:
     """Maps ``METHOD /path/{param}`` patterns to handlers."""
 
     def __init__(self):
-        self._routes: List[Tuple[str, "re.Pattern[str]", Handler]] = []
+        self._routes: List[Tuple[str, "re.Pattern[str]", Handler, str]] = []
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         """Register ``handler`` for ``METHOD pattern``."""
         regex = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
-        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler))
+        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler, pattern))
+
+    def endpoint_of(self, method: str, path: str) -> str:
+        """The route pattern ``path`` would dispatch to, for metric labels.
+
+        Returns the template string (e.g. ``/api/page/{title}``) rather
+        than the raw path so per-endpoint metrics stay low-cardinality.
+        Unrouted paths collapse into the single label ``(unmatched)``.
+        """
+        method = method.upper()
+        for route_method, regex, _, pattern in self._routes:
+            if route_method == method and regex.match(path):
+                return pattern
+        return "(unmatched)"
 
     def get(self, pattern: str):
         """Decorator registering a GET handler for ``pattern``."""
@@ -98,7 +111,7 @@ class Router:
     def dispatch(self, request: Request) -> Response:
         """Route ``request`` to its handler (404/405 JSON otherwise)."""
         path_matched = False
-        for method, regex, handler in self._routes:
+        for method, regex, handler, _ in self._routes:
             match = regex.match(request.path)
             if match is None:
                 continue

@@ -46,7 +46,9 @@ def app():
     tagging.create_tag("Station:WAN-001", "snow")
     tagging.create_tag("Station:WAN-002", "snow")
     tagging.create_tag("Station:WAN-001", "wind")
-    return create_app(engine, tagging)
+    application = create_app(engine, tagging)
+    application.engine = engine  # for tests that poke the stack directly
+    return application
 
 
 def call(app, method, path, query="", body=None):
@@ -214,6 +216,90 @@ class TestHtmlAndInfoEndpoints:
     def test_snippet_endpoint(self, app):
         _, _, body = call(app, "GET", "/api/snippet/Sensor:W1", "q=wind")
         assert "**wind**" in body["snippet"]
+
+
+class TestObservabilityEndpoints:
+    @pytest.fixture
+    def fresh_obs(self):
+        """Swap in a fresh registry + tracer for the duration of one test."""
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        tracer = obs.Tracer()
+        prev_registry = obs.set_registry(registry)
+        prev_tracer = obs.set_tracer(tracer)
+        yield registry, tracer
+        obs.set_registry(prev_registry)
+        obs.set_tracer(prev_tracer)
+
+    def test_metrics_prometheus_exposition(self, app, fresh_obs):
+        # Drive the stack so every required family exists: a search
+        # (engine latency), a PageRank refresh (solver metrics), a tag
+        # cloud (cache), then scrape. The middleware itself records the
+        # per-endpoint counts.
+        app.engine.ranker.refresh()  # force a solve under the fresh registry
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        call(app, "GET", "/api/tags/cloud")
+        status, headers, body = call(app, "GET", "/metrics")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE engine_query_seconds histogram" in body
+        assert "engine_queries_total 1" in body
+        assert "# TYPE pagerank_solve_seconds histogram" in body
+        assert 'pagerank_iterations_total{solver="gauss_seidel"}' in body
+        assert 'tagging_cache_misses_total{cache="tagcloud"}' in body
+        assert (
+            'http_requests_total{endpoint="/api/search",method="GET",status="200"} 1'
+            in body
+        )
+        assert 'http_request_seconds_bucket{endpoint="/api/tags/cloud",le="+Inf"} 1' in body
+
+    def test_metrics_label_cardinality_is_bounded(self, app, fresh_obs):
+        registry, _ = fresh_obs
+        call(app, "GET", "/api/page/Station:WAN-001")
+        call(app, "GET", "/api/page/Station:WAN-002")
+        call(app, "GET", "/api/nothing-here")
+        _, _, body = call(app, "GET", "/metrics")
+        # Raw paths never become labels: parameterized routes collapse to
+        # their template and unrouted paths to one bucket.
+        assert 'endpoint="/api/page/{title}",method="GET",status="200"} 2' in body
+        assert 'endpoint="(unmatched)",method="GET",status="404"} 1' in body
+        assert "WAN-001" not in body
+
+    def test_debug_trace_endpoint(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        status, _, body = call(app, "GET", "/debug/trace", "k=5")
+        assert status == "200 OK"
+        search_traces = [
+            t for t in body["traces"] if t["attributes"].get("endpoint") == "/api/search"
+        ]
+        assert search_traces, "expected an http.request trace for the search"
+        trace = search_traces[0]
+        assert trace["name"] == "http.request"
+        assert [c["name"] for c in trace["children"]] == ["engine.search"]
+        assert trace["duration"] >= trace["children"][0]["duration"]
+
+    def test_stats_includes_latency_percentiles(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        call(app, "GET", "/api/search", "q=kind%3Dsensor")
+        status, _, body = call(app, "GET", "/api/stats")
+        assert status == "200 OK"
+        latency = body["query_latency"]
+        assert latency["count"] == 2
+        assert 0.0 < latency["p50_seconds"] <= latency["p95_seconds"]
+        assert body["http_requests_total"] == 2.0  # the two searches
+        assert body["slow_queries"][0]["seconds"] > 0.0
+
+    def test_disabled_registry_serves_empty_metrics(self, app, fresh_obs):
+        registry, tracer = fresh_obs
+        registry.disable()
+        tracer.disable()
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        status, _, body = call(app, "GET", "/metrics")
+        assert status == "200 OK"
+        assert body == ""
+        _, _, traces = call(app, "GET", "/debug/trace")
+        assert traces["traces"] == []
 
 
 class TestVizEndpoints:
