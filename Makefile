@@ -1,0 +1,23 @@
+# Convenience entry points; everything runs on PYTHONPATH=src so no
+# install step is needed.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test docs-check bench bench-cache
+
+## Tier-1: the full unit/integration suite (includes docs-check).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Documentation gate: package docstrings + markdown cross-links.
+docs-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_docs_check.py -q
+
+## All benchmarks (one module per paper figure); writes benchmarks/results/.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## The docs/PERFORMANCE.md headline numbers: caching + warm starts.
+bench-cache:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_cache_warmstart.py -q

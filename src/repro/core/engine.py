@@ -39,21 +39,44 @@ from repro.core.recommend import Recommendation, Recommender
 from repro.core.results import SearchResult, SearchResults
 from repro.errors import QueryError, RelationalError
 from repro.geo.point import GeoPoint
+from repro.perf.cache import GenerationalLruCache, result_cache_key
 from repro.smr.repository import SensorMetadataRepository
 
 # Weighting of keyword relevance vs. PageRank in the default sort.
 _RELEVANCE_WEIGHT = 0.6
 _PAGERANK_WEIGHT = 0.4
 
+# Distinguishes "caller wants the default cache" from an explicit None
+# (= caching disabled) in AdvancedSearchEngine.__init__.
+_DEFAULT_CACHE_SENTINEL: Any = object()
+
 
 class AdvancedSearchEngine:
-    """The paper's search system over one Sensor Metadata Repository."""
+    """The paper's search system over one Sensor Metadata Repository.
 
-    def __init__(self, smr: SensorMetadataRepository, ranker: Optional[PageRankRanker] = None):
+    Repeated queries are served from a generation-stamped result cache
+    (:mod:`repro.perf`): entries are keyed on the normalized query plus
+    the user's privileges and stamped with the SMR mutation counter, so
+    any page write invalidates every cached result lazily — post-edit
+    searches can never observe pre-edit results. Set ``cache=None`` to
+    disable caching (e.g. for benchmarking the raw pipeline); cached
+    :class:`~repro.core.results.SearchResults` are shared between callers
+    and must be treated as immutable.
+    """
+
+    def __init__(
+        self,
+        smr: SensorMetadataRepository,
+        ranker: Optional[PageRankRanker] = None,
+        cache: Optional[GenerationalLruCache] = _DEFAULT_CACHE_SENTINEL,
+    ):
         self.smr = smr
         self.ranker = ranker or PageRankRanker(smr)
         self.autocomplete = AutocompleteService(smr, self.ranker)
         self.recommender = Recommender(smr, self.ranker)
+        if cache is _DEFAULT_CACHE_SENTINEL:
+            cache = GenerationalLruCache(capacity=256, name="query_results")
+        self.cache = cache
         from repro.core.history import QueryLog
 
         self.query_log = QueryLog()
@@ -67,26 +90,57 @@ class AdvancedSearchEngine:
         return parse_query(text)
 
     def search(self, query: SearchQuery, user: User = ANONYMOUS) -> SearchResults:
-        """Run an advanced search within the user's privileges."""
+        """Run an advanced search within the user's privileges.
+
+        The result cache is consulted first: a hit skips the whole
+        pipeline (SQL/SPARQL constraint evaluation, ranking, sorting) and
+        costs one dict lookup. The generation is captured *before* the
+        pipeline runs, so a write that lands mid-search stamps the entry
+        as already stale — the conservative direction.
+        """
+        description = query.describe()
+        key = generation = None
+        if self.cache is not None:
+            key = result_cache_key(query, user)
+            generation = self._generation()
         registry = obs.get_registry()
         tracer = obs.get_tracer()
-        description = query.describe()
         if not registry.enabled and not tracer.enabled:
             # Observability off: skip the timers and span entirely so the
             # hot path costs only this branch (the <1% disabled target).
+            if key is not None:
+                cached = self.cache.get(key, generation)
+                if cached is not None:
+                    self.query_log.record(description, cached.total_candidates)
+                    return cached
             results = self._search(query, user, description)
+            if key is not None:
+                self.cache.put(key, generation, results)
             self.query_log.record(description, results.total_candidates)
             return results
+        # Observability on: cache hits are still served queries, so they
+        # flow through the same span and latency histogram (tagged with a
+        # ``cache`` attribute) — percentiles reflect what callers see.
         start = time.perf_counter()
+        cache_hit = False
         try:
-            with tracer.span("engine.search", query=description):
-                results = self._search(query, user, description)
+            with tracer.span("engine.search", query=description) as span:
+                cached = self.cache.get(key, generation) if key is not None else None
+                if cached is not None:
+                    cache_hit = True
+                    results = cached
+                else:
+                    results = self._search(query, user, description)
+                if key is not None:
+                    span.set_attribute("cache", "hit" if cache_hit else "miss")
         except Exception:
             registry.counter(
                 "engine_query_errors_total", "Searches that raised an error."
             ).inc()
             raise
         elapsed = time.perf_counter() - start
+        if key is not None and not cache_hit:
+            self.cache.put(key, generation, results)
         registry.counter(
             "engine_queries_total", "Advanced searches executed."
         ).inc()
@@ -157,6 +211,33 @@ class AdvancedSearchEngine:
         if description is None:
             description = query.describe()
         return SearchResults(results, total, description)
+
+    def _generation(self) -> Tuple[int, int]:
+        """The cache generation: (SMR mutations, ranker epoch).
+
+        Any page write bumps the first component; a forced
+        :meth:`~repro.core.ranking.PageRankRanker.refresh` bumps the
+        second — cached results embed PageRank scores, so both must
+        invalidate them.
+        """
+        return (self.smr.mutation_count, getattr(self.ranker, "epoch", 0))
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Result-cache statistics for ``/api/stats`` and diagnostics."""
+        if self.cache is None:
+            return {"enabled": False}
+        stats = self.cache.stats
+        return {
+            "enabled": True,
+            "entries": len(self.cache),
+            "capacity": self.cache.capacity,
+            "generation": list(self._generation()),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "stale": stats.stale,
+            "evictions": stats.evictions,
+            "hit_rate": stats.hit_rate,
+        }
 
     def facets(self, results: SearchResults, prop: str) -> List[Tuple[Any, int]]:
         """Facet counts of ``prop`` over a result set (for bar/pie charts)."""

@@ -16,14 +16,29 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConvergenceError, QueryError
 from repro.pagerank.doublelink import DoubleLinkGraph
+from repro.pagerank.incremental import dirty_rows, initial_residual, refine_incremental
+from repro.pagerank.linear_system import normalize_solution
 from repro.pagerank.solvers import solve_pagerank
 from repro.smr.repository import SensorMetadataRepository
 
 
 class PageRankRanker:
-    """Computes and caches double-link PageRank scores for an SMR."""
+    """Computes and caches double-link PageRank scores for an SMR.
+
+    Freshness and warm starts: the score cache is stamped with the SMR's
+    :attr:`~repro.smr.repository.SensorMetadataRepository.mutation_count`,
+    so any page write invalidates it automatically — no explicit
+    ``refresh()`` needed on the query path. Recomputation reuses the last
+    score vector: small deltas go through the localized
+    :func:`~repro.pagerank.incremental.refine_incremental` relaxation
+    (only dirty rows are touched), and anything past
+    ``incremental_threshold`` (a fraction of pages dirty) falls back to a
+    full warm-started Gauss–Seidel solve. ``refresh()`` forces the full
+    solve path.
+    """
 
     def __init__(
         self,
@@ -33,6 +48,7 @@ class PageRankRanker:
         method: str = "gauss_seidel",
         tol: float = 1e-10,
         max_iter: int = 5000,
+        incremental_threshold: float = 0.25,
     ):
         self.smr = smr
         self.alpha = alpha
@@ -40,48 +56,102 @@ class PageRankRanker:
         self.method = method
         self.tol = tol
         self.max_iter = max_iter
+        self.incremental_threshold = incremental_threshold
         self._scores: Optional[Dict[str, float]] = None
         self._property_weights: Optional[Dict[str, float]] = None
+        self._built_at_mutation: Optional[int] = None
+        self._force_full = False
+        #: Bumped by :meth:`refresh`. Result caches that embed PageRank
+        #: scores fold this into their generation stamp, so forcing a
+        #: re-solve also invalidates cached search results.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Page scores
     # ------------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Recompute scores (call after bulk changes to the SMR).
+        """Force a full re-solve on the next :meth:`scores` call.
 
         The previous solution is kept as a warm start: the paper notes
         that "Pagerank scores need to be updated regularly as new
         metadata pages are continuously created", and re-solving from the
         old vector converges in a fraction of the iterations when the
         graph changed only incrementally (see
-        :attr:`last_refresh_iterations`).
+        :attr:`last_refresh_iterations`). Ordinary SMR writes are picked
+        up automatically (and may take the cheaper incremental path);
+        ``refresh()`` is for forcing a complete solver run — e.g. after
+        changing ``alpha``/``teleport``/``method`` on a live ranker.
         """
         self._scores = None
         self._property_weights = None
+        self._force_full = True
+        self.epoch += 1
 
-    #: Iterations spent by the most recent solve (diagnostics for the
-    #: incremental-update story).
+    #: Iterations spent by the most recent solve, in full-sweep units
+    #: (incremental refreshes convert their row-relaxation count; see
+    #: :meth:`IncrementalResult.sweep_equivalents`). Diagnostics for the
+    #: incremental-update story.
     last_refresh_iterations: int = 0
 
-    def scores(self) -> Dict[str, float]:
-        """title -> PageRank score (computed lazily, cached)."""
+    #: How the most recent recompute ran: "cold" (no previous vector),
+    #: "warm" (full solve seeded with the previous vector) or
+    #: "incremental" (localized dirty-set relaxation).
+    last_refresh_mode: str = "cold"
+
+    #: Single-row relaxations spent by the most recent incremental
+    #: refresh (0 for full solves).
+    last_refresh_relaxations: int = 0
+
+    def _stale(self) -> bool:
         if self._scores is None:
-            titles = self.smr.wiki.titles()
-            if not titles:
-                self._scores = {}
-                return self._scores
-            double = DoubleLinkGraph(self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph())
-            problem = double.to_problem(alpha=self.alpha, teleport=self.teleport)
-            x0 = self._warm_start(titles, problem.n)
-            if x0 is not None and self.method not in ("power", "arnoldi"):
-                # Linear-system solvers work on the un-normalized Eq. 5
-                # solution y = x / k with k = (1-c) + c (d^T x); rescale
-                # the remembered probability vector into that gauge.
-                k = (1.0 - problem.teleport) + problem.teleport * float(
-                    x0[problem.dangling].sum()
-                )
-                x0 = x0 / k
+            return True
+        mutation = getattr(self.smr, "mutation_count", None)
+        return mutation is not None and mutation != self._built_at_mutation
+
+    def scores(self) -> Dict[str, float]:
+        """title -> PageRank score (cached; recomputed when the SMR moved).
+
+        The cache is generation-stamped: a register/edit/bulk-load bumps
+        ``smr.mutation_count`` and the next call recomputes — through the
+        incremental path when the edit dirtied few rows, through a
+        warm-started full solve otherwise.
+        """
+        if self._stale():
+            self._property_weights = None
+            self._recompute()
+        return self._scores
+
+    def _recompute(self) -> None:
+        mutation = getattr(self.smr, "mutation_count", None)
+        titles = self.smr.wiki.titles()
+        if not titles:
+            self._scores = {}
+            self._built_at_mutation = mutation
+            self._force_full = False
+            return
+        double = DoubleLinkGraph(self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph())
+        problem = double.to_problem(alpha=self.alpha, teleport=self.teleport)
+        x0 = self._warm_start(titles, problem.n)
+        mode = "cold"
+        scores_vec: Optional[np.ndarray] = None
+        self.last_refresh_relaxations = 0
+        if x0 is not None and self.method not in ("power", "arnoldi"):
+            # Linear-system solvers work on the un-normalized Eq. 5
+            # solution y = x / k with k = (1-c) + c (d^T x); rescale
+            # the remembered probability vector into that gauge.
+            k = (1.0 - problem.teleport) + problem.teleport * float(
+                x0[problem.dangling].sum()
+            )
+            x0 = x0 / k
+            mode = "warm"
+            if not self._force_full:
+                scores_vec = self._try_incremental(problem, x0)
+                if scores_vec is not None:
+                    mode = "incremental"
+        elif x0 is not None:
+            mode = "warm"
+        if scores_vec is None:
             result = solve_pagerank(
                 problem, method=self.method, tol=self.tol, max_iter=self.max_iter, x0=x0
             )
@@ -93,11 +163,69 @@ class PageRankRanker:
                     residual=result.final_residual,
                 )
             self.last_refresh_iterations = result.iterations
-            self._scores = {
-                title: float(result.scores[i]) for i, title in enumerate(titles)
-            }
-            self._previous_scores = dict(self._scores)
-        return self._scores
+            scores_vec = result.scores
+        self.last_refresh_mode = mode
+        self._record_refresh(mode, problem.n)
+        self._scores = {title: float(scores_vec[i]) for i, title in enumerate(titles)}
+        self._previous_scores = dict(self._scores)
+        self._built_at_mutation = mutation
+        self._force_full = False
+
+    def _try_incremental(self, problem, y0: np.ndarray) -> Optional[np.ndarray]:
+        """Localized dirty-set recompute; None when a full solve is due.
+
+        Declines when the initial residual marks more than
+        ``incremental_threshold`` of all pages dirty (a full sweep is
+        then cheaper per unit of progress) or when the relaxation budget
+        runs out before convergence — the caller falls back to the
+        warm-started full solver either way, so correctness never depends
+        on this path.
+        """
+        y = np.asarray(y0, dtype=float).copy()
+        residual = initial_residual(problem, y)
+        # Robust scalar rescale of the warm start: when the page count
+        # changed, the uniform personalization shrinks by n/(n+1) and the
+        # whole old solution is off by that factor — every row looks
+        # dirty. Away from the edit, b_i / (A y)_i is one constant (the
+        # gauge mismatch), so the median of the per-row ratios recovers
+        # it exactly while ignoring the few genuinely dirty rows (a
+        # least-squares fit would be contaminated by them). Rescaling by
+        # that t re-localizes the residual around the actual edit.
+        image = problem.personalization - residual  # A y, already in hand
+        nonzero = np.abs(image) > 0.0
+        if nonzero.any():
+            t = float(np.median(problem.personalization[nonzero] / image[nonzero]))
+            if t > 0.0:
+                y *= t
+                residual = problem.personalization - t * image
+        dirty = dirty_rows(residual, problem.personalization, self.tol)
+        obs.get_registry().gauge(
+            "ranking_dirty_pages",
+            "Rows marked dirty by the most recent incremental refresh attempt.",
+        ).set(float(dirty.size))
+        if dirty.size > self.incremental_threshold * problem.n:
+            return None
+        result = refine_incremental(
+            problem, y, tol=self.tol, residual=residual
+        )
+        if not result.converged:
+            return None
+        self.last_refresh_iterations = result.sweep_equivalents(problem.n)
+        self.last_refresh_relaxations = result.relaxations
+        return normalize_solution(problem, y)
+
+    def _record_refresh(self, mode: str, n: int) -> None:
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "ranking_refresh_total",
+            "Ranking recomputes per mode (cold, warm, incremental).",
+            labels=("mode",),
+        ).labels(mode).inc()
+        registry.gauge(
+            "ranking_graph_pages", "Pages in the ranking graph at the last refresh."
+        ).set(float(n))
 
     def _warm_start(self, titles, n: int) -> Optional[np.ndarray]:
         """Seed the solver with the previous solution, if one exists.
@@ -177,9 +305,9 @@ class PageRankRanker:
 
     def property_weights(self) -> Dict[str, float]:
         """property name -> total PageRank mass of pages annotating it."""
+        scores = self.scores()  # refreshing scores resets stale weights too
         if self._property_weights is None:
             weights: Dict[str, float] = {}
-            scores = self.scores()
             for title in self.smr.wiki.titles():
                 page_score = scores.get(title, 0.0)
                 for prop, _ in self.smr.annotations(title):

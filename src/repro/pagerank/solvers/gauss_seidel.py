@@ -124,10 +124,16 @@ class TriangularSweeper:
     def level_count(self) -> int:
         return len(self._levels)
 
-    def sweep(self, x: np.ndarray, rhs: np.ndarray, relaxation: float = 1.0) -> None:
-        """Perform one forward sweep in place (``relaxation=1`` → plain GS)."""
+    def sweep(self, x: np.ndarray, rhs: np.ndarray, relaxation: float = 1.0) -> float:
+        """Perform one forward sweep in place (``relaxation=1`` → plain GS).
+
+        Returns ``||Δx||₁`` of the sweep, accumulated level by level, so
+        the convergence test costs nothing extra — the solvers previously
+        copied the full iterate every sweep just to measure this.
+        """
         rhs_prime = rhs - self.upper.matvec(x)
         x_old = x.copy() if relaxation != 1.0 else None
+        delta = 0.0
         for rows, cols, vals, seg in self._levels:
             if cols.size:
                 contrib = np.bincount(seg, weights=vals * x[cols], minlength=rows.size)
@@ -135,9 +141,13 @@ class TriangularSweeper:
                 contrib = np.zeros(rows.size)
             gs_values = (rhs_prime[rows] - contrib) / self.diag[rows]
             if x_old is None:
+                delta += float(np.abs(gs_values - x[rows]).sum())
                 x[rows] = gs_values
             else:
-                x[rows] = (1.0 - relaxation) * x_old[rows] + relaxation * gs_values
+                relaxed = (1.0 - relaxation) * x_old[rows] + relaxation * gs_values
+                delta += float(np.abs(relaxed - x[rows]).sum())
+                x[rows] = relaxed
+        return delta
 
 
 @register("gauss_seidel")
@@ -157,9 +167,8 @@ def solve_gauss_seidel(
     converged = False
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        previous = x.copy()
-        sweeper.sweep(x, rhs)
-        if tracker.record(norm1(x - previous) / rhs_norm):
+        delta = sweeper.sweep(x, rhs)
+        if tracker.record(delta / rhs_norm):
             converged = True
             break
     return SolverResult(

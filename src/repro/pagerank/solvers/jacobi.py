@@ -34,6 +34,7 @@ def solve_jacobi(
     diag = system.diagonal()
     if np.any(np.abs(diag) < 1e-15):
         raise LinalgError("Jacobi requires a nonzero diagonal")
+    inv_diag = 1.0 / diag  # hoisted: multiply per sweep instead of divide
     rhs_norm = norm1(rhs) or 1.0
     x = rhs.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
     tracker = ResidualTracker(tol)
@@ -41,7 +42,7 @@ def solve_jacobi(
     iterations = 0
     for iterations in range(1, max_iter + 1):
         residual_vec = rhs - system.matvec(x)
-        x = x + residual_vec / diag
+        x = x + residual_vec * inv_diag
         if tracker.record(norm1(residual_vec) / rhs_norm):
             converged = True
             break

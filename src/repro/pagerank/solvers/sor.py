@@ -42,9 +42,8 @@ def solve_sor(
     converged = False
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        previous = x.copy()
-        sweeper.sweep(x, rhs, relaxation=omega)
-        if tracker.record(norm1(x - previous) / rhs_norm):
+        delta = sweeper.sweep(x, rhs, relaxation=omega)
+        if tracker.record(delta / rhs_norm):
             converged = True
             break
     return SolverResult(

@@ -136,8 +136,12 @@ class PageRankProblem:
             if np.any(vec < 0) or not np.isclose(vec.sum(), 1.0):
                 raise LinalgError("personalization must be a probability distribution")
             self.personalization = vec
-        # Dangling rows are those whose transition row sums to ~0.
+        # Dangling rows are those whose transition row sums to ~0. The
+        # flat index array makes the per-iteration dangling-mass gather a
+        # short fancy-index instead of a full boolean scan — most pages
+        # are not dangling, so this is the cheaper form on the hot path.
         self.dangling = row_sums < 1e-12
+        self._dangling_idx = np.flatnonzero(self.dangling)
         self._transition_t = transition.transpose()
 
     @classmethod
@@ -162,7 +166,7 @@ class PageRankProblem:
         """
         x = np.asarray(x, dtype=float)
         result = self.teleport * self._transition_t.matvec(x)
-        dangling_mass = float(x[self.dangling].sum())
+        dangling_mass = float(x[self._dangling_idx].sum())
         total_mass = float(x.sum())
         result += (self.teleport * dangling_mass + (1.0 - self.teleport) * total_mass) * self.personalization
         return result

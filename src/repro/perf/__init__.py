@@ -1,0 +1,31 @@
+"""Query-path performance layer: generation-stamped result caching.
+
+The paper chooses Gauss–Seidel for production precisely because ranking
+must keep up with a wiki whose double-link structure evolves continuously
+(Section III, Fig. 3), and the ROADMAP's north star asks the engine to
+serve heavy repeated traffic "as fast as the hardware allows". This
+package supplies the caching half of that story; the incremental
+re-ranking half lives in :mod:`repro.pagerank.incremental` and
+:class:`repro.core.ranking.PageRankRanker`.
+
+- :mod:`repro.perf.cache` — :class:`GenerationalLruCache`, an LRU result
+  cache whose entries are stamped with the repository *generation* (the
+  SMR mutation counter). Edits and bulk loads bump the generation, so
+  stale entries die lazily on lookup instead of requiring an eager
+  flush; :func:`result_cache_key` canonicalizes a
+  :class:`~repro.core.query.SearchQuery` + privilege pair into the cache
+  key the engine uses.
+
+Hit/miss/staleness counters are reported through :mod:`repro.obs` under
+``perf_cache_*_total{cache=...}`` and surface in ``GET /metrics`` and
+``GET /api/stats`` (see docs/PERFORMANCE.md for the invalidation
+semantics).
+"""
+
+from repro.perf.cache import (
+    CacheStats,
+    GenerationalLruCache,
+    result_cache_key,
+)
+
+__all__ = ["CacheStats", "GenerationalLruCache", "result_cache_key"]

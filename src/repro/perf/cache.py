@@ -1,0 +1,152 @@
+"""A generation-stamped LRU cache for the hot query path.
+
+Invalidation strategy (documented in docs/PERFORMANCE.md): every entry is
+stamped with the repository *generation* — the SMR's monotonically
+increasing mutation counter — at the moment it is stored. A lookup only
+hits when the stored stamp equals the caller's current generation; an
+entry from an older generation counts as *stale*, is evicted lazily, and
+the caller recomputes. Writers therefore never touch the cache: a page
+edit or a 10k-record bulk load "invalidates" everything by incrementing
+one integer.
+
+Compared with eager flushing this keeps writes O(1), and compared with
+TTLs it is exact: a result can never be served across a mutation, and is
+never discarded while the repository is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+
+
+@dataclass
+class CacheStats:
+    """Plain-integer bookkeeping, mirrored into the metrics registry.
+
+    ``stale`` counts lookups that found an entry from an older
+    generation — the lazy-invalidation analogue of a flush.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.stale
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class GenerationalLruCache:
+    """LRU cache whose entries expire when the data generation moves on.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; least-recently-used entries are
+        evicted beyond it.
+    name:
+        Label under which the cache reports to the metrics registry
+        (``perf_cache_*_total{cache=<name>}``).
+    """
+
+    def __init__(self, capacity: int = 256, name: str = "query_results"):
+        if capacity <= 0:
+            raise ReproError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _bump(self, event: str) -> None:
+        setattr(self.stats, event, getattr(self.stats, event) + 1)
+        obs.get_registry().counter(
+            f"perf_cache_{event}_total",
+            f"Result-cache {event} per cache name.",
+            labels=("cache",),
+        ).labels(self.name).inc()
+
+    def get(self, key: Hashable, generation: int) -> Optional[Any]:
+        """The cached value for ``key`` at ``generation``, else ``None``.
+
+        An entry stored under an older generation is treated as absent
+        (and dropped); it counts as ``stale`` rather than ``misses`` so
+        the two cold-path causes stay distinguishable in ``/metrics``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._bump("misses")
+                return None
+            stored_generation, value = entry
+            if stored_generation != generation:
+                del self._entries[key]
+                self._bump("stale")
+                return None
+            self._entries.move_to_end(key)
+            self._bump("hits")
+            return value
+
+    def put(self, key: Hashable, generation: int, value: Any) -> None:
+        """Store ``value`` under ``key`` stamped with ``generation``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (generation, value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._bump("evictions")
+            obs.get_registry().gauge(
+                "perf_cache_entries",
+                "Live entries per cache name.",
+                labels=("cache",),
+            ).labels(self.name).set(float(len(self._entries)))
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+def result_cache_key(query, user) -> Tuple:
+    """Canonical, hashable cache key for one (query, privileges) pair.
+
+    Normalization keeps distinct-but-equivalent requests on one entry:
+    keyword whitespace collapses, the kind is lower-cased, and property
+    filters are order-insensitive (both strict intersection and relaxed
+    union are commutative, and the match degree counts satisfied
+    predicates without regard to order). Everything that *can* change the
+    response stays in the key: sort/order, limit/offset, relaxed mode,
+    the bounding box, and the user's readable-kind whitelist — two users
+    with different privileges never share an entry.
+    """
+    allowed = user.policy.allowed_kinds
+    privileges = "*" if allowed is None else ",".join(sorted(allowed))
+    bbox = query.bbox
+    return (
+        " ".join(query.keyword.split()).lower(),
+        (query.kind or "").lower(),
+        tuple(sorted((f.prop, f.op, repr(f.value)) for f in query.filters)),
+        query.sort,
+        query.descending,
+        query.limit,
+        query.offset,
+        query.relaxed,
+        (bbox.south, bbox.west, bbox.north, bbox.east) if bbox else None,
+        privileges,
+    )

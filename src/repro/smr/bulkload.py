@@ -111,6 +111,9 @@ class BulkLoader:
                 report.loaded += 1
             span.set_attribute("loaded", report.loaded)
             span.set_attribute("errors", len(report.errors))
+            # Every registered record bumped the SMR generation, which
+            # is what lazily invalidates query-result caches downstream.
+            span.set_attribute("generation", self.smr.mutation_count)
         self._record_batch(kind, report, time.perf_counter() - start)
         return report
 
@@ -134,6 +137,11 @@ class BulkLoader:
                 "bulkload_pages_per_second",
                 "Throughput of the most recent bulk-load batch.",
             ).set(report.loaded / elapsed)
+        registry.gauge(
+            "smr_generation",
+            "SMR mutation counter after the most recent bulk-load batch; "
+            "query caches stamped with older generations are stale.",
+        ).set(float(self.smr.mutation_count))
 
     def load_corpus_dump(self, dump: Dict[str, List[Dict[str, Any]]]) -> BulkLoadReport:
         """Load a multi-kind dump ``{kind: [records...]}`` in dependency order."""

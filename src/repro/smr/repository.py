@@ -91,6 +91,7 @@ class SensorMetadataRepository:
         self.text_index = InvertedIndex()
         self._kind_of: Dict[str, str] = {}  # title-key -> kind
         self._rdf_cache: Optional[Graph] = None
+        self._mutations = 0
         for kind in self.mapping.kinds:
             self.db.create_table(self.mapping.table_schema(kind))
 
@@ -130,6 +131,7 @@ class SensorMetadataRepository:
         )
         self.text_index.add(title, searchable)
         self._rdf_cache = None
+        self._mutations += 1
 
     def register_record(self, kind: str, record: Dict[str, Any], links: Sequence[str] = ()) -> None:
         """Register from a plain dict using the typed record classes."""
@@ -155,6 +157,20 @@ class SensorMetadataRepository:
     @property
     def page_count(self) -> int:
         return self.wiki.page_count
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotone write counter — the repository's cache *generation*.
+
+        Every :meth:`register` (page creation or edit, including each
+        bulk-loaded record) increments it. Read-side caches such as
+        :class:`repro.perf.cache.GenerationalLruCache` and the ranker's
+        score cache stamp their entries with this value and treat any
+        change as an invalidation, so writers never flush anything
+        eagerly. Direct writes to ``self.wiki`` bypass the counter — go
+        through the repository facade.
+        """
+        return self._mutations
 
     def kind_of(self, title: str) -> str:
         """The metadata kind of ``title``; raises for unknown pages."""

@@ -23,6 +23,10 @@ Observability (outside ``/api``):
 
 Every request passes through :class:`MetricsMiddleware`, which records
 per-endpoint request counters and latency histograms at the WSGI level.
+``GET /api/stats`` additionally reports the engine's result-cache
+statistics (hits, misses, stale lookups, generation) next to the query
+latency percentiles, so cache effectiveness is observable without
+scraping ``/metrics``.
 
 Errors surface as JSON with appropriate status codes; the engine's
 exception hierarchy maps 1:1 onto 400s.
@@ -342,6 +346,7 @@ def create_app(
                 "http_requests_total": (
                     requests_family.total() if requests_family else 0.0
                 ),
+                "query_cache": engine.cache_info(),
                 "slow_queries": [
                     {"query": q, "seconds": s}
                     for q, s in engine.query_log.slow_queries(5)

@@ -1,0 +1,222 @@
+"""Warm-start correctness: incremental refinement vs. full recompute.
+
+The contract under test (docs/PERFORMANCE.md): after a graph delta, the
+localized Gauss–Southwell refinement of :mod:`repro.pagerank.incremental`
+must land on the *same scores* as a cold full solve, within solver
+tolerance — the incremental path is an optimization, never an
+approximation. The ranker-level tests pin down when each path runs.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import PageRankRanker
+from repro.pagerank import combine_link_structures, solve_pagerank
+from repro.pagerank.incremental import (
+    IncrementalResult,
+    dirty_rows,
+    initial_residual,
+    refine_incremental,
+)
+from repro.pagerank.linear_system import normalize_solution
+from repro.smr import SensorMetadataRepository
+from repro.workloads.webgraphs import paired_link_structures
+
+TOL = 1e-10
+
+
+def _warm_gauge(problem, scores: np.ndarray) -> np.ndarray:
+    """Probability vector -> the un-normalized Eq. 5 gauge (y = x / k)."""
+    k = (1.0 - problem.teleport) + problem.teleport * float(
+        scores[problem.dangling].sum()
+    )
+    return scores / k
+
+
+# ----------------------------------------------------------------------
+# Incremental refinement matches the full solve on random deltas
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_incremental_matches_full_recompute_on_random_delta(seed):
+    n = 400
+    web, semantic = paired_link_structures(n, seed=seed)
+    before = combine_link_structures(web, semantic)
+    old = solve_pagerank(before, method="gauss_seidel", tol=TOL, max_iter=5000)
+    assert old.converged
+
+    rng = random.Random(seed)
+    core = n - 16  # stay off the mutual-link sink pages
+    for _ in range(4):
+        web.add_edge(rng.randrange(core), rng.randrange(core))
+    after = combine_link_structures(web, semantic)
+
+    y = _warm_gauge(after, old.scores.copy())
+    result = refine_incremental(after, y, tol=TOL)
+    assert result.converged
+    assert result.relaxations > 0
+
+    incremental = normalize_solution(after, y)
+    cold = solve_pagerank(after, method="gauss_seidel", tol=TOL, max_iter=5000)
+    assert cold.converged
+    # Both solutions carry O(tol) error, so they agree to a small multiple.
+    assert float(np.abs(incremental - cold.scores).sum()) < 100 * TOL
+
+
+def test_incremental_touches_fewer_rows_than_full_sweeps():
+    n = 600
+    web, semantic = paired_link_structures(n, seed=7)
+    before = combine_link_structures(web, semantic)
+    old = solve_pagerank(before, method="gauss_seidel", tol=TOL, max_iter=5000)
+    web.add_edge(5, 410)
+    web.add_edge(411, 6)
+    after = combine_link_structures(web, semantic)
+
+    y = _warm_gauge(after, old.scores.copy())
+    result = refine_incremental(after, y, tol=TOL)
+    cold = solve_pagerank(after, method="gauss_seidel", tol=TOL, max_iter=5000)
+    assert result.converged
+    assert result.sweep_equivalents(n) < cold.iterations
+
+
+def test_noop_delta_needs_no_relaxations():
+    web, semantic = paired_link_structures(300, seed=11)
+    problem = combine_link_structures(web, semantic)
+    solved = solve_pagerank(problem, method="gauss_seidel", tol=TOL, max_iter=5000)
+    y = _warm_gauge(problem, solved.scores.copy())
+    # Refining a solution that already converged at TOL, against a looser
+    # target, finds nothing to do: every row is below its dirty slice.
+    result = refine_incremental(problem, y, tol=100 * TOL)
+    assert result.converged
+    assert result.dirty == 0
+    assert result.relaxations == 0
+    assert result.sweep_equivalents(problem.n) == 0
+
+
+def test_relaxation_budget_reports_non_convergence():
+    web, semantic = paired_link_structures(300, seed=5)
+    problem = combine_link_structures(web, semantic)
+    y = np.zeros(problem.n)  # everything dirty, nothing pre-solved
+    result = refine_incremental(problem, y, tol=TOL, max_relaxations=10)
+    assert not result.converged
+    assert result.relaxations == 10
+
+
+def test_initial_residual_validates_shape():
+    from repro.errors import LinalgError
+
+    web, semantic = paired_link_structures(50, seed=1)
+    problem = combine_link_structures(web, semantic)
+    with pytest.raises(LinalgError):
+        initial_residual(problem, np.zeros(problem.n + 1))
+
+
+def test_dirty_rows_thresholding():
+    rhs = np.full(10, 0.1)  # ||b||1 = 1, per-row slice = 1e-10 / 10
+    residual = np.zeros(10)
+    residual[3] = 1e-3
+    residual[5] = 1e-10  # just above the 1e-11 slice
+    residual[7] = 1e-12  # below it: clean
+    dirty = dirty_rows(residual, rhs, tol=1e-10)
+    assert dirty.tolist() == [3, 5]
+    assert dirty_rows(np.zeros(10), rhs, tol=1e-10).size == 0
+
+
+def test_sweep_equivalents_rounding():
+    result = IncrementalResult(relaxations=0, dirty=0, converged=True, final_residual=0.0)
+    assert result.sweep_equivalents(100) == 0
+    result = IncrementalResult(relaxations=1, dirty=1, converged=True, final_residual=0.0)
+    assert result.sweep_equivalents(100) == 1
+    result = IncrementalResult(relaxations=250, dirty=9, converged=True, final_residual=0.0)
+    assert result.sweep_equivalents(100) == 3
+
+
+# ----------------------------------------------------------------------
+# Ranker-level behavior: when each refresh path runs
+# ----------------------------------------------------------------------
+
+
+def _station(i: int, extra=()):
+    return (
+        "station",
+        f"Station:INC-{i:03d}",
+        [("name", f"INC-{i:03d}"), ("elevation_m", 1000 + i), *extra],
+    )
+
+
+def _make_smr(pages: int = 30) -> SensorMetadataRepository:
+    smr = SensorMetadataRepository()
+    for i in range(pages):
+        kind, title, annotations = _station(i)
+        links = [f"Station:INC-{(i + 1) % pages:03d}"] if i % 2 == 0 else []
+        smr.register(kind, title, annotations, links=links)
+    return smr
+
+
+class TestRankerRefreshModes:
+    def test_first_solve_is_cold(self):
+        ranker = PageRankRanker(_make_smr())
+        ranker.scores()
+        assert ranker.last_refresh_mode == "cold"
+
+    def test_mutation_triggers_automatic_incremental_refresh(self):
+        smr = _make_smr()
+        ranker = PageRankRanker(smr)
+        before = ranker.scores()
+        cold_iterations = ranker.last_refresh_iterations
+        kind, title, annotations = _station(99)
+        smr.register(kind, title, annotations, links=["Station:INC-000"])
+        after = ranker.scores()  # no refresh() call — picked up automatically
+        assert title in after and title not in before
+        assert ranker.last_refresh_mode == "incremental"
+        assert ranker.last_refresh_relaxations > 0
+        assert ranker.last_refresh_iterations <= cold_iterations
+
+    def test_incremental_matches_forced_full_solve(self):
+        smr = _make_smr()
+        incremental = PageRankRanker(smr)
+        incremental.scores()
+        kind, title, annotations = _station(99)
+        smr.register(kind, title, annotations, links=["Station:INC-001"])
+        by_increment = incremental.scores()
+        assert incremental.last_refresh_mode == "incremental"
+        cold = PageRankRanker(smr)
+        by_full = cold.scores()
+        assert set(by_increment) == set(by_full)
+        drift = sum(abs(by_increment[t] - by_full[t]) for t in by_full)
+        assert drift < 100 * incremental.tol
+
+    def test_threshold_zero_disables_incremental(self):
+        smr = _make_smr()
+        ranker = PageRankRanker(smr, incremental_threshold=0.0)
+        ranker.scores()
+        kind, title, annotations = _station(99)
+        smr.register(kind, title, annotations)
+        ranker.scores()
+        assert ranker.last_refresh_mode == "warm"  # fell back, still warm-started
+
+    def test_refresh_forces_full_solve(self):
+        smr = _make_smr()
+        ranker = PageRankRanker(smr)
+        ranker.scores()
+        ranker.refresh()
+        ranker.scores()
+        assert ranker.last_refresh_mode == "warm"
+        assert ranker.last_refresh_relaxations == 0
+
+    def test_power_method_never_takes_incremental_path(self):
+        smr = _make_smr()
+        ranker = PageRankRanker(smr, method="power", tol=1e-9)
+        ranker.scores()
+        kind, title, annotations = _station(99)
+        smr.register(kind, title, annotations)
+        ranker.scores()
+        assert ranker.last_refresh_mode == "warm"
+
+    def test_scores_stable_when_nothing_changed(self):
+        ranker = PageRankRanker(_make_smr())
+        first = ranker.scores()
+        assert ranker.scores() is first  # cached dict, no recompute
