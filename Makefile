@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-cache
+.PHONY: test docs-check bench bench-cache obs-check
 
 ## Tier-1: the full unit/integration suite (includes docs-check).
 test:
@@ -21,3 +21,8 @@ bench:
 ## The docs/PERFORMANCE.md headline numbers: caching + warm starts.
 bench-cache:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_cache_warmstart.py -q
+
+## Observability gate: unit tests + web surfaces + the overhead budget.
+obs-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_obs.py tests/test_obs_log.py tests/test_web.py -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q

@@ -5,6 +5,13 @@ tol = 1e-8) and records iterations-to-converge. The benchmarked quantity
 is one full solve per solver at n = 1000; the full iteration table across
 sizes is written to ``results/fig3a_convergence.txt``.
 
+The residual curves are *not* re-solved for the plot: every solve already
+streams its residual series into the shared
+:class:`~repro.obs.convergence.ConvergenceRecorder` (the same source
+``/debug/convergence`` serves live), so the figure is rendered straight
+from the recorder — benchmark and production numbers come from one code
+path, and the study runs once instead of twice.
+
 Paper shape: Gauss–Seidel needs the fewest iterations among the
 stationary/power family (it is the method the paper deploys); Jacobi is
 the worst; power sits between. Krylov methods (GMRES/BiCGSTAB/Arnoldi)
@@ -14,6 +21,7 @@ see EXPERIMENTS.md for the discussion of that deviation.
 
 import pytest
 
+from repro import obs
 from repro.pagerank import ConvergenceStudy, combine_link_structures, solve_pagerank
 from repro.pagerank.solvers import SOLVERS
 from repro.workloads.webgraphs import paired_link_structures
@@ -32,30 +40,40 @@ def problems():
 
 
 @pytest.fixture(scope="module")
-def study(problems, write_result):
+def recorder():
+    """A fresh convergence recorder capturing every solve of this module."""
+    fresh = obs.ConvergenceRecorder(per_solver=len(SIZES) + 8, max_points=8192)
+    previous = obs.set_convergence_recorder(fresh)
+    yield fresh
+    obs.set_convergence_recorder(previous)
+
+
+@pytest.fixture(scope="module")
+def study(problems, recorder, write_result):
     runner = ConvergenceStudy(tol=TOL, max_iter=5000)
     for n in SIZES:
         runner.run(problems[n], label=f"n={n}")
     write_result("fig3a_convergence.txt", runner.format_table() + "\n")
-    write_result("fig3a_curves.svg", _residual_curves(problems[1000]))
+    write_result("fig3a_curves.svg", _residual_curves(recorder, n=1000))
     return runner
 
 
-def _residual_curves(problem) -> str:
-    """The actual Fig. 3(a) plot: residual vs. iteration, log scale."""
+def _residual_curves(recorder, n: int) -> str:
+    """The actual Fig. 3(a) plot, read back from the shared recorder."""
     from repro.viz import LineChart
 
     chart = LineChart(
-        title="PageRank convergence (n=1000, c=0.85)",
+        title=f"PageRank convergence (n={n}, c=0.85)",
         x_label="iteration",
         y_label="residual",
         log_y=True,
     )
     for method in sorted(SOLVERS):
-        result = solve_pagerank(problem, method=method, tol=TOL, max_iter=5000)
+        runs = [run for run in recorder.runs(method) if run["n"] == n]
+        assert runs, f"no recorded n={n} run for {method!r}"
         points = [
-            (i + 1, residual)
-            for i, residual in enumerate(result.residuals)
+            (iteration, residual)
+            for iteration, residual in runs[0]["residuals"]
             if residual > 0
         ]
         chart.add_series(method, points)

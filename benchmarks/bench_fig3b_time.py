@@ -4,12 +4,19 @@ pytest-benchmark times one full solve per solver on the n = 2000
 double-link graph; the cross-size wall-clock table is written to
 ``results/fig3b_time.txt``.
 
+The table is built from the shared
+:class:`~repro.obs.convergence.ConvergenceRecorder`: every solve streams
+its elapsed time and residual series into the recorder (the same source
+``/debug/convergence`` serves live), so the figure reads back telemetry
+instead of keeping a private timing side-channel.
+
 Paper shape: Gauss–Seidel is the most efficient stationary method (its
 halved iteration count amortizes the sweep cost); Jacobi is slowest.
 """
 
 import pytest
 
+from repro import obs
 from repro.pagerank import ConvergenceStudy, combine_link_structures, solve_pagerank
 from repro.pagerank.solvers import SOLVERS
 from repro.workloads.webgraphs import paired_link_structures
@@ -26,13 +33,25 @@ def problem():
 
 @pytest.fixture(scope="module", autouse=True)
 def time_table(write_result):
-    study = ConvergenceStudy(tol=TOL, max_iter=5000)
-    for n in SIZES:
-        web, semantic = paired_link_structures(n, seed=n)
-        study.run(combine_link_structures(web, semantic, alpha=0.5), label=f"n={n}")
+    recorder = obs.ConvergenceRecorder(per_solver=len(SIZES), max_points=64)
+    previous = obs.set_convergence_recorder(recorder)
+    try:
+        study = ConvergenceStudy(tol=TOL, max_iter=5000)
+        for n in SIZES:
+            web, semantic = paired_link_structures(n, seed=n)
+            study.run(combine_link_structures(web, semantic, alpha=0.5), label=f"n={n}")
+    finally:
+        obs.set_convergence_recorder(previous)
+
+    # solver -> {n: seconds}, read back from the recorder's run history.
+    table = {}
+    for run in recorder.runs():
+        table.setdefault(run["solver"], {})[run["n"]] = run["elapsed"]
+    assert all(set(times) == set(SIZES) for times in table.values())
+
     lines = ["Fig. 3(b) — seconds per solve (cols: " + ", ".join(f"n={n}" for n in SIZES) + ")"]
-    for solver, times in sorted(study.time_series().items()):
-        lines.append(f"{solver:<14}" + "  ".join(f"{t:>9.5f}" for t in times))
+    for solver, times in sorted(table.items()):
+        lines.append(f"{solver:<14}" + "  ".join(f"{times[n]:>9.5f}" for n in SIZES))
     write_result("fig3b_time.txt", "\n".join(lines) + "\n")
 
     from repro.viz import LineChart
@@ -43,10 +62,10 @@ def time_table(write_result):
         y_label="seconds",
         log_y=True,
     )
-    for solver, times in sorted(study.time_series().items()):
-        chart.add_series(solver, list(zip(SIZES, times)))
+    for solver, times in sorted(table.items()):
+        chart.add_series(solver, [(n, times[n]) for n in SIZES])
     write_result("fig3b_curves.svg", chart.to_svg())
-    return study
+    return table
 
 
 @pytest.mark.parametrize("method", sorted(SOLVERS))
@@ -59,7 +78,6 @@ def test_fig3b_solver_time(method, problem, benchmark):
 
 def test_fig3b_shape_gauss_seidel_beats_jacobi(time_table):
     """Time shape within the stationary family: GS faster than Jacobi."""
-    times = time_table.time_series()
-    gs_total = sum(times["gauss_seidel"])
-    jacobi_total = sum(times["jacobi"])
+    gs_total = sum(time_table["gauss_seidel"].values())
+    jacobi_total = sum(time_table["jacobi"].values())
     assert gs_total < jacobi_total

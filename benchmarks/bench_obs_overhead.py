@@ -1,4 +1,4 @@
-"""Observability overhead on the engine query hot path.
+"""Observability overhead on the engine query and solver hot paths.
 
 Measures advanced-search throughput in three configurations:
 
@@ -6,11 +6,17 @@ Measures advanced-search throughput in three configurations:
   (``engine._search``) plus the query-log record that ``search`` has
   always performed. This is exactly what ``search`` did before the
   observability layer existed, so the deltas below isolate obs cost;
-- **disabled** — the public ``engine.search`` with the metrics registry
-  and tracer disabled (the no-op fast path);
-- **enabled** — ``engine.search`` with a live registry and tracer.
+- **disabled** — the public ``engine.search`` with the metrics registry,
+  tracer, event log and convergence recorder disabled (the no-op fast
+  path);
+- **enabled** — ``engine.search`` with all four components live.
 
-Targets: < 5 % overhead enabled, < 1 % disabled. Two defenses against
+A second section times the PageRank solver path (one full Gauss–Seidel
+solve on an n=500 double-link graph) enabled vs. disabled, covering the
+per-solve convergence-recorder append and log event.
+
+Targets: < 5 % overhead enabled, < 1 % disabled on the query path, and
+< 5 % enabled-vs-disabled on the solver path. Two defenses against
 benchmark noise: ``time.process_time`` (CPU time, immune to scheduler
 preemption in shared containers) with GC paused during timing, and many
 short interleaved rounds keeping the best round per mode — interleaving
@@ -26,6 +32,8 @@ import time
 
 from repro import obs
 from repro.core.privileges import ANONYMOUS
+from repro.pagerank import combine_link_structures, solve_pagerank
+from repro.workloads.webgraphs import paired_link_structures
 
 QUERIES = [
     "kind=station",
@@ -34,6 +42,8 @@ QUERIES = [
 ]
 ROUNDS = 50
 ITERATIONS = 5  # passes over QUERIES per round per mode
+SOLVER_ROUNDS = 15
+SOLVER_N = 500
 
 
 def _run_baseline(engine, queries):
@@ -55,14 +65,76 @@ def _timed_round(run, engine, queries) -> float:
     return time.process_time() - start
 
 
+class _ObsStack:
+    """All four obs components, installed fresh and toggled together."""
+
+    def __init__(self):
+        self.registry = obs.MetricsRegistry(enabled=True)
+        self.tracer = obs.Tracer()
+        self.event_log = obs.EventLog(capacity=4096)
+        self.recorder = obs.ConvergenceRecorder(per_solver=4)
+        self._previous = None
+
+    def install(self):
+        self._previous = (
+            obs.set_registry(self.registry),
+            obs.set_tracer(self.tracer),
+            obs.set_event_log(self.event_log),
+            obs.set_convergence_recorder(self.recorder),
+        )
+
+    def restore(self):
+        registry, tracer, event_log, recorder = self._previous
+        obs.set_registry(registry)
+        obs.set_tracer(tracer)
+        obs.set_event_log(event_log)
+        obs.set_convergence_recorder(recorder)
+
+    def disable(self):
+        self.registry.disable()
+        self.tracer.disable()
+        self.event_log.disable()
+        self.recorder.disable()
+
+    def enable(self):
+        self.registry.enable()
+        self.tracer.enable()
+        self.event_log.enable()
+        self.recorder.enable()
+
+
+def _solver_overhead(stack: _ObsStack):
+    """Best-of-rounds solve time, enabled vs. disabled, on one problem."""
+    web, semantic = paired_link_structures(SOLVER_N, seed=SOLVER_N)
+    problem = combine_link_structures(web, semantic, alpha=0.5)
+
+    def solve() -> float:
+        start = time.process_time()
+        solve_pagerank(problem, method="gauss_seidel", tol=1e-8, max_iter=2000)
+        return time.process_time() - start
+
+    solve()  # warm caches before timing
+    disabled = enabled = float("inf")
+    gc.disable()
+    try:
+        for _ in range(SOLVER_ROUNDS):
+            stack.disable()
+            disabled = min(disabled, solve())
+            stack.enable()
+            enabled = min(enabled, solve())
+    finally:
+        gc.enable()
+        gc.collect()
+    return disabled, enabled
+
+
 def test_obs_overhead(engine, write_result):
     queries = [engine.parse(text) for text in QUERIES]
     engine.ranker.scores()  # ensure ranking is warm before any timing
 
-    previous_registry = obs.set_registry(obs.MetricsRegistry(enabled=True))
-    previous_tracer = obs.set_tracer(obs.Tracer())
+    stack = _ObsStack()
+    stack.install()
     try:
-        registry, tracer = obs.get_registry(), obs.get_tracer()
         # Warm every path once (index caches, lazy imports, metric families).
         _run_baseline(engine, queries)
         _run_search(engine, queries)
@@ -72,27 +144,29 @@ def test_obs_overhead(engine, write_result):
         try:
             for _ in range(ROUNDS):
                 baseline = min(baseline, _timed_round(_run_baseline, engine, queries))
-                registry.disable()
-                tracer.disable()
+                stack.disable()
                 disabled = min(disabled, _timed_round(_run_search, engine, queries))
-                registry.enable()
-                tracer.enable()
+                stack.enable()
                 enabled = min(enabled, _timed_round(_run_search, engine, queries))
         finally:
             gc.enable()
             gc.collect()
 
-        sample_count = registry.histogram("engine_query_seconds").count
+        sample_count = stack.registry.histogram("engine_query_seconds").count
+        log_count = len(stack.event_log)
+        solver_disabled, solver_enabled = _solver_overhead(stack)
+        recorded_runs = len(stack.recorder.runs("gauss_seidel"))
     finally:
-        obs.set_registry(previous_registry)
-        obs.set_tracer(previous_tracer)
+        stack.restore()
 
     queries_per_round = ITERATIONS * len(QUERIES)
     enabled_overhead = (enabled - baseline) / baseline
     disabled_overhead = (disabled - baseline) / baseline
+    solver_overhead = (solver_enabled - solver_disabled) / solver_disabled
     lines = [
         "Observability overhead on the engine query path",
         f"rounds={ROUNDS} iterations={ITERATIONS} queries/round={queries_per_round}",
+        "(enabled/disabled toggles registry + tracer + event log + convergence recorder)",
         "",
         f"{'mode':<10} {'best round (s)':>15} {'queries/s':>12} {'overhead':>10}",
         f"{'baseline':<10} {baseline:>15.6f} {queries_per_round / baseline:>12.0f} {'—':>10}",
@@ -102,10 +176,21 @@ def test_obs_overhead(engine, write_result):
         f"{enabled_overhead:>9.2%}",
         "",
         f"histogram samples recorded while enabled: {sample_count}",
-        "targets: enabled < 5%, disabled < 1% (negative = within noise floor)",
+        f"event-log records captured while enabled: {log_count}",
+        "",
+        f"Solver path (gauss_seidel, n={SOLVER_N}, best of {SOLVER_ROUNDS} rounds)",
+        "(per-solve cost: convergence-recorder append + log event + span + metrics)",
+        f"{'disabled':<10} {solver_disabled:>15.6f}",
+        f"{'enabled':<10} {solver_enabled:>15.6f} {solver_overhead:>9.2%}",
+        "",
+        "targets: enabled < 5%, disabled < 1%, solver enabled-vs-disabled < 5%",
+        "(negative = within noise floor)",
     ]
     write_result("obs_overhead.txt", "\n".join(lines) + "\n")
 
     assert sample_count == queries_per_round * ROUNDS + len(QUERIES)
+    assert log_count > 0, "enabled rounds should have produced engine.search events"
+    assert recorded_runs > 0, "enabled solver rounds should have recorded runs"
     assert enabled_overhead < 0.05, f"enabled overhead {enabled_overhead:.2%} >= 5%"
     assert disabled_overhead < 0.01, f"disabled overhead {disabled_overhead:.2%} >= 1%"
+    assert solver_overhead < 0.05, f"solver overhead {solver_overhead:.2%} >= 5%"

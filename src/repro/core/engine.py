@@ -69,6 +69,7 @@ class AdvancedSearchEngine:
         smr: SensorMetadataRepository,
         ranker: Optional[PageRankRanker] = None,
         cache: Optional[GenerationalLruCache] = _DEFAULT_CACHE_SENTINEL,
+        slow_query_seconds: float = 0.25,
     ):
         self.smr = smr
         self.ranker = ranker or PageRankRanker(smr)
@@ -77,6 +78,10 @@ class AdvancedSearchEngine:
         if cache is _DEFAULT_CACHE_SENTINEL:
             cache = GenerationalLruCache(capacity=256, name="query_results")
         self.cache = cache
+        #: Queries at or above this wall-clock threshold emit a WARNING
+        #: ``engine.slow_query`` event (with cache verdict, result count
+        #: and privilege set) and count into ``engine_slow_queries_total``.
+        self.slow_query_seconds = slow_query_seconds
         from repro.core.history import QueryLog
 
         self.query_log = QueryLog()
@@ -105,7 +110,8 @@ class AdvancedSearchEngine:
             generation = self._generation()
         registry = obs.get_registry()
         tracer = obs.get_tracer()
-        if not registry.enabled and not tracer.enabled:
+        event_log = obs.get_event_log()
+        if not registry.enabled and not tracer.enabled and not event_log.enabled:
             # Observability off: skip the timers and span entirely so the
             # hot path costs only this branch (the <1% disabled target).
             if key is not None:
@@ -122,24 +128,27 @@ class AdvancedSearchEngine:
         # flow through the same span and latency histogram (tagged with a
         # ``cache`` attribute) — percentiles reflect what callers see.
         start = time.perf_counter()
-        cache_hit = False
+        verdict = "uncached"
         try:
             with tracer.span("engine.search", query=description) as span:
-                cached = self.cache.get(key, generation) if key is not None else None
+                if key is not None:
+                    cached, verdict = self.cache.lookup(key, generation)
+                else:
+                    cached = None
                 if cached is not None:
-                    cache_hit = True
                     results = cached
                 else:
                     results = self._search(query, user, description)
                 if key is not None:
-                    span.set_attribute("cache", "hit" if cache_hit else "miss")
+                    span.set_attribute("cache", verdict)
         except Exception:
             registry.counter(
                 "engine_query_errors_total", "Searches that raised an error."
             ).inc()
+            event_log.error("engine.search_error", query=description)
             raise
         elapsed = time.perf_counter() - start
-        if key is not None and not cache_hit:
+        if key is not None and verdict != "hit":
             self.cache.put(key, generation, results)
         registry.counter(
             "engine_queries_total", "Advanced searches executed."
@@ -156,6 +165,31 @@ class AdvancedSearchEngine:
             registry.counter(
                 "engine_zero_result_queries_total", "Searches that matched nothing."
             ).inc()
+        if event_log.enabled:
+            allowed = user.policy.allowed_kinds
+            privileges = "*" if allowed is None else ",".join(sorted(allowed))
+            event_log.info(
+                "engine.search",
+                query=description,
+                seconds=elapsed,
+                cache=verdict,
+                results=results.total_candidates,
+                privileges=privileges,
+            )
+            if elapsed >= self.slow_query_seconds:
+                event_log.warning(
+                    "engine.slow_query",
+                    query=description,
+                    seconds=elapsed,
+                    threshold=self.slow_query_seconds,
+                    cache=verdict,
+                    results=results.total_candidates,
+                    privileges=privileges,
+                )
+                registry.counter(
+                    "engine_slow_queries_total",
+                    "Searches at or above the slow-query threshold.",
+                ).inc()
         self.query_log.record(description, results.total_candidates, latency=elapsed)
         return results
 

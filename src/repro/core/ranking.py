@@ -12,7 +12,8 @@ mechanism ("properties that are scored high by the PageRank algorithm").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -181,6 +182,7 @@ class PageRankRanker:
         warm-started full solver either way, so correctness never depends
         on this path.
         """
+        started = time.perf_counter()
         y = np.asarray(y0, dtype=float).copy()
         residual = initial_residual(problem, y)
         # Robust scalar rescale of the warm start: when the page count
@@ -212,9 +214,43 @@ class PageRankRanker:
             return None
         self.last_refresh_iterations = result.sweep_equivalents(problem.n)
         self.last_refresh_relaxations = result.relaxations
+        # The dirty-set path bypasses the solver registry, so it reports
+        # its residual trajectory to the shared recorder itself — keeping
+        # /debug/convergence complete across full and incremental solves.
+        obs.get_convergence_recorder().record(
+            "incremental",
+            n=problem.n,
+            iterations=self.last_refresh_iterations,
+            converged=True,
+            elapsed=time.perf_counter() - started,
+            residuals=result.residual_history,
+            matvecs=result.relaxations / max(problem.n, 1),
+        )
         return normalize_solution(problem, y)
 
+    def freshness(self) -> Dict[str, Any]:
+        """Ranker staleness vs. the SMR generation, for ``/healthz``.
+
+        ``fresh=False`` means the next scoring call will trigger a
+        recompute — a degraded-but-self-healing state, not an error.
+        """
+        return {
+            "fresh": not self._stale(),
+            "built_at_mutation": self._built_at_mutation,
+            "smr_mutation": getattr(self.smr, "mutation_count", None),
+            "epoch": self.epoch,
+            "last_refresh_mode": self.last_refresh_mode,
+            "last_refresh_iterations": self.last_refresh_iterations,
+        }
+
     def _record_refresh(self, mode: str, n: int) -> None:
+        obs.get_event_log().info(
+            "ranking.refresh",
+            mode=mode,
+            pages=n,
+            iterations=self.last_refresh_iterations,
+            relaxations=self.last_refresh_relaxations,
+        )
         registry = obs.get_registry()
         if not registry.enabled:
             return

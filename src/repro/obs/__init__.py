@@ -1,4 +1,4 @@
-"""Observability subsystem: metrics, span tracing, and exposition.
+"""Observability subsystem: metrics, tracing, logging, and exposition.
 
 The paper justifies its design decisions with measurements — solver
 convergence iterations and wall-clock time (Fig. 3), tagging pipeline
@@ -10,14 +10,21 @@ single substrate they flow through:
   :class:`Counter` / :class:`Gauge` / :class:`Histogram` primitives and
   the :func:`time_block` timer helper;
 - :mod:`repro.obs.tracing` — context-manager :class:`Span` trees with a
-  bounded in-memory buffer;
+  bounded in-memory buffer, per-trace ``trace_id`` correlation and
+  root-level error propagation;
+- :mod:`repro.obs.log` — structured, leveled :class:`EventLog` ring
+  buffer whose records carry the current trace id (``/debug/logs``);
+- :mod:`repro.obs.profile` — flamegraph-style self/cumulative-time
+  aggregation of finished span trees (``/debug/profile``);
+- :mod:`repro.obs.convergence` — bounded per-solver residual-series
+  history, the live counterpart of Fig. 3(a) (``/debug/convergence``);
 - :mod:`repro.obs.exposition` — Prometheus text format and JSON
   snapshots (served by ``GET /metrics`` and ``/api/stats``).
 
-Instrumented modules call :func:`get_registry` / :func:`get_tracer` at
-the point of use, so tests inject fresh instances with
-:func:`set_registry` / :func:`set_tracer` and production code can
-:meth:`~MetricsRegistry.disable` either one for near-zero overhead.
+Instrumented modules call :func:`get_registry` / :func:`get_tracer` /
+:func:`get_event_log` / :func:`get_convergence_recorder` at the point of
+use, so tests inject fresh instances with the matching ``set_*`` hooks
+and production code can disable any of them for near-zero overhead.
 
 Metric naming conventions (documented in README "Observability"):
 ``<subsystem>_<quantity>_<unit|total>`` with snake_case names, e.g.
@@ -39,7 +46,35 @@ from repro.obs.metrics import (
     set_registry,
     time_block,
 )
-from repro.obs.tracing import NOOP_SPAN, Span, Tracer, get_tracer, set_tracer
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    bind_trace_id,
+    current_trace_id,
+    get_tracer,
+    mint_trace_id,
+    set_tracer,
+    unbind_trace_id,
+)
+from repro.obs.log import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    EventLog,
+    LogRecord,
+    get_event_log,
+    level_number,
+    set_event_log,
+)
+from repro.obs.profile import format_profile, profile_spans, profile_tracer
+from repro.obs.convergence import (
+    ConvergenceRecorder,
+    ConvergenceRun,
+    get_convergence_recorder,
+    set_convergence_recorder,
+)
 from repro.obs.exposition import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
@@ -48,24 +83,44 @@ from repro.obs.exposition import (
 )
 
 __all__ = [
+    "ConvergenceRecorder",
+    "ConvergenceRun",
     "Counter",
+    "DEBUG",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ERROR",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "INFO",
+    "LogRecord",
     "MetricFamily",
     "MetricsRegistry",
     "NOOP_METRIC",
     "NOOP_SPAN",
     "PROMETHEUS_CONTENT_TYPE",
-    "DEFAULT_COUNT_BUCKETS",
-    "DEFAULT_LATENCY_BUCKETS",
     "Span",
     "Tracer",
+    "WARNING",
+    "bind_trace_id",
+    "current_trace_id",
+    "format_profile",
+    "get_convergence_recorder",
+    "get_event_log",
     "get_registry",
     "get_tracer",
+    "level_number",
+    "mint_trace_id",
+    "profile_spans",
+    "profile_tracer",
     "render_prometheus",
+    "set_convergence_recorder",
+    "set_event_log",
     "set_registry",
     "set_tracer",
     "snapshot",
     "snapshot_json",
     "time_block",
+    "unbind_trace_id",
 ]

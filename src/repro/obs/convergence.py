@@ -1,0 +1,244 @@
+"""Shared recorder of solver convergence telemetry (the live Fig. 3(a)).
+
+The paper compares PageRank solvers by convergence iterations and
+computation time; PR 1's metrics capture those as *aggregates*
+(iteration counters, solve-time histograms) but throw away the residual
+trajectory each solve walked. This recorder keeps it: every finished
+solve — whichever of the nine solvers ran it, and the incremental
+Gauss–Southwell refinement too — appends a :class:`ConvergenceRun` with
+its per-iteration residual series, bounded per solver so the live system
+can always answer "what did the last few solves look like" without
+unbounded memory.
+
+The same recorder is the *single source of residual histories*: the
+``/debug/convergence`` endpoint reads it for live diagnosis and the
+Fig. 3 benchmark modules read it for the paper's curves, so benchmark
+and production numbers come from one code path. Long series are
+downsampled to ``max_points`` **(iteration, residual)** pairs (first and
+last always kept), which preserves the log-scale convergence shape while
+bounding payload size.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs import tracing
+from repro.obs.metrics import get_registry
+
+
+class ConvergenceRun:
+    """One recorded solve: metadata plus the residual trajectory."""
+
+    __slots__ = (
+        "solver", "n", "iterations", "converged", "elapsed",
+        "final_residual", "points", "matvecs", "trace_id", "seq",
+    )
+
+    def __init__(
+        self,
+        solver: str,
+        n: int,
+        iterations: int,
+        converged: bool,
+        elapsed: float,
+        final_residual: float,
+        points: List[Tuple[int, float]],
+        matvecs: float,
+        trace_id: Optional[str],
+        seq: int,
+    ):
+        self.solver = solver
+        self.n = n
+        self.iterations = iterations
+        self.converged = converged
+        self.elapsed = elapsed
+        self.final_residual = final_residual
+        self.points = points
+        self.matvecs = matvecs
+        self.trace_id = trace_id
+        self.seq = seq
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering for ``/debug/convergence``."""
+        return {
+            "seq": self.seq,
+            "solver": self.solver,
+            "n": self.n,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "elapsed": self.elapsed,
+            "final_residual": self.final_residual,
+            "matvecs": self.matvecs,
+            "trace_id": self.trace_id,
+            "residuals": [[iteration, residual] for iteration, residual in self.points],
+        }
+
+
+def _downsample(residuals: Sequence[float], max_points: int) -> List[Tuple[int, float]]:
+    """Pair residuals with 1-based iteration numbers, capped at ``max_points``.
+
+    Stride sampling keeps the first point and always re-appends the last,
+    so the final residual — the number the convergence criterion is about
+    — is never lost to the cap.
+    """
+    points = [(i + 1, float(r)) for i, r in enumerate(residuals)]
+    if len(points) <= max_points:
+        return points
+    stride = -(-len(points) // (max_points - 1))  # ceil division
+    sampled = points[::stride]
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    return sampled
+
+
+class ConvergenceRecorder:
+    """Bounded per-solver history of convergence runs.
+
+    Parameters
+    ----------
+    per_solver:
+        How many runs to retain per solver name (oldest dropped first).
+    max_points:
+        Residual-series length cap per run (downsampled beyond it).
+    enabled:
+        When False, :meth:`record` returns immediately.
+    """
+
+    def __init__(self, per_solver: int = 8, max_points: int = 2048, enabled: bool = True):
+        if per_solver <= 0:
+            raise ObservabilityError(f"per-solver history must be positive, got {per_solver}")
+        if max_points < 2:
+            raise ObservabilityError(f"max_points must be at least 2, got {max_points}")
+        self.per_solver = per_solver
+        self.max_points = max_points
+        self.enabled = enabled
+        self._runs: Dict[str, Deque[ConvergenceRun]] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record(
+        self,
+        solver: str,
+        n: int,
+        iterations: int,
+        converged: bool,
+        elapsed: float,
+        residuals: Sequence[float],
+        matvecs: float = 0.0,
+    ) -> None:
+        """Append one finished solve to ``solver``'s bounded history.
+
+        The current trace id is captured so a slow request that triggered
+        a ranking refresh can be joined to the exact solve it paid for.
+        A pair of registry metrics mirror the latest run per solver
+        (``pagerank_convergence_runs_total``, ``…_last_iterations``) so
+        dashboards need not parse the JSON history.
+        """
+        if not self.enabled:
+            return
+        points = _downsample(residuals, self.max_points)
+        final = points[-1][1] if points else float("inf")
+        with self._lock:
+            self._seq += 1
+            history = self._runs.get(solver)
+            if history is None:
+                history = self._runs[solver] = deque(maxlen=self.per_solver)
+            history.append(
+                ConvergenceRun(
+                    solver=solver,
+                    n=int(n),
+                    iterations=int(iterations),
+                    converged=bool(converged),
+                    elapsed=float(elapsed),
+                    final_residual=final,
+                    points=points,
+                    matvecs=float(matvecs),
+                    trace_id=tracing.current_trace_id(),
+                    seq=self._seq,
+                )
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "pagerank_convergence_runs_total",
+                "Convergence runs recorded per solver.",
+                labels=("solver",),
+            ).labels(solver).inc()
+            registry.gauge(
+                "pagerank_convergence_last_iterations",
+                "Iterations of the most recently recorded run per solver.",
+                labels=("solver",),
+            ).labels(solver).set(float(iterations))
+
+    # -- queries ---------------------------------------------------------
+
+    def solvers(self) -> List[str]:
+        """Solver names with at least one recorded run, sorted."""
+        with self._lock:
+            return sorted(self._runs)
+
+    def runs(self, solver: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Recorded runs as dicts, most recent first (optionally one solver)."""
+        with self._lock:
+            if solver is not None:
+                selected = list(self._runs.get(solver, ()))
+            else:
+                selected = [run for history in self._runs.values() for run in history]
+        selected.sort(key=lambda run: -run.seq)
+        return [run.to_dict() for run in selected]
+
+    def latest(self, solver: str) -> Optional[Dict[str, Any]]:
+        """The most recent run of ``solver``, or None."""
+        with self._lock:
+            history = self._runs.get(solver)
+            run = history[-1] if history else None
+        return run.to_dict() if run is not None else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every solver's history, JSON-friendly (for ``/debug/convergence``)."""
+        return {
+            "solvers": self.solvers(),
+            "per_solver": self.per_solver,
+            "runs": self.runs(),
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every recorded run."""
+        with self._lock:
+            self._runs.clear()
+
+    def enable(self) -> None:
+        """Turn run recording on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn run recording off; :meth:`record` becomes a no-op."""
+        self.enabled = False
+
+
+# ----------------------------------------------------------------------
+# Module-level default recorder with injection hooks
+# ----------------------------------------------------------------------
+
+_default_recorder = ConvergenceRecorder()
+
+
+def get_convergence_recorder() -> ConvergenceRecorder:
+    """The process-wide default recorder every solver reports to."""
+    return _default_recorder
+
+
+def set_convergence_recorder(recorder: ConvergenceRecorder) -> ConvergenceRecorder:
+    """Swap the default recorder (tests/benches inject a fresh one); returns the old."""
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous

@@ -1,0 +1,83 @@
+"""Flamegraph-style aggregation of finished span trees.
+
+One trace answers "where did *that* request spend its time"; this module
+answers the aggregate question — "where does the system spend its time
+across recent requests" — the same way the paper's Fig. 3(b) aggregates
+per-solver computation time across problem sizes. Finished root spans
+from the :class:`~repro.obs.tracing.Tracer` ring buffer are folded into
+a table keyed by **span path** (``http.request/engine.search/
+pagerank.solve``), accumulating per path:
+
+- ``count`` — how many spans landed on the path;
+- ``cum_seconds`` — wall-clock including children (cumulative);
+- ``self_seconds`` — cumulative minus the children's cumulative, i.e.
+  time spent in the span's own code (the flamegraph "self" column);
+- ``max_seconds`` — the worst single span, which is what points at
+  outliers that averages hide.
+
+The input is the JSON shape :meth:`Span.to_dict` produces, so the
+profiler works equally on a live tracer (``profile_tracer``) and on
+trace dumps fetched from ``/debug/trace``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+SEPARATOR = "/"
+
+
+def profile_spans(traces: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate span-tree dicts into per-path self/cumulative rows.
+
+    Rows are sorted by cumulative seconds, largest first; ties break on
+    path so the output is deterministic for tests.
+    """
+    table: Dict[str, Dict[str, Any]] = {}
+
+    def visit(span: Dict[str, Any], prefix: str) -> None:
+        path = f"{prefix}{SEPARATOR}{span['name']}" if prefix else span["name"]
+        duration = float(span.get("duration", 0.0))
+        children = span.get("children", ())
+        child_total = sum(float(child.get("duration", 0.0)) for child in children)
+        row = table.get(path)
+        if row is None:
+            row = table[path] = {
+                "path": path,
+                "count": 0,
+                "cum_seconds": 0.0,
+                "self_seconds": 0.0,
+                "max_seconds": 0.0,
+            }
+        row["count"] += 1
+        row["cum_seconds"] += duration
+        # Clamp at zero: a live child captured mid-flight can momentarily
+        # report more time than its already-finished parent.
+        row["self_seconds"] += max(0.0, duration - child_total)
+        row["max_seconds"] = max(row["max_seconds"], duration)
+        for child in children:
+            visit(child, path)
+
+    for trace in traces:
+        visit(trace, "")
+    rows = sorted(table.values(), key=lambda r: (-r["cum_seconds"], r["path"]))
+    for row in rows:
+        row["avg_seconds"] = row["cum_seconds"] / row["count"] if row["count"] else 0.0
+    return rows
+
+
+def profile_tracer(tracer, k: int = 256) -> List[Dict[str, Any]]:
+    """Aggregate the last ``k`` finished traces of ``tracer``."""
+    return profile_spans(tracer.recent(k))
+
+
+def format_profile(rows: List[Dict[str, Any]]) -> str:
+    """Render profile rows as an aligned text table (for CLIs and docs)."""
+    header = f"{'path':<56}{'count':>7}{'self_s':>10}{'cum_s':>10}{'avg_s':>10}{'max_s':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['path']:<56}{row['count']:>7}{row['self_seconds']:>10.4f}"
+            f"{row['cum_seconds']:>10.4f}{row['avg_seconds']:>10.4f}{row['max_seconds']:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -6,6 +6,14 @@ of ``tagging.cache`` and ``tagging.matrix`` without any plumbing at the
 call sites. Finished **root** spans (whole trees) land in a bounded
 in-memory ring buffer the ``/debug/trace`` endpoint reads from.
 
+Every trace carries a **trace id**: the root span mints one (or adopts
+the id bound by :func:`bind_trace_id` — the web middleware binds one per
+HTTP request) and children inherit it, so a span tree, the log records
+emitted under it (:mod:`repro.obs.log`) and the ``X-Trace-Id`` response
+header all join on one key. Error spans propagate ``error=True`` to
+their root and count into the ``errors_total{component}`` family, so
+failures are countable even when only root spans are sampled.
+
 This is deliberately not OpenTelemetry: no context propagation across
 processes, no sampling policy, no exporters — just enough structure to
 answer "where did that request spend its time" in tests, benchmarks and
@@ -17,16 +25,46 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import ObservabilityError
 
 
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (unique per request for all practical sizes)."""
+    return uuid.uuid4().hex[:16]
+
+
+# Thread-local request context: the web middleware binds a trace id for
+# the duration of one request so that logs and payloads stay correlated
+# even when the tracer itself is disabled (no live span to ask).
+_context = threading.local()
+
+
+def bind_trace_id(trace_id: str) -> None:
+    """Bind ``trace_id`` to this thread until :func:`unbind_trace_id`."""
+    _context.trace_id = trace_id
+
+
+def unbind_trace_id() -> None:
+    """Drop this thread's bound trace id."""
+    _context.trace_id = None
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the innermost live span, else the bound one, else None."""
+    span = _default_tracer.current()
+    if span is not None and span.trace_id is not None:
+        return span.trace_id
+    return getattr(_context, "trace_id", None)
+
+
 class Span:
     """One timed, attributed block in a trace tree."""
 
-    __slots__ = ("name", "attributes", "children", "start", "end", "_tracer")
+    __slots__ = ("name", "attributes", "children", "start", "end", "trace_id", "_tracer")
 
     def __init__(self, name: str, tracer: "Tracer", attributes: Dict[str, Any]):
         self.name = name
@@ -34,6 +72,7 @@ class Span:
         self.children: List["Span"] = []
         self.start = 0.0
         self.end: Optional[float] = None
+        self.trace_id: Optional[str] = None
         self._tracer = tracer
 
     @property
@@ -55,16 +94,34 @@ class Span:
         self.end = self._tracer._clock()
         if exc_type is not None:
             self.attributes["error"] = f"{exc_type.__name__}: {exc}"
+            _count_error(self.name)
         self._tracer._pop(self)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly rendering of this span and its subtree."""
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "duration": self.duration,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
+
+
+def _count_error(span_name: str) -> None:
+    """Count one errored span into ``errors_total{component}``.
+
+    The component label is the span name's first dotted segment
+    (``engine.search`` -> ``engine``) — bounded by the set of
+    instrumented subsystems, never by request content.
+    """
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "errors_total",
+        "Errored spans per component (failures are countable, not just traceable).",
+        labels=("component",),
+    ).labels(span_name.split(".", 1)[0]).inc()
 
 
 class _NoopSpan:
@@ -75,6 +132,7 @@ class _NoopSpan:
     attributes: Dict[str, Any] = {}
     children: List[Any] = []
     duration = 0.0
+    trace_id: Optional[str] = None
 
     def set_attribute(self, key: str, value: Any) -> None:
         pass
@@ -86,7 +144,7 @@ class _NoopSpan:
         pass
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": "", "duration": 0.0, "attributes": {}, "children": []}
+        return {"name": "", "trace_id": None, "duration": 0.0, "attributes": {}, "children": []}
 
 
 NOOP_SPAN = _NoopSpan()
@@ -138,6 +196,9 @@ class Tracer:
         stack = self._stack()
         if stack:
             stack[-1].children.append(span)
+            span.trace_id = stack[-1].trace_id
+        elif span.trace_id is None:
+            span.trace_id = getattr(_context, "trace_id", None) or mint_trace_id()
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -148,6 +209,10 @@ class Tracer:
             top = stack.pop()
             if top is span:
                 break
+        if stack and span.attributes.get("error"):
+            # A failed child would otherwise be invisible at /debug/trace
+            # unless the whole tree were inspected span by span.
+            stack[0].attributes.setdefault("error", True)
         if not stack:
             with self._lock:
                 self._buffer.append(span)
@@ -159,10 +224,17 @@ class Tracer:
 
     # -- buffer access ---------------------------------------------------
 
-    def recent(self, k: int = 20) -> List[Dict[str, Any]]:
-        """The last ``k`` finished root traces, most recent first."""
+    def recent(self, k: int = 20, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The last ``k`` finished root traces, most recent first.
+
+        ``trace_id`` filters to the matching trace(s) before ``k`` applies,
+        so an ``X-Trace-Id`` header can always find its span tree while
+        the buffer still holds it.
+        """
         with self._lock:
             spans = list(self._buffer)
+        if trace_id is not None:
+            spans = [span for span in spans if span.trace_id == trace_id]
         return [span.to_dict() for span in reversed(spans[-k:])]
 
     def clear(self) -> None:

@@ -30,8 +30,8 @@ past a dirty-fraction threshold or when the relaxation budget runs out.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
@@ -53,6 +53,11 @@ class IncrementalResult:
     dirty: int
     converged: bool
     final_residual: float
+    #: Residual 1-norm sampled once per sweep-equivalent (every ``n``
+    #: relaxations) plus the initial and final values — the incremental
+    #: path's analogue of a solver's per-iteration residual series, fed
+    #: to the shared convergence recorder for ``/debug/convergence``.
+    residual_history: List[float] = field(default_factory=list)
 
     def sweep_equivalents(self, n: int) -> int:
         """Relaxation work in full-sweep units: ``ceil(relaxations / n)``."""
@@ -123,6 +128,11 @@ def refine_incremental(
     in_queue = np.zeros(n, dtype=bool)
     in_queue[list(queue)] = True
     relaxations = 0
+    # Sampling the norm every n relaxations keeps the bookkeeping O(1)
+    # amortized per relaxation while still yielding one history point per
+    # sweep-equivalent of work.
+    history: List[float] = [float(np.abs(r).sum())]
+    next_sample = n
     while queue and relaxations < max_relaxations:
         i = queue.popleft()
         in_queue[i] = False
@@ -133,6 +143,9 @@ def refine_incremental(
         y[i] += delta
         r[i] = 0.0
         relaxations += 1
+        if relaxations >= next_sample:
+            history.append(float(np.abs(r).sum()))
+            next_sample += n
         cols, vals = transition.row(i)
         if cols.size:
             off_diag = cols != i  # self-link effect already in diag[i]
@@ -144,9 +157,12 @@ def refine_incremental(
                     in_queue[woken] = True
                     queue.extend(int(k) for k in woken)
     final = float(np.abs(r).sum())
+    if not history or history[-1] != final:
+        history.append(final)
     return IncrementalResult(
         relaxations=relaxations,
         dirty=dirty,
         converged=final < tol * rhs_norm,
         final_residual=final,
+        residual_history=history,
     )

@@ -101,6 +101,26 @@ def _record_solve(name: str, result: SolverResult) -> None:
     path invoked it (``solve_pagerank``, the convergence study, direct
     module calls).
     """
+    # The convergence recorder and event log are gated independently of
+    # the registry: each checks its own enabled flag internally.
+    obs.get_convergence_recorder().record(
+        name,
+        n=int(result.scores.size),
+        iterations=result.iterations,
+        converged=result.converged,
+        elapsed=result.elapsed,
+        residuals=result.residuals,
+        matvecs=result.matvecs,
+    )
+    obs.get_event_log().debug(
+        "pagerank.solve",
+        solver=name,
+        n=int(result.scores.size),
+        iterations=result.iterations,
+        converged=result.converged,
+        seconds=result.elapsed,
+        residual=result.final_residual,
+    )
     registry = obs.get_registry()
     if not registry.enabled:
         return

@@ -88,19 +88,35 @@ class GenerationalLruCache:
         (and dropped); it counts as ``stale`` rather than ``misses`` so
         the two cold-path causes stay distinguishable in ``/metrics``.
         """
+        return self.lookup(key, generation)[0]
+
+    def lookup(self, key: Hashable, generation: int) -> Tuple[Optional[Any], str]:
+        """Like :meth:`get`, but also returns the verdict: hit/miss/stale.
+
+        Callers that narrate their cache decision (the engine's per-query
+        log event, slow-query diagnostics) need the verdict, not just the
+        value — a miss and a lazily-invalidated stale entry have the same
+        value (``None``) but very different operational meanings.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._bump("misses")
-                return None
+                return None, "miss"
             stored_generation, value = entry
             if stored_generation != generation:
                 del self._entries[key]
                 self._bump("stale")
-                return None
+                obs.get_event_log().debug(
+                    "perf.cache_stale",
+                    cache=self.name,
+                    stored_generation=stored_generation,
+                    current_generation=generation,
+                )
+                return None, "stale"
             self._entries.move_to_end(key)
             self._bump("hits")
-            return value
+            return value, "hit"
 
     def put(self, key: Hashable, generation: int, value: Any) -> None:
         """Store ``value`` under ``key`` stamped with ``generation``."""

@@ -70,6 +70,9 @@ class BulkLoader:
             }
             # Empty strings mean "absent" in CSV exports.
             records.append({k: (None if v == "" else v) for k, v in record.items()})
+        obs.get_event_log().debug(
+            "bulkload.parse", format="csv", kind=kind, rows=len(records)
+        )
         return self.load_records(kind, records)
 
     def load_json(self, kind: str, text: str) -> BulkLoadReport:
@@ -83,6 +86,9 @@ class BulkLoader:
         for i, item in enumerate(data, start=1):
             if not isinstance(item, dict):
                 raise BulkLoadError(f"record {i} is not an object", row=i)
+        obs.get_event_log().debug(
+            "bulkload.parse", format="json", kind=kind, rows=len(data)
+        )
         return self.load_records(kind, data)
 
     # ------------------------------------------------------------------
@@ -119,6 +125,14 @@ class BulkLoader:
 
     def _record_batch(self, kind: str, report: BulkLoadReport, elapsed: float) -> None:
         """Report one finished batch to the default metrics registry."""
+        obs.get_event_log().info(
+            "bulkload.batch",
+            kind=kind,
+            loaded=report.loaded,
+            errors=len(report.errors),
+            seconds=elapsed,
+            generation=self.smr.mutation_count,
+        )
         registry = obs.get_registry()
         if not registry.enabled:
             return

@@ -55,6 +55,9 @@ class TaggingSystem:
         obs.get_registry().counter(
             "tagging_parser_imports_total", "Tags imported from the SMR by the Parser."
         ).inc(imported)
+        obs.get_event_log().info(
+            "tagging.parser", properties=list(properties), imported=imported
+        )
         return imported
 
     # ------------------------------------------------------------------
@@ -70,12 +73,16 @@ class TaggingSystem:
         Fig. 4 Parser→Cache→Matrix structure made observable.
         """
         tracer = obs.get_tracer()
+        event_log = obs.get_event_log()
         key = (self.store.version, top, min_count, self.builder.threshold, self.builder.max_font)
         with tracer.span("tagging.cloud", top=top, min_count=min_count) as span:
             with tracer.span("tagging.cache"):
                 cached = self.cache.get(key)
             if cached is not None:
                 span.set_attribute("cache", "hit")
+                event_log.debug(
+                    "tagging.cloud", cache="hit", entries=len(cached.entries)
+                )
                 return cached
             span.set_attribute("cache", "miss")
             with obs.time_block(
@@ -83,9 +90,16 @@ class TaggingSystem:
                     "tagging_cloud_build_seconds",
                     "Seconds spent building tag clouds on cache misses.",
                 )
-            ), tracer.span("tagging.matrix"):
+            ) as timer, tracer.span("tagging.matrix"):
                 built = self.builder.build(self.store, top=top, min_count=min_count)
             self.cache.put(key, built)
+            event_log.info(
+                "tagging.cloud",
+                cache="miss",
+                entries=len(built.entries),
+                cliques=len(built.cliques),
+                seconds=timer.elapsed,
+            )
             return built
 
     def trends(self, k: int = 10) -> List[Tuple[str, int]]:

@@ -19,14 +19,28 @@ Endpoints (all under ``/api``):
 Observability (outside ``/api``):
 
     GET  /metrics                             Prometheus text exposition
-    GET  /debug/trace?k=                      recent span trees (JSON)
+    GET  /debug/trace?k=&trace_id=            recent span trees (JSON)
+    GET  /debug/logs?level=&trace_id=&k=      structured event log (JSON)
+    GET  /debug/profile?k=                    span-path self/cum profile
+    GET  /debug/convergence?solver=           solver residual histories
+    GET  /healthz                             component health probes
 
-Every request passes through :class:`MetricsMiddleware`, which records
-per-endpoint request counters and latency histograms at the WSGI level.
+Every request passes through :class:`MetricsMiddleware`, which mints a
+request-scoped **trace id**, attaches it to the root span, every log
+record and an ``X-Trace-Id`` header on every response (error responses
+included), and records per-endpoint request counters and latency
+histograms at the WSGI level. A user-reported slow request is therefore
+fully reconstructable offline: its ``X-Trace-Id`` finds the span tree in
+``/debug/trace``, the correlated records in ``/debug/logs`` and — when a
+ranking solve ran — the residual series in ``/debug/convergence``.
+
 ``GET /api/stats`` additionally reports the engine's result-cache
 statistics (hits, misses, stale lookups, generation) next to the query
 latency percentiles, so cache effectiveness is observable without
-scraping ``/metrics``.
+scraping ``/metrics``. The ``/debug/*`` surfaces are privilege-gated:
+``create_app(..., debug=False)`` turns them into 403s for deployments
+where traces and logs must not be public, while ``/healthz`` stays open
+for load balancers.
 
 Errors surface as JSON with appropriate status codes; the engine's
 exception hierarchy maps 1:1 onto 400s.
@@ -81,7 +95,11 @@ _INDEX_HTML = """<!doctype html>
   <li><a href="/api/viz/map.svg?q=kind%3Dstation">/api/viz/map.svg?q=</a></li>
   <li><a href="/api/viz/facets.svg?q=kind%3Dstation&prop=status&chart=pie">/api/viz/facets.svg?q=&amp;prop=&amp;chart=bar|pie</a></li>
   <li><a href="/metrics">/metrics</a> (Prometheus) |
-      <a href="/debug/trace">/debug/trace</a> (recent spans)</li>
+      <a href="/healthz">/healthz</a> (component health)</li>
+  <li><a href="/debug/trace">/debug/trace</a> (recent spans) |
+      <a href="/debug/logs">/debug/logs</a> (event log) |
+      <a href="/debug/profile">/debug/profile</a> (span profile) |
+      <a href="/debug/convergence">/debug/convergence</a> (solver residuals)</li>
 </ul>
 <p>Query syntax: <code>keyword=wind kind=sensor elevation_m&gt;=2000 sort=pagerank
 order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
@@ -129,15 +147,28 @@ def create_app(
     engine: AdvancedSearchEngine,
     tagging: Optional[TaggingSystem] = None,
     observations=None,
+    debug: bool = True,
 ):
     """Build the WSGI application over ``engine``.
 
     ``tagging`` defaults to an empty tagging system; ``observations`` is
     an optional :class:`~repro.observations.store.ObservationStore` —
     when given, the ``/api/observations/...`` endpoints serve live data.
+    ``debug=False`` locks the ``/debug/*`` introspection endpoints (logs,
+    traces, profile, convergence) behind 403s for deployments where that
+    detail must not be public; ``/metrics`` and ``/healthz`` stay open as
+    they carry only aggregates and statuses.
     """
     tagging = tagging or TaggingSystem()
     router = Router()
+
+    def _debug_guard() -> Optional[Response]:
+        if debug:
+            return None
+        return JsonResponse(
+            {"error": "debug endpoints are disabled on this deployment"},
+            status="403 Forbidden",
+        )
 
     @router.get("/api/observations/{sensor}")
     def observation_stats(request: Request, sensor: str) -> Response:
@@ -263,6 +294,10 @@ def create_app(
                 "query": results.query_description,
                 "total_candidates": results.total_candidates,
                 "results": [_result_payload(r) for r in results],
+                # The same id lands in the X-Trace-Id header; it is also
+                # in the body so API clients that log payloads can quote
+                # it back when reporting a slow or wrong result.
+                "trace_id": obs.current_trace_id(),
             }
         )
 
@@ -351,6 +386,7 @@ def create_app(
                     {"query": q, "seconds": s}
                     for q, s in engine.query_log.slow_queries(5)
                 ],
+                "trace_id": obs.current_trace_id(),
             }
         )
 
@@ -361,8 +397,106 @@ def create_app(
 
     @router.get("/debug/trace")
     def debug_trace(request: Request) -> Response:
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
         k = int(request.params.get("k", "20"))
-        return JsonResponse({"traces": obs.get_tracer().recent(k)})
+        trace_id = request.params.get("trace_id") or None
+        return JsonResponse(
+            {"traces": obs.get_tracer().recent(k, trace_id=trace_id)}
+        )
+
+    @router.get("/debug/logs")
+    def debug_logs(request: Request) -> Response:
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        records = obs.get_event_log().records(
+            level=request.params.get("level") or None,
+            trace_id=request.params.get("trace_id") or None,
+            component=request.params.get("component") or None,
+            k=int(request.params.get("k", "100")),
+        )
+        return JsonResponse({"count": len(records), "records": records})
+
+    @router.get("/debug/profile")
+    def debug_profile(request: Request) -> Response:
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        k = int(request.params.get("k", "256"))
+        rows = obs.profile_tracer(obs.get_tracer(), k=k)
+        return JsonResponse({"traces_considered": k, "rows": rows})
+
+    @router.get("/debug/convergence")
+    def debug_convergence(request: Request) -> Response:
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        recorder = obs.get_convergence_recorder()
+        solver = request.params.get("solver") or None
+        if solver is not None:
+            return JsonResponse({"solver": solver, "runs": recorder.runs(solver)})
+        return JsonResponse(recorder.snapshot())
+
+    @router.get("/healthz")
+    def healthz(request: Request) -> Response:
+        """Component health probes for load balancers and operators.
+
+        Each probe reports ``ok``/``degraded``/``error``; a stale ranker
+        (SMR moved on since the last refresh) is *degraded* because the
+        next scoring call self-heals it, while an unreachable store is an
+        *error* and flips the whole response to 503.
+        """
+        checks: Dict[str, Dict[str, Any]] = {}
+
+        def probe(name, fn):
+            try:
+                checks[name] = fn()
+            except Exception as exc:  # noqa: BLE001 — health must not raise
+                checks[name] = {"status": "error", "error": str(exc)}
+
+        def smr_probe() -> Dict[str, Any]:
+            return {
+                "status": "ok",
+                "pages": engine.smr.page_count,
+                "generation": engine.smr.mutation_count,
+            }
+
+        def relational_probe() -> Dict[str, Any]:
+            tables = engine.smr.db.table_names
+            if not tables:
+                return {"status": "error", "error": "no relational tables"}
+            # A real (trivial) query proves the SQL engine end to end.
+            engine.smr.sql(f"SELECT title FROM {tables[0]} LIMIT 1")
+            return {"status": "ok", "tables": len(tables)}
+
+        def rdf_probe() -> Dict[str, Any]:
+            return {"status": "ok", "triples": len(engine.smr.rdf_graph())}
+
+        def ranker_probe() -> Dict[str, Any]:
+            freshness = engine.ranker.freshness()
+            freshness["status"] = "ok" if freshness["fresh"] else "degraded"
+            return freshness
+
+        def cache_probe() -> Dict[str, Any]:
+            info = engine.cache_info()
+            info["status"] = "ok" if info.get("enabled") else "degraded"
+            return info
+
+        probe("smr", smr_probe)
+        probe("relational", relational_probe)
+        probe("rdf", rdf_probe)
+        probe("ranker", ranker_probe)
+        probe("cache", cache_probe)
+        statuses = {check["status"] for check in checks.values()}
+        overall = (
+            "error" if "error" in statuses
+            else "degraded" if "degraded" in statuses
+            else "ok"
+        )
+        status_line = "503 Service Unavailable" if overall == "error" else "200 OK"
+        return JsonResponse({"status": overall, "checks": checks}, status=status_line)
 
     @router.get("/api/suggest")
     def suggest_endpoint(request: Request) -> Response:
@@ -466,6 +600,14 @@ class MetricsMiddleware:
     bounded by the route table. Each request also opens an ``http.request``
     span, making the engine/tagging spans it triggers children of the
     HTTP request in ``/debug/trace``.
+
+    The middleware is where request-scoped **trace correlation** starts:
+    it mints one trace id per request, binds it for the request's thread
+    (so the root span, every :class:`~repro.obs.log.EventLog` record and
+    every convergence run the request triggers carry it), and stamps it
+    onto the response as ``X-Trace-Id`` — on *every* response, error
+    responses and the observability-disabled fast path included, because
+    the header is the handle users quote back when reporting a problem.
     """
 
     def __init__(self, app, router: Router):
@@ -474,32 +616,55 @@ class MetricsMiddleware:
 
     def __call__(self, environ, start_response):
         registry = obs.get_registry()
-        if not registry.enabled:
-            return self.app(environ, start_response)
+        tracer = obs.get_tracer()
+        event_log = obs.get_event_log()
+        trace_id = obs.mint_trace_id()
+        captured: Dict[str, str] = {"status": "500"}
+
+        def stamping_start_response(status, headers, exc_info=None):
+            captured["status"] = status.split(" ", 1)[0]
+            headers = list(headers) + [("X-Trace-Id", trace_id)]
+            if exc_info:
+                return start_response(status, headers, exc_info)
+            return start_response(status, headers)
+
+        if not registry.enabled and not tracer.enabled and not event_log.enabled:
+            # Everything is off: skip spans/metrics/logs entirely (the
+            # <1 %-disabled overhead gate) but still stamp the header.
+            return self.app(environ, stamping_start_response)
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
         endpoint = self.router.endpoint_of(method, path)
-        captured: Dict[str, str] = {"status": "500"}
-
-        def capturing_start_response(status, headers, exc_info=None):
-            captured["status"] = status.split(" ", 1)[0]
-            return start_response(status, headers, exc_info) if exc_info else start_response(status, headers)
-
         start = time.perf_counter()
-        with obs.get_tracer().span("http.request", method=method, endpoint=endpoint) as span:
-            body = self.app(environ, capturing_start_response)
-            span.set_attribute("status", captured["status"])
-        elapsed = time.perf_counter() - start
-        registry.counter(
-            "http_requests_total",
-            "HTTP requests served per endpoint, method and status.",
-            labels=("endpoint", "method", "status"),
-        ).labels(endpoint, method, captured["status"]).inc()
-        registry.histogram(
-            "http_request_seconds",
-            "HTTP request latency per endpoint.",
-            labels=("endpoint",),
-        ).labels(endpoint).observe(elapsed)
+        obs.bind_trace_id(trace_id)
+        try:
+            event_log.debug(
+                "http.request.start", method=method, path=path, endpoint=endpoint
+            )
+            with tracer.span("http.request", method=method, endpoint=endpoint) as span:
+                body = self.app(environ, stamping_start_response)
+                span.set_attribute("status", captured["status"])
+            elapsed = time.perf_counter() - start
+            event_log.info(
+                "http.request.end",
+                method=method,
+                endpoint=endpoint,
+                status=captured["status"],
+                seconds=elapsed,
+            )
+        finally:
+            obs.unbind_trace_id()
+        if registry.enabled:
+            registry.counter(
+                "http_requests_total",
+                "HTTP requests served per endpoint, method and status.",
+                labels=("endpoint", "method", "status"),
+            ).labels(endpoint, method, captured["status"]).inc()
+            registry.histogram(
+                "http_request_seconds",
+                "HTTP request latency per endpoint.",
+                labels=("endpoint",),
+            ).labels(endpoint).observe(elapsed)
         return body
 
 

@@ -302,6 +302,157 @@ class TestObservabilityEndpoints:
         assert traces["traces"] == []
 
 
+class TestDeepObservability:
+    @pytest.fixture
+    def fresh_obs(self):
+        """Swap in a fresh registry/tracer/log/recorder for one test."""
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        tracer = obs.Tracer()
+        event_log = obs.EventLog()
+        recorder = obs.ConvergenceRecorder()
+        previous = (
+            obs.set_registry(registry),
+            obs.set_tracer(tracer),
+            obs.set_event_log(event_log),
+            obs.set_convergence_recorder(recorder),
+        )
+        yield registry, tracer, event_log, recorder
+        obs.set_registry(previous[0])
+        obs.set_tracer(previous[1])
+        obs.set_event_log(previous[2])
+        obs.set_convergence_recorder(previous[3])
+
+    def test_every_response_carries_a_trace_id(self, app, fresh_obs):
+        seen = set()
+        for method, path, expected in [
+            ("GET", "/api/search", "200 OK"),
+            ("GET", "/api/nothing", "404 Not Found"),
+            ("GET", "/api/page/Nope", "400 Bad Request"),
+        ]:
+            query = "q=kind%3Dstation" if path == "/api/search" else ""
+            status, headers, _ = call(app, method, path, query)
+            assert status == expected
+            assert len(headers["X-Trace-Id"]) == 16
+            seen.add(headers["X-Trace-Id"])
+        assert len(seen) == 3  # one fresh id per request
+
+    def test_trace_id_in_header_even_when_obs_disabled(self, app, fresh_obs):
+        registry, tracer, event_log, _ = fresh_obs
+        registry.disable()
+        tracer.disable()
+        event_log.disable()
+        status, headers, _ = call(app, "GET", "/api/search", "q=kind%3Dstation")
+        assert status == "200 OK"
+        assert len(headers["X-Trace-Id"]) == 16
+        assert len(event_log) == 0 and tracer.recent() == []
+
+    def test_payload_trace_id_matches_header(self, app, fresh_obs):
+        _, headers, body = call(app, "GET", "/api/search", "q=kind%3Dstation")
+        assert body["trace_id"] == headers["X-Trace-Id"]
+        _, headers, body = call(app, "GET", "/api/stats")
+        assert body["trace_id"] == headers["X-Trace-Id"]
+
+    def test_one_request_reconstructable_from_its_trace_id(self, app, fresh_obs):
+        """The acceptance path: header -> span tree -> correlated logs."""
+        _, headers, _ = call(app, "GET", "/api/search", "q=kind%3Dstation")
+        trace_id = headers["X-Trace-Id"]
+
+        status, _, body = call(app, "GET", "/debug/trace", f"trace_id={trace_id}")
+        assert status == "200 OK"
+        assert len(body["traces"]) == 1
+        assert body["traces"][0]["trace_id"] == trace_id
+        assert body["traces"][0]["attributes"]["endpoint"] == "/api/search"
+
+        status, _, body = call(app, "GET", "/debug/logs", f"trace_id={trace_id}")
+        assert status == "200 OK"
+        events = [r["event"] for r in body["records"]]
+        assert len(events) >= 3
+        assert "http.request.start" in events
+        assert "engine.search" in events
+        assert "http.request.end" in events
+        assert all(r["trace_id"] == trace_id for r in body["records"])
+
+    def test_debug_logs_level_filter(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        _, _, body = call(app, "GET", "/debug/logs", "level=info")
+        assert body["count"] > 0
+        assert all(r["level"] != "debug" for r in body["records"])
+
+    def test_debug_logs_bad_level_is_400(self, app, fresh_obs):
+        status, _, body = call(app, "GET", "/debug/logs", "level=loud")
+        assert status == "400 Bad Request"
+        assert "unknown log level" in body["error"]
+
+    def test_debug_profile_aggregates_span_paths(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        call(app, "GET", "/api/search", "q=kind%3Dsensor")
+        status, _, body = call(app, "GET", "/debug/profile")
+        assert status == "200 OK"
+        rows = {row["path"]: row for row in body["rows"]}
+        assert rows["http.request"]["count"] == 2
+        child = rows["http.request/engine.search"]
+        assert child["count"] == 2
+        assert 0.0 <= child["cum_seconds"] <= rows["http.request"]["cum_seconds"]
+
+    def test_debug_convergence_serves_solver_runs(self, app, fresh_obs):
+        app.engine.ranker.refresh()  # force a full re-solve...
+        app.engine.ranker.scores()  # ...and run it under the fresh recorder
+        status, _, body = call(app, "GET", "/debug/convergence")
+        assert status == "200 OK"
+        assert body["solvers"], "expected at least one recorded solver"
+        solver = body["solvers"][0]
+        status, _, body = call(app, "GET", "/debug/convergence", f"solver={solver}")
+        assert status == "200 OK"
+        run = body["runs"][0]
+        assert run["residuals"], "expected a non-empty residual series"
+        assert run["converged"] is True
+
+    def test_healthz_ok(self, app, fresh_obs):
+        status, _, body = call(app, "GET", "/healthz")
+        assert status == "200 OK"
+        assert body["status"] in ("ok", "degraded")  # ranker may be cold
+        assert set(body["checks"]) == {"smr", "relational", "rdf", "ranker", "cache"}
+        assert body["checks"]["smr"]["pages"] == 3
+        assert body["checks"]["relational"]["status"] == "ok"
+        assert body["checks"]["rdf"]["triples"] > 0
+
+    def test_healthz_degrades_when_ranker_goes_stale(self, fresh_obs):
+        from repro.core import AdvancedSearchEngine
+        from repro.smr import SensorMetadataRepository
+        from repro.web import create_app
+
+        smr = SensorMetadataRepository()
+        smr.register("station", "Station:H1", [("name", "H1")])
+        engine = AdvancedSearchEngine(smr)
+        own_app = create_app(engine)
+
+        # Warm, then write: the SMR generation moves past the ranker's.
+        engine.ranker.scores()
+        status, _, body = call(own_app, "GET", "/healthz")
+        assert status == "200 OK"
+        assert body["checks"]["ranker"]["status"] == "ok"
+        smr.register("station", "Station:H2", [("name", "H2")])
+        _, _, body = call(own_app, "GET", "/healthz")
+        assert body["status"] == "degraded"
+        assert body["checks"]["ranker"]["status"] == "degraded"
+        assert body["checks"]["ranker"]["fresh"] is False
+
+    def test_debug_endpoints_locked_without_debug_flag(self, app, fresh_obs):
+        from repro.web import create_app
+
+        locked = create_app(app.engine, debug=False)
+        for path in ("/debug/trace", "/debug/logs", "/debug/profile", "/debug/convergence"):
+            status, headers, body = call(locked, "GET", path)
+            assert status == "403 Forbidden"
+            assert "X-Trace-Id" in headers
+        status, _, _ = call(locked, "GET", "/healthz")
+        assert status == "200 OK"
+        status, _, _ = call(locked, "GET", "/metrics")
+        assert status == "200 OK"
+
+
 class TestVizEndpoints:
     def test_map_svg(self, app):
         status, headers, body = call(app, "GET", "/api/viz/map.svg", "q=kind%3Dstation")
