@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-cache obs-check
+.PHONY: test docs-check bench bench-smoke bench-cache obs-check
 
 ## Tier-1: the full unit/integration suite (includes docs-check).
 test:
@@ -17,6 +17,13 @@ docs-check:
 ## All benchmarks (one module per paper figure); writes benchmarks/results/.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## Fast CI pass over every benchmark module: tiny corpora, identity and
+## accounting assertions kept, timing gates skipped. Rewrites
+## benchmarks/results/ with smoke-scale numbers — run `make bench`
+## afterwards if you need the committed full-scale results back.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## The docs/PERFORMANCE.md headline numbers: caching + warm starts.
 bench-cache:

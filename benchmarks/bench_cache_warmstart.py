@@ -13,6 +13,7 @@ Each test writes its table into ``benchmarks/results/cache_warmstart.txt``
 so the claimed speedups stay inspectable.
 """
 
+import os
 import time
 
 from repro.core.engine import AdvancedSearchEngine
@@ -30,7 +31,11 @@ WORKLOAD = [
     "kind=station bbox=46.0,6.8,47.0,10.5 limit=0",
     "kind=deployment sort=pagerank limit=10",
 ]
-REPEATS = 20
+# REPRO_BENCH_SMOKE=1: fewer repetitions, and the speedup gate is
+# skipped (the hit/miss accounting assertions scale with REPEATS and
+# still run).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPEATS = 3 if SMOKE else 20
 MIN_SPEEDUP = 5.0
 
 
@@ -66,10 +71,11 @@ def test_cache_repeated_query_speedup(smr, write_result):
     )
     assert info["misses"] == len(WORKLOAD)  # first pass populates
     assert info["hits"] == len(WORKLOAD) * (REPEATS - 1)
-    assert speedup >= MIN_SPEEDUP, (
-        f"expected >= {MIN_SPEEDUP}x from result caching, got {speedup:.1f}x "
-        f"(uncached {cold:.4f}s vs cached {warm:.4f}s)"
-    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x from result caching, got {speedup:.1f}x "
+            f"(uncached {cold:.4f}s vs cached {warm:.4f}s)"
+        )
 
 
 def test_warmstart_beats_cold_after_delta(corpus, results_dir):

@@ -14,6 +14,8 @@ Paper shape: Gauss–Seidel is the most efficient stationary method (its
 halved iteration count amortizes the sweep cost); Jacobi is slowest.
 """
 
+import os
+
 import pytest
 
 from repro import obs
@@ -21,7 +23,11 @@ from repro.pagerank import ConvergenceStudy, combine_link_structures, solve_page
 from repro.pagerank.solvers import SOLVERS
 from repro.workloads.webgraphs import paired_link_structures
 
-SIZES = [500, 1000, 2000]
+# REPRO_BENCH_SMOKE=1: smaller graphs, and the GS-vs-Jacobi wall-clock
+# shape assertion is skipped — a single solve per size is too noisy.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SIZES = [200, 400] if SMOKE else [500, 1000, 2000]
 TOL = 1e-8
 
 
@@ -78,6 +84,8 @@ def test_fig3b_solver_time(method, problem, benchmark):
 
 def test_fig3b_shape_gauss_seidel_beats_jacobi(time_table):
     """Time shape within the stationary family: GS faster than Jacobi."""
+    if SMOKE:
+        pytest.skip("wall-clock shape needs the full-size solves")
     gs_total = sum(time_table["gauss_seidel"].values())
     jacobi_total = sum(time_table["jacobi"].values())
     assert gs_total < jacobi_total

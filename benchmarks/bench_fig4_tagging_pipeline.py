@@ -6,6 +6,8 @@ cloud build, plus the cache's effect on repeat visualizations — the
 reason the paper includes a Cache module at all.
 """
 
+import os
+
 import pytest
 
 from repro.tagging import (
@@ -88,4 +90,9 @@ def test_fig4_cache_speedup(store, benchmark, write_result):
         "fig4_cache.txt",
         f"cache hits={stats.hits} misses={stats.misses} hit_rate={stats.hit_rate:.2%}\n",
     )
-    assert stats.hits > stats.misses  # cached rebuilds dominated
+    # With --benchmark-disable (the smoke pass) the build runs once, so
+    # "dominated" degenerates to one hit against the priming miss.
+    if os.environ.get("REPRO_BENCH_SMOKE") == "1":
+        assert stats.hits >= 1
+    else:
+        assert stats.hits > stats.misses  # cached rebuilds dominated

@@ -28,6 +28,7 @@ small rounds converges each mode to its true floor. Results go to
 from __future__ import annotations
 
 import gc
+import os
 import time
 
 from repro import obs
@@ -35,15 +36,20 @@ from repro.core.privileges import ANONYMOUS
 from repro.pagerank import combine_link_structures, solve_pagerank
 from repro.workloads.webgraphs import paired_link_structures
 
+# REPRO_BENCH_SMOKE=1 keeps the plumbing assertions (sample counts, log
+# events, recorded runs) but shrinks the rounds and skips the overhead
+# percentage gates — best-of-2 timings are pure noise.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 QUERIES = [
     "kind=station",
     "keyword=wind",
     "kind=sensor sort=pagerank limit=20",
 ]
-ROUNDS = 50
-ITERATIONS = 5  # passes over QUERIES per round per mode
-SOLVER_ROUNDS = 15
-SOLVER_N = 500
+ROUNDS = 3 if SMOKE else 50
+ITERATIONS = 2 if SMOKE else 5  # passes over QUERIES per round per mode
+SOLVER_ROUNDS = 2 if SMOKE else 15
+SOLVER_N = 120 if SMOKE else 500
 
 
 def _run_baseline(engine, queries):
@@ -191,6 +197,7 @@ def test_obs_overhead(engine, write_result):
     assert sample_count == queries_per_round * ROUNDS + len(QUERIES)
     assert log_count > 0, "enabled rounds should have produced engine.search events"
     assert recorded_runs > 0, "enabled solver rounds should have recorded runs"
-    assert enabled_overhead < 0.05, f"enabled overhead {enabled_overhead:.2%} >= 5%"
-    assert disabled_overhead < 0.01, f"disabled overhead {disabled_overhead:.2%} >= 1%"
-    assert solver_overhead < 0.05, f"solver overhead {solver_overhead:.2%} >= 5%"
+    if not SMOKE:
+        assert enabled_overhead < 0.05, f"enabled overhead {enabled_overhead:.2%} >= 5%"
+        assert disabled_overhead < 0.01, f"disabled overhead {disabled_overhead:.2%} >= 1%"
+        assert solver_overhead < 0.05, f"solver overhead {solver_overhead:.2%} >= 5%"

@@ -7,6 +7,7 @@ on the largest corpus. Search should stay interactive (well under 100 ms
 here) across the sweep — the property a live demo depends on.
 """
 
+import os
 import time
 
 import pytest
@@ -15,11 +16,23 @@ from repro.core.engine import AdvancedSearchEngine
 from repro.smr.repository import SensorMetadataRepository
 from repro.workloads.generator import CorpusSpec, generate_corpus
 
-SCALES = {
-    "small": CorpusSpec(seed=1, deployments=10, stations=30, sensors=120),
-    "medium": CorpusSpec(seed=1, deployments=20, stations=60, sensors=240),
-    "large": CorpusSpec(seed=1, deployments=20, stations=150, sensors=700),
-}
+# REPRO_BENCH_SMOKE=1 shrinks every scale (same keys, so the table and
+# the parametrized latency tests keep their shape).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SCALES = (
+    {
+        "small": CorpusSpec(seed=1, deployments=4, stations=10, sensors=30),
+        "medium": CorpusSpec(seed=1, deployments=6, stations=15, sensors=60),
+        "large": CorpusSpec(seed=1, deployments=8, stations=20, sensors=90),
+    }
+    if SMOKE
+    else {
+        "small": CorpusSpec(seed=1, deployments=10, stations=30, sensors=120),
+        "medium": CorpusSpec(seed=1, deployments=20, stations=60, sensors=240),
+        "large": CorpusSpec(seed=1, deployments=20, stations=150, sensors=700),
+    }
+)
 
 
 @pytest.fixture(scope="module")

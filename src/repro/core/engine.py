@@ -18,9 +18,12 @@ keyword relevance.
 
 from __future__ import annotations
 
+import heapq
 import re
+import threading
 import time
-from typing import Any, Dict, List, Optional, Set, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro import obs
 
@@ -40,6 +43,7 @@ from repro.core.results import SearchResult, SearchResults
 from repro.errors import QueryError, RelationalError
 from repro.geo.point import GeoPoint
 from repro.perf.cache import GenerationalLruCache, result_cache_key
+from repro.perf.pool import WorkerPool, get_pool, parallel_map
 from repro.smr.repository import SensorMetadataRepository
 
 # Weighting of keyword relevance vs. PageRank in the default sort.
@@ -70,6 +74,8 @@ class AdvancedSearchEngine:
         ranker: Optional[PageRankRanker] = None,
         cache: Optional[GenerationalLruCache] = _DEFAULT_CACHE_SENTINEL,
         slow_query_seconds: float = 0.25,
+        pool: Optional[WorkerPool] = None,
+        topk: bool = True,
     ):
         self.smr = smr
         self.ranker = ranker or PageRankRanker(smr)
@@ -82,6 +88,23 @@ class AdvancedSearchEngine:
         #: ``engine.slow_query`` event (with cache verdict, result count
         #: and privilege set) and count into ``engine_slow_queries_total``.
         self.slow_query_seconds = slow_query_seconds
+        #: Worker pool for the per-query constraint fan-out; ``None``
+        #: resolves to the process-wide default pool at query time.
+        #: Pass ``WorkerPool(size=1)`` to force strictly serial execution.
+        self.pool = pool
+        #: When True (default) and the query carries a limit under a
+        #: relevance/pagerank sort, result materialization is lazy: only
+        #: the top-k survivors get a :class:`SearchResult` built. The
+        #: returned lists are identical to the full-sort path.
+        self.topk = topk
+        # Per-generation memos shared by all query threads: the
+        # IRI -> title map every SPARQL filter needs, and per-title
+        # GeoPoint parses the bbox scan needs. Both are stamped with the
+        # SMR mutation counter — the same generation the result cache
+        # uses — and rebuilt lazily after any write.
+        self._iri_map_lock = threading.Lock()
+        self._iri_map_memo: Optional[Tuple[int, Dict[str, str]]] = None
+        self._location_memo: Optional[Tuple[int, Dict[str, Optional[GeoPoint]]]] = None
         from repro.core.history import QueryLog
 
         self.query_log = QueryLog()
@@ -201,17 +224,36 @@ class AdvancedSearchEngine:
         relevance: Dict[str, float] = {}
         constraint_sets: List[Set[str]] = []
 
+        # Fan out the independent constraint evaluations — the keyword
+        # search, each SQL/SPARQL property filter, and the bbox scan —
+        # onto the worker pool; the SMR's reader–writer lock keeps the
+        # concurrent reads safe under writes. parallel_map preserves
+        # input order (and raises the first failure by input position),
+        # so the reassembly below is identical to the serial loop.
+        jobs: List[Callable[[], Any]] = []
         if query.keyword:
-            hits = self.smr.keyword_search(query.keyword)
+            jobs.append(partial(self.smr.keyword_search, query.keyword))
+        jobs.extend(partial(self._titles_matching_filter, flt) for flt in query.filters)
+        if query.bbox is not None:
+            jobs.append(partial(self._titles_in_bbox, query.bbox))
+        outputs = parallel_map(
+            lambda job: job(), jobs, pool=self.pool, label="engine.constraint"
+        )
+
+        cursor = 0
+        if query.keyword:
+            hits = outputs[cursor]
+            cursor += 1
             relevance = {hit.doc_id: hit.score for hit in hits}
             constraint_sets.append(set(relevance))
 
         if query.kind is not None:
             constraint_sets.append(set(self.smr.titles(query.kind)))
 
-        filter_matches = [
-            (flt, self._titles_matching_filter(flt)) for flt in query.filters
-        ]
+        filter_matches = list(
+            zip(query.filters, outputs[cursor : cursor + len(query.filters)])
+        )
+        cursor += len(query.filters)
         if filter_matches:
             if query.relaxed:
                 union: Set[str] = set()
@@ -223,25 +265,35 @@ class AdvancedSearchEngine:
                     constraint_sets.append(titles)
 
         if query.bbox is not None:
-            constraint_sets.append(self._titles_in_bbox(query.bbox))
+            constraint_sets.append(outputs[cursor])
 
         if constraint_sets:
             candidates = set.intersection(*constraint_sets)
         else:
             candidates = set(self.smr.titles())
 
-        results = []
+        # One locked snapshot instead of a kind_of() lock round-trip per
+        # candidate; every candidate came from the repository, so the
+        # lookup cannot miss.
+        kind_by_key = self.smr.kind_map()
+        allowed: List[Tuple[str, str]] = []
         for title in candidates:
-            kind = self.smr.kind_of(title)
-            if not user.policy.can_read(kind):
-                continue
-            result = self._build_result(title, kind, relevance, filter_matches)
-            results.append(result)
-        total = len(results)
-        self._score_and_sort(query, results)
-        results = results[query.offset :]
-        if query.limit is not None:
-            results = results[: query.limit]
+            kind = kind_by_key[title.strip().lower()]
+            if user.policy.can_read(kind):
+                allowed.append((title, kind))
+        total = len(allowed)
+
+        if self._use_topk(query):
+            results = self._select_topk(query, allowed, relevance, filter_matches)
+        else:
+            results = [
+                self._build_result(title, kind, relevance, filter_matches)
+                for title, kind in allowed
+            ]
+            self._score_and_sort(query, results)
+            results = results[query.offset :]
+            if query.limit is not None:
+                results = results[: query.limit]
         if description is None:
             description = query.describe()
         return SearchResults(results, total, description)
@@ -375,9 +427,27 @@ class AdvancedSearchEngine:
         return matches
 
     def _iri_title_map(self) -> Dict[str, str]:
+        """The IRI -> title map, memoized per SMR generation.
+
+        Every SPARQL-backed filter needs this map; before memoization a
+        three-SPARQL-filter query rebuilt it three times. The generation
+        is read *before* the titles, so a concurrent write can at worst
+        stamp fresh data with a stale generation (rebuilt next query),
+        never stale data with a fresh one.
+        """
         from repro.wiki.site import title_to_iri
 
-        return {title_to_iri(title).value: title for title in self.smr.titles()}
+        generation = self.smr.mutation_count
+        memo = self._iri_map_memo
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        with self._iri_map_lock:
+            memo = self._iri_map_memo
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            mapping = {title_to_iri(title).value: title for title in self.smr.titles()}
+            self._iri_map_memo = (generation, mapping)
+            return mapping
 
     def _titles_in_bbox(self, bbox) -> Set[str]:
         matches: Set[str] = set()
@@ -388,6 +458,27 @@ class AdvancedSearchEngine:
         return matches
 
     def _location_of(self, title: str) -> Optional[GeoPoint]:
+        """Per-title GeoPoint, cached by SMR generation.
+
+        The bbox scan touches every page; caching the parsed location
+        means only the first spatial query after a write pays the
+        annotation walk. Same generation-before-data ordering as
+        :meth:`_iri_title_map`; the dict update is lock-free (single
+        bytecode-level store, and a lost race merely re-parses).
+        """
+        generation = self.smr.mutation_count
+        memo = self._location_memo
+        if memo is None or memo[0] != generation:
+            memo = (generation, {})
+            self._location_memo = memo
+        cache = memo[1]
+        if title in cache:
+            return cache[title]
+        location = self._parse_location(title)
+        cache[title] = location
+        return location
+
+    def _parse_location(self, title: str) -> Optional[GeoPoint]:
         annotations = dict(
             (prop.lower(), value) for prop, value in self.smr.annotations(title)
         )
@@ -428,6 +519,73 @@ class AdvancedSearchEngine:
             annotations=annotations,
             location=self._location_of(title),
         )
+
+    def _use_topk(self, query: SearchQuery) -> bool:
+        """Whether the lazy heap-based top-k path applies to this query.
+
+        Only the score sorts qualify: a property sort needs every
+        result's property value (and the missing-last partition)
+        materialized, so it keeps the full build-then-sort path.
+        """
+        return (
+            self.topk
+            and query.limit is not None
+            and query.sort in (SORT_PAGERANK, SORT_RELEVANCE)
+        )
+
+    def _select_topk(
+        self,
+        query: SearchQuery,
+        allowed: List[Tuple[str, str]],
+        relevance: Dict[str, float],
+        filter_matches: List[Tuple[PropertyFilter, Set[str]]],
+    ) -> List[SearchResult]:
+        """Materialize only the page of results the query asked for.
+
+        Scores come from scalars already in hand (the relevance dict, the
+        ranker's score map, the match degree) using the exact float
+        expressions of :meth:`_score_and_sort`, and ``heapq.nlargest`` /
+        ``nsmallest`` picks ``offset + limit`` entries under the same
+        ``(score, title)`` key the full sort uses. ``nlargest(k, data,
+        key)`` is documented equivalent to ``sorted(data, key=key,
+        reverse=True)[:k]`` and the key is unique per title, so the
+        returned page is identical to the full-sort path's — only the
+        survivors ever get a :class:`SearchResult` (annotation dict,
+        GeoPoint) built.
+        """
+        if not allowed:
+            return []
+        pagerank = self.ranker.scores()
+        n_filters = len(filter_matches)
+
+        def degree(title: str) -> float:
+            if not n_filters:
+                return 1.0
+            satisfied = sum(1 for _, titles in filter_matches if title in titles)
+            return satisfied / n_filters
+
+        scored: List[Tuple[float, str, str]] = []
+        if query.sort == SORT_PAGERANK:
+            for title, kind in allowed:
+                scored.append((degree(title) * pagerank.get(title, 0.0), title, kind))
+        else:  # SORT_RELEVANCE — same maxima and blend as _score_and_sort
+            max_rel = max((relevance.get(t, 0.0) for t, _ in allowed), default=0.0) or 1.0
+            max_pr = max((pagerank.get(t, 0.0) for t, _ in allowed), default=0.0) or 1.0
+            for title, kind in allowed:
+                blended = (
+                    _RELEVANCE_WEIGHT * (relevance.get(title, 0.0) / max_rel)
+                    + _PAGERANK_WEIGHT * (pagerank.get(title, 0.0) / max_pr)
+                )
+                scored.append((degree(title) * blended, title, kind))
+        k = query.offset + query.limit
+        select = heapq.nlargest if query.descending else heapq.nsmallest
+        page = select(k, scored, key=lambda entry: (entry[0], entry[1]))
+        results = []
+        for score, title, kind in page[query.offset :]:
+            result = self._build_result(title, kind, relevance, filter_matches)
+            result.score = score
+            results.append(result)
+        return results
 
     def _score_and_sort(self, query: SearchQuery, results: List[SearchResult]) -> None:
         if not results:

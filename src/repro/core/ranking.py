@@ -12,6 +12,7 @@ mechanism ("properties that are scored high by the PageRank algorithm").
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -62,6 +63,11 @@ class PageRankRanker:
         self._property_weights: Optional[Dict[str, float]] = None
         self._built_at_mutation: Optional[int] = None
         self._force_full = False
+        # Serializes recomputes: with the engine fanning constraint
+        # evaluation onto pool workers, several threads can hit a stale
+        # cache at once — one solve is expensive enough without N copies.
+        # Reentrant because property_weights() -> scores() may recompute.
+        self._refresh_lock = threading.RLock()
         #: Bumped by :meth:`refresh`. Result caches that embed PageRank
         #: scores fold this into their generation stamp, so forcing a
         #: re-solve also invalidates cached search results.
@@ -119,19 +125,28 @@ class PageRankRanker:
         warm-started full solve otherwise.
         """
         if self._stale():
-            self._property_weights = None
-            self._recompute()
+            with self._refresh_lock:  # double-checked: first thread solves
+                if self._stale():
+                    self._property_weights = None
+                    self._recompute()
         return self._scores
 
     def _recompute(self) -> None:
         mutation = getattr(self.smr, "mutation_count", None)
-        titles = self.smr.wiki.titles()
-        if not titles:
-            self._scores = {}
-            self._built_at_mutation = mutation
-            self._force_full = False
-            return
-        double = DoubleLinkGraph(self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph())
+        # Reading self.smr.wiki bypasses the facade, so take the SMR read
+        # lock ourselves: titles and both link graphs must come from one
+        # consistent snapshot (mutation read first — a racing write can
+        # then only stamp fresh graphs stale, never the reverse).
+        with self.smr.lock.read():
+            titles = self.smr.wiki.titles()
+            if not titles:
+                self._scores = {}
+                self._built_at_mutation = mutation
+                self._force_full = False
+                return
+            double = DoubleLinkGraph(
+                self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph()
+            )
         problem = double.to_problem(alpha=self.alpha, teleport=self.teleport)
         x0 = self._warm_start(titles, problem.n)
         mode = "cold"
@@ -300,7 +315,11 @@ class PageRankRanker:
         pages' neighborhoods — the classic "related pages" primitive.
         Unknown seed titles raise :class:`QueryError`.
         """
-        titles = self.smr.wiki.titles()
+        with self.smr.lock.read():  # direct wiki access, same as _recompute
+            titles = self.smr.wiki.titles()
+            double = DoubleLinkGraph(
+                self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph()
+            )
         index = {title.strip().lower(): i for i, title in enumerate(titles)}
         seeds = []
         for title in seed_titles:
@@ -312,7 +331,6 @@ class PageRankRanker:
             raise QueryError("personalized PageRank needs at least one seed page")
         personalization = np.zeros(len(titles))
         personalization[seeds] = 1.0 / len(seeds)
-        double = DoubleLinkGraph(self.smr.wiki.link_graph(), self.smr.wiki.semantic_graph())
         problem = double.to_problem(
             alpha=self.alpha, teleport=self.teleport, personalization=personalization
         )
@@ -344,7 +362,7 @@ class PageRankRanker:
         scores = self.scores()  # refreshing scores resets stale weights too
         if self._property_weights is None:
             weights: Dict[str, float] = {}
-            for title in self.smr.wiki.titles():
+            for title in self.smr.titles():
                 page_score = scores.get(title, 0.0)
                 for prop, _ in self.smr.annotations(title):
                     name = prop.lower()

@@ -1,12 +1,12 @@
-"""Query-path performance layer: generation-stamped result caching.
+"""Query-path performance layer: result caching and bounded parallelism.
 
 The paper chooses Gauss–Seidel for production precisely because ranking
 must keep up with a wiki whose double-link structure evolves continuously
 (Section III, Fig. 3), and the ROADMAP's north star asks the engine to
 serve heavy repeated traffic "as fast as the hardware allows". This
-package supplies the caching half of that story; the incremental
-re-ranking half lives in :mod:`repro.pagerank.incremental` and
-:class:`repro.core.ranking.PageRankRanker`.
+package supplies the caching and fan-out halves of that story; the
+incremental re-ranking half lives in :mod:`repro.pagerank.incremental`
+and :class:`repro.core.ranking.PageRankRanker`.
 
 - :mod:`repro.perf.cache` — :class:`GenerationalLruCache`, an LRU result
   cache whose entries are stamped with the repository *generation* (the
@@ -15,11 +15,18 @@ re-ranking half lives in :mod:`repro.pagerank.incremental` and
   flush; :func:`result_cache_key` canonicalizes a
   :class:`~repro.core.query.SearchQuery` + privilege pair into the cache
   key the engine uses.
+- :mod:`repro.perf.pool` — :class:`WorkerPool`, the process-wide,
+  size-bounded, trace-propagating thread pool the engine fans one
+  query's SQL/SPARQL/keyword/bbox evaluations onto, the iterative
+  PageRank solvers chunk their matvecs over, and the bulk loader
+  parses batches on; :func:`parallel_map` degrades to plain serial
+  execution for small inputs, one-worker pools, or nested fan-out.
 
-Hit/miss/staleness counters are reported through :mod:`repro.obs` under
-``perf_cache_*_total{cache=...}`` and surface in ``GET /metrics`` and
-``GET /api/stats`` (see docs/PERFORMANCE.md for the invalidation
-semantics).
+Everything reports through :mod:`repro.obs`: cache verdicts under
+``perf_cache_*_total{cache=...}``, pool health under
+``perf_pool_*{pool=...}``, both visible in ``GET /metrics`` and
+``GET /api/stats`` (see docs/PERFORMANCE.md for invalidation and
+concurrency semantics).
 """
 
 from repro.perf.cache import (
@@ -27,5 +34,27 @@ from repro.perf.cache import (
     GenerationalLruCache,
     result_cache_key,
 )
+from repro.perf.pool import (
+    WorkerPool,
+    chunk_ranges,
+    default_pool_size,
+    get_pool,
+    in_worker,
+    parallel_map,
+    parallel_matvec,
+    set_pool,
+)
 
-__all__ = ["CacheStats", "GenerationalLruCache", "result_cache_key"]
+__all__ = [
+    "CacheStats",
+    "GenerationalLruCache",
+    "WorkerPool",
+    "chunk_ranges",
+    "default_pool_size",
+    "get_pool",
+    "in_worker",
+    "parallel_map",
+    "parallel_matvec",
+    "result_cache_key",
+    "set_pool",
+]

@@ -7,6 +7,10 @@ queries). :class:`~repro.smr.repository.SensorMetadataRepository` keeps
 the three in sync; :mod:`repro.smr.bulkload` is the Bulk-loading
 Interface of Fig. 6; :mod:`repro.smr.model` gives typed record classes;
 :mod:`repro.smr.validation` is the record validator the loader runs.
+:mod:`repro.smr.rwlock` supplies the reentrant reader–writer lock the
+facade holds so the engine's parallel SQL/SPARQL constraint fan-out can
+read all three stores concurrently while authors and the bulk loader
+write.
 """
 
 from repro.smr.model import (
@@ -19,6 +23,7 @@ from repro.smr.model import (
     record_class_for,
 )
 from repro.smr.repository import SensorMetadataRepository, default_schema_mapping
+from repro.smr.rwlock import ReadWriteLock
 from repro.smr.bulkload import BulkLoader, BulkLoadReport
 from repro.smr.dump import export_dump, export_json, restore, restore_json
 from repro.smr.validation import validate_record
@@ -31,6 +36,7 @@ __all__ = [
     "Sensor",
     "KIND_ORDER",
     "record_class_for",
+    "ReadWriteLock",
     "SensorMetadataRepository",
     "default_schema_mapping",
     "BulkLoader",

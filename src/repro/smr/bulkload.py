@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 from repro import obs
 from repro.errors import BulkLoadError, ReproError
+from repro.perf.pool import parallel_map
 from repro.smr.model import KIND_ORDER, record_class_for
 from repro.smr.repository import SensorMetadataRepository
 from repro.smr.validation import validate_record
@@ -46,11 +47,22 @@ class BulkLoadReport:
 
 
 class BulkLoader:
-    """Feeds batches of records into a repository."""
+    """Feeds batches of records into a repository.
 
-    def __init__(self, smr: SensorMetadataRepository, strict: bool = False):
+    Validation and typing of each record are pure functions of the input,
+    so :meth:`load_records` fans them across ``pool`` (defaulting to the
+    process-wide :func:`repro.perf.pool.get_pool`); registration itself
+    stays a serial loop in row order, because ``register`` takes the SMR
+    write lock anyway and strict mode must raise at the *first* failing
+    row exactly as the serial loader did.
+    """
+
+    def __init__(
+        self, smr: SensorMetadataRepository, strict: bool = False, pool=None
+    ):
         self.smr = smr
         self.strict = strict
+        self.pool = pool
 
     # ------------------------------------------------------------------
     # Formats
@@ -102,14 +114,29 @@ class BulkLoader:
             raise BulkLoadError(f"unknown kind {kind!r}; known: {KIND_ORDER}")
         report = BulkLoadReport()
         start = time.perf_counter()
+
+        def prepare(record: Dict[str, Any]):
+            # Pure per-record work (no SMR access): validate, then type.
+            issues = validate_record(kind, record)
+            if issues:
+                return None, "; ".join(issues)
+            try:
+                return record_class_for(kind).from_record(record), None
+            except ReproError as exc:
+                return None, str(exc)
+
         with obs.get_tracer().span("bulkload.batch", kind=kind) as span:
-            for row_number, record in enumerate(records, start=1):
-                issues = validate_record(kind, record)
-                if issues:
-                    self._fail(report, row_number, "; ".join(issues))
+            prepared = parallel_map(
+                prepare, records, min_chunk=16, pool=self.pool, label="bulkload.prepare"
+            )
+            # parallel_map preserves input order, so the commit loop sees
+            # rows — and strict mode sees the first error — exactly as the
+            # all-serial loader did.
+            for row_number, (typed, error) in enumerate(prepared, start=1):
+                if error is not None:
+                    self._fail(report, row_number, error)
                     continue
                 try:
-                    typed = record_class_for(kind).from_record(record)
                     self.smr.register(kind, typed.title, typed.annotations())
                 except ReproError as exc:
                     self._fail(report, row_number, str(exc))

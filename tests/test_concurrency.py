@@ -1,0 +1,244 @@
+"""Concurrency and equivalence tests for the parallel query fan-out.
+
+Two properties carry the PR: (1) the pooled engine returns *identical*
+results to the serial engine — same titles, same floats, same order —
+for every query shape, with and without the lazy top-k path; (2) the
+engine stays correct under a live writer: no torn reads across the three
+stores, and no post-edit search may serve pre-edit state from any cache
+or memo (result cache, IRI->title map, location map, ranker scores).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import AdvancedSearchEngine, PageRankRanker
+from repro.perf.pool import WorkerPool
+from repro.smr import SensorMetadataRepository
+from repro.workloads import CorpusSpec, generate_corpus
+
+
+def _corpus_smr() -> SensorMetadataRepository:
+    smr = SensorMetadataRepository.from_corpus(generate_corpus(CorpusSpec(seed=7)))
+    # A handful of pages with an *unmapped* property so queries exercise
+    # the SPARQL constraint path (and the IRI->title memo) too.
+    for i, owner in enumerate(["alice", "bob", "alice"]):
+        smr.register(
+            "station",
+            f"Station:OWNED-{i}",
+            [
+                ("name", f"OWNED-{i}"),
+                ("latitude", 46.5 + i * 0.01),
+                ("longitude", 9.0 + i * 0.01),
+                ("elevation_m", 1800 + i),
+                ("status", "online"),
+                ("maintainer", owner),
+            ],
+        )
+    return smr
+
+
+@pytest.fixture(scope="module")
+def smr():
+    return _corpus_smr()
+
+
+QUERY_SHAPES = [
+    "kind=station elevation_m>=1500 status=online",  # strict SQL filters
+    "kind=sensor sensor_type=wind accuracy>=0.5 relaxed=true",  # relaxed union
+    "keyword=wind limit=15",  # keyword + relevance blend
+    "kind=station bbox=46,8,47,10",  # spatial scan
+    "maintainer=alice elevation_m>=1500 relaxed=true",  # SPARQL + SQL mix
+    "kind=sensor sort=pagerank limit=5",  # pagerank sort
+    "kind=sensor sort=installed_year order=asc limit=10",  # property sort
+    "kind=sensor limit=10 offset=5",  # paging
+    "kind=station sort=relevance order=asc limit=7",  # ascending score sort
+]
+
+
+def _fingerprint(results):
+    return [
+        (
+            r.title,
+            r.kind,
+            r.score,
+            r.relevance,
+            r.pagerank,
+            r.match_degree,
+            r.location,
+        )
+        for r in results.results
+    ], results.total_candidates
+
+
+class TestParallelSerialIdentity:
+    """pool_size=4 vs 1, top-k vs full sort: byte-identical results."""
+
+    @pytest.mark.parametrize("text", QUERY_SHAPES)
+    def test_pool_and_topk_paths_identical(self, smr, text):
+        ranker = PageRankRanker(smr)  # shared so scores are one solve
+        serial = AdvancedSearchEngine(
+            smr, ranker=ranker, cache=None, pool=WorkerPool(size=1), topk=False
+        )
+        pooled = AdvancedSearchEngine(
+            smr, ranker=ranker, cache=None, pool=WorkerPool(size=4, name="id4"), topk=False
+        )
+        lazy = AdvancedSearchEngine(
+            smr, ranker=ranker, cache=None, pool=WorkerPool(size=4, name="id4k"), topk=True
+        )
+        query = serial.parse(text)
+        expected = _fingerprint(serial.search(query))
+        assert _fingerprint(pooled.search(query)) == expected
+        assert _fingerprint(lazy.search(query)) == expected
+
+    def test_topk_with_offset_past_end(self, smr):
+        ranker = PageRankRanker(smr)
+        full = AdvancedSearchEngine(smr, ranker=ranker, cache=None, topk=False)
+        lazy = AdvancedSearchEngine(smr, ranker=ranker, cache=None, topk=True)
+        query = full.parse("kind=institution limit=50 offset=6")
+        assert _fingerprint(lazy.search(query)) == _fingerprint(full.search(query))
+
+
+class TestConcurrentReadersWithWriter:
+    """Stress: 4 pooled readers vs a writer editing pages in a loop."""
+
+    EDIT_TITLE = "Station:EDIT-TARGET"
+    WRITES = 8
+
+    def _version(self, v):
+        return [
+            ("name", "EDIT-TARGET"),
+            ("latitude", 46.6),
+            ("longitude", 9.5),
+            ("elevation_m", 1000 + v),
+            ("status", f"v{v}"),
+        ]
+
+    def test_no_torn_reads_and_no_stale_results(self):
+        smr = _corpus_smr()
+        smr.register("station", self.EDIT_TITLE, self._version(0))
+        engine = AdvancedSearchEngine(smr, pool=WorkerPool(size=4, name="stress"))
+        valid_pairs = {(1000 + v, f"v{v}") for v in range(self.WRITES + 1)}
+        errors = []
+        observed = []
+        stop = threading.Event()
+
+        reader_queries = [
+            engine.parse("kind=station name=EDIT-TARGET"),
+            engine.parse("kind=station elevation_m>=1000 status~v relaxed=true"),
+            engine.parse("maintainer=alice elevation_m>=1500 relaxed=true"),
+            engine.parse("kind=station bbox=46,8,47,10"),
+        ]
+
+        def reader(q):
+            try:
+                while not stop.is_set():
+                    results = engine.search(q)
+                    for r in results.results:
+                        if r.title == self.EDIT_TITLE:
+                            observed.append(
+                                (r.annotations.get("elevation_m"), r.annotations.get("status"))
+                            )
+            except Exception as exc:  # pragma: no cover - the assertion target
+                errors.append(exc)
+
+        def writer():
+            try:
+                for v in range(1, self.WRITES + 1):
+                    smr.register("station", self.EDIT_TITLE, self._version(v))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(q,)) for q in reader_queries]
+        w = threading.Thread(target=writer)
+        for t in threads:
+            t.start()
+        w.start()
+        w.join(30.0)
+        stop.set()
+        for t in threads:
+            t.join(30.0)
+
+        assert not errors, errors
+        # Torn read = an (elevation, status) pair that never existed
+        # together in any registered version of the page.
+        torn = [pair for pair in observed if pair not in valid_pairs]
+        assert not torn, f"torn reads: {torn[:5]}"
+
+        # Post-edit freshness: with the writer done, every cache and memo
+        # must have rolled over to the final version.
+        final = engine.search(engine.parse("kind=station name=EDIT-TARGET"))
+        assert [r.title for r in final.results] == [self.EDIT_TITLE]
+        annotations = final.results[0].annotations
+        assert annotations["elevation_m"] == 1000 + self.WRITES
+        assert annotations["status"] == f"v{self.WRITES}"
+
+    def test_memos_invalidate_on_write(self):
+        smr = _corpus_smr()
+        engine = AdvancedSearchEngine(smr, pool=WorkerPool(size=4, name="memo"))
+        # Warm the IRI->title memo (SPARQL filter) and the location memo
+        # (bbox scan), then register pages that must appear immediately.
+        before_sparql = engine.search(engine.parse("maintainer=carol")).total_candidates
+        before_bbox = engine.search(engine.parse("kind=station bbox=10,10,11,11"))
+        assert before_sparql == 0
+        assert before_bbox.total_candidates == 0
+        smr.register(
+            "station",
+            "Station:NEW-SPOT",
+            [
+                ("name", "NEW-SPOT"),
+                ("latitude", 10.5),
+                ("longitude", 10.5),
+                ("status", "online"),
+                ("maintainer", "carol"),
+            ],
+        )
+        after_sparql = engine.search(engine.parse("maintainer=carol"))
+        assert [r.title for r in after_sparql.results] == ["Station:NEW-SPOT"]
+        after_bbox = engine.search(engine.parse("kind=station bbox=10,10,11,11"))
+        assert [r.title for r in after_bbox.results] == ["Station:NEW-SPOT"]
+
+
+class TestBulkLoaderParallelPrepare:
+    def test_pooled_load_matches_serial_and_keeps_row_order(self):
+        records = [
+            {"title": f"Station:BULK-{i:03d}", "name": f"BULK-{i:03d}",
+             "latitude": 46.0 + i * 0.001, "longitude": 9.0, "status": "online"}
+            for i in range(40)
+        ]
+        records[7] = {"name": "missing title"}  # invalid: no title
+        records[23] = {"title": "Station:BAD", "name": "BAD", "latitude": "north"}
+
+        from repro.smr import BulkLoader
+
+        serial_smr = SensorMetadataRepository()
+        serial_report = BulkLoader(serial_smr, pool=WorkerPool(size=1)).load_records(
+            "station", records
+        )
+        pooled_smr = SensorMetadataRepository()
+        pooled_report = BulkLoader(pooled_smr, pool=WorkerPool(size=4, name="bulk")).load_records(
+            "station", records
+        )
+        assert pooled_report.loaded == serial_report.loaded == 38
+        assert pooled_report.errors == serial_report.errors
+        assert [row for row, _ in pooled_report.errors] == [8, 24]
+        assert pooled_smr.titles() == serial_smr.titles()
+
+    def test_strict_mode_raises_at_first_failing_row(self):
+        from repro.errors import BulkLoadError
+        from repro.smr import BulkLoader
+
+        records = [
+            {"title": "Station:OK-1", "name": "OK-1"},
+            {"name": "no title"},
+            {"title": "Station:OK-2", "name": "OK-2"},
+            {"name": "also no title"},
+        ]
+        loader = BulkLoader(
+            SensorMetadataRepository(), strict=True, pool=WorkerPool(size=4, name="strict")
+        )
+        with pytest.raises(BulkLoadError) as excinfo:
+            loader.load_records("station", records)
+        assert excinfo.value.row == 2  # first failure, exactly like serial

@@ -1,0 +1,371 @@
+"""Tests for the worker pool (repro.perf.pool) and the SMR rwlock.
+
+The load-bearing properties: parallel_map preserves order and exception
+position, degrades to serial exactly when the docstring says it does
+(small input, one-worker pool, nested fan-out), the row-partitioned
+matvec is bitwise identical to the serial product (so chunked solvers
+produce the same iterate sequence), and the pool's metric families show
+up in the registry and in /metrics.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.linalg import CsrMatrix
+from repro.obs import MetricsRegistry, Tracer, render_prometheus, set_registry, set_tracer
+from repro.pagerank.solvers import solve_pagerank
+from repro.pagerank.webgraph import LinkGraph, PageRankProblem
+from repro.perf.pool import (
+    WorkerPool,
+    chunk_ranges,
+    default_pool_size,
+    in_worker,
+    parallel_map,
+    parallel_matvec,
+)
+from repro.smr.rwlock import ReadWriteLock
+
+
+@pytest.fixture
+def fresh_obs():
+    """A fresh registry + tracer for the duration of one test."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    prev_registry = set_registry(registry)
+    prev_tracer = set_tracer(tracer)
+    yield registry, tracer
+    set_registry(prev_registry)
+    set_tracer(prev_tracer)
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_submit_runs_and_records_metrics(self, fresh_obs):
+        registry, _ = fresh_obs
+        pool = WorkerPool(size=2, name="unit")
+        try:
+            futures = [pool.submit(lambda v=v: v * v) for v in range(5)]
+            assert [f.result() for f in futures] == [0, 1, 4, 9, 16]
+            text = render_prometheus(registry)
+            assert 'perf_pool_size{pool="unit"} 2' in text
+            assert 'perf_pool_tasks_total{pool="unit"} 5' in text
+            assert 'perf_pool_task_seconds_count{pool="unit"} 5' in text
+            assert 'perf_pool_queue_depth{pool="unit"} 0' in text
+        finally:
+            pool.shutdown()
+        assert pool.inflight == 0
+
+    def test_saturation_is_counted(self, fresh_obs):
+        registry, _ = fresh_obs
+        pool = WorkerPool(size=1, name="tight")
+        gate = threading.Event()
+        try:
+            futures = [pool.submit(gate.wait, 5.0) for _ in range(3)]
+            gate.set()
+            assert all(f.result() for f in futures)
+            text = render_prometheus(registry)
+            assert 'perf_pool_saturation_total{pool="tight"}' in text
+        finally:
+            pool.shutdown()
+
+    def test_trace_id_propagates_into_worker(self, fresh_obs):
+        _, tracer = fresh_obs
+        pool = WorkerPool(size=2, name="traced")
+        try:
+            with tracer.span("request") as span:
+                trace_id = span.trace_id
+                pool.submit(lambda: obs.current_trace_id()).result()
+            spans = tracer.recent(20, trace_id=trace_id)
+            names = {s["name"] for s in spans}
+            assert "pool.task" in names  # worker span joined the request trace
+        finally:
+            pool.shutdown()
+
+    def test_worker_sees_in_worker_flag(self):
+        pool = WorkerPool(size=2, name="flagged")
+        try:
+            assert not in_worker()
+            assert pool.submit(in_worker).result() is True
+            assert not in_worker()
+        finally:
+            pool.shutdown()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ReproError):
+            WorkerPool(size=0)
+
+    def test_default_pool_size_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_SIZE", "3")
+        assert default_pool_size() == 3
+        monkeypatch.setenv("REPRO_POOL_SIZE", "zero")
+        with pytest.raises(ReproError):
+            default_pool_size()
+        monkeypatch.setenv("REPRO_POOL_SIZE", "0")
+        with pytest.raises(ReproError):
+            default_pool_size()
+
+
+# ----------------------------------------------------------------------
+# parallel_map
+# ----------------------------------------------------------------------
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        pool = WorkerPool(size=4, name="ordered")
+        try:
+            out = parallel_map(lambda v: v + 1, range(20), pool=pool)
+            assert out == list(range(1, 21))
+        finally:
+            pool.shutdown()
+
+    def test_small_input_stays_serial(self):
+        pool = WorkerPool(size=4, name="lazy")
+        assert parallel_map(str, [7], pool=pool) == ["7"]
+        assert pool._executor is None  # never started a thread
+
+    def test_min_chunk_raises_serial_threshold(self):
+        pool = WorkerPool(size=4, name="chunky")
+        assert parallel_map(str, [1, 2, 3], min_chunk=10, pool=pool) == ["1", "2", "3"]
+        assert pool._executor is None
+
+    def test_one_worker_pool_stays_serial(self):
+        pool = WorkerPool(size=1, name="solo")
+        assert parallel_map(str, range(10), pool=pool) == [str(v) for v in range(10)]
+        assert pool._executor is None
+
+    def test_nested_fanout_degrades_instead_of_deadlocking(self):
+        # Two tasks saturate the two workers; each fans out again over
+        # the same pool. Without the in_worker() rule the inner maps
+        # would wait forever for workers that are running their parents.
+        pool = WorkerPool(size=2, name="nested")
+
+        def inner(base):
+            return parallel_map(lambda v: base + v, range(8), pool=pool)
+
+        try:
+            outer = parallel_map(inner, [100, 200], pool=pool)
+            assert outer == [[100 + v for v in range(8)], [200 + v for v in range(8)]]
+        finally:
+            pool.shutdown()
+
+    def test_first_failing_position_raises_like_serial(self):
+        pool = WorkerPool(size=4, name="failing")
+
+        def flaky(v):
+            if v == 0:
+                raise ZeroDivisionError("boom")
+            return v
+
+        try:
+            with pytest.raises(ZeroDivisionError):
+                parallel_map(flaky, [1, 0, 2, 0], pool=pool)
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# chunk_ranges / parallel_matvec / chunked solvers
+# ----------------------------------------------------------------------
+
+
+def _random_csr(n: int, seed: int) -> CsrMatrix:
+    rng = np.random.RandomState(seed)
+    dense = rng.rand(n, n)
+    dense[dense < 0.8] = 0.0  # sparse-ish, with whole rows empty sometimes
+    dense[n // 3] = 0.0  # guarantee at least one empty row
+    return CsrMatrix.from_dense(dense)
+
+
+class TestChunkedMatvec:
+    def test_chunk_ranges_partition(self):
+        for n in (1, 5, 16, 17):
+            for chunks in (1, 2, 4, 40):
+                bounds = chunk_ranges(n, chunks)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                for (_, a_stop), (b_start, _) in zip(bounds, bounds[1:]):
+                    assert a_stop == b_start
+                sizes = {stop - start for start, stop in bounds}
+                assert all(size > 0 for size in sizes)
+                assert max(sizes) - min(sizes) <= 1
+        assert chunk_ranges(0, 4) == []
+        assert chunk_ranges(4, 0) == []
+
+    def test_matvec_rows_matches_matvec(self):
+        matrix = _random_csr(23, seed=1)
+        x = np.random.RandomState(2).rand(23)
+        full = matrix.matvec(x)
+        for start, stop in chunk_ranges(matrix.nrows, 5):
+            assert np.array_equal(matrix.matvec_rows(x, start, stop), full[start:stop])
+        with pytest.raises(Exception):
+            matrix.matvec_rows(x, 5, 100)
+
+    def test_parallel_matvec_bitwise_identical(self):
+        matrix = _random_csr(40, seed=3)
+        x = np.random.RandomState(4).rand(40)
+        pool = WorkerPool(size=4, name="matvec")
+        try:
+            parallel = parallel_matvec(matrix, x, chunks=4, pool=pool)
+        finally:
+            pool.shutdown()
+        assert np.array_equal(parallel, matrix.matvec(x))
+
+    def test_parallel_matvec_tiny_matrix_falls_back(self):
+        matrix = _random_csr(3, seed=5)
+        x = np.ones(3)
+        pool = WorkerPool(size=4, name="tiny")
+        assert np.array_equal(
+            parallel_matvec(matrix, x, chunks=4, pool=pool), matrix.matvec(x)
+        )
+        assert pool._executor is None  # fused serial path
+
+    @pytest.mark.parametrize("method", ["power", "jacobi"])
+    def test_chunked_solver_identical_to_serial(self, method):
+        rng = np.random.RandomState(11)
+        graph = LinkGraph(60)
+        for _ in range(300):
+            src, dst = rng.randint(0, 60, size=2)
+            if src != dst:
+                graph.add_edge(int(src), int(dst))
+        problem = PageRankProblem.from_graph(graph)
+        serial = solve_pagerank(problem, method=method, tol=1e-10, max_iter=2000)
+        pool = WorkerPool(size=4, name=f"solve-{method}")
+        try:
+            chunked = solve_pagerank(
+                problem, method=method, tol=1e-10, max_iter=2000, chunks=4, pool=pool
+            )
+        finally:
+            pool.shutdown()
+        assert chunked.converged and serial.converged
+        assert chunked.iterations == serial.iterations
+        assert np.array_equal(chunked.scores, serial.scores)
+        assert chunked.residuals == serial.residuals
+
+
+# ----------------------------------------------------------------------
+# /metrics exposure through the web stack
+# ----------------------------------------------------------------------
+
+
+class TestPoolMetricsExposition:
+    def test_multi_filter_search_exposes_pool_family(self, fresh_obs):
+        from repro.core import AdvancedSearchEngine
+        from repro.smr import SensorMetadataRepository
+        from repro.tagging import TaggingSystem
+        from repro.web import create_app
+        from tests.test_web import call
+
+        smr = SensorMetadataRepository()
+        for i in range(4):
+            smr.register(
+                "station",
+                f"Station:POOL-{i}",
+                [("name", f"POOL-{i}"), ("elevation_m", 1000 + i), ("status", "online")],
+            )
+        pool = WorkerPool(size=4, name="web")
+        engine = AdvancedSearchEngine(smr, pool=pool)
+        app = create_app(engine, TaggingSystem())
+        try:
+            status, _, body = call(
+                app,
+                "GET",
+                "/api/search",
+                "q=kind%3Dstation%20elevation_m%3E%3D1000%20status%3Donline%20name~POOL",
+            )
+            assert status == "200 OK"
+            status, _, metrics = call(app, "GET", "/metrics")
+            assert status == "200 OK"
+            assert 'perf_pool_size{pool="web"} 4' in metrics
+            assert 'perf_pool_tasks_total{pool="web"}' in metrics
+            assert '# TYPE perf_pool_task_seconds histogram' in metrics
+            assert 'perf_pool_queue_depth{pool="web"} 0' in metrics
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# ReadWriteLock
+# ----------------------------------------------------------------------
+
+
+class TestReadWriteLock:
+    def test_read_is_reentrant(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            with lock.read():
+                assert lock.active_readers == 1  # counted per thread
+        assert lock.active_readers == 0
+
+    def test_write_is_reentrant_and_allows_reads(self):
+        lock = ReadWriteLock()
+        with lock.write():
+            with lock.write():
+                with lock.read():
+                    assert lock.write_held
+        assert not lock.write_held
+
+    def test_upgrade_attempt_raises(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            with pytest.raises(ReproError):
+                lock.acquire_write()
+
+    def test_unbalanced_release_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(ReproError):
+            lock.release_read()
+        with pytest.raises(ReproError):
+            lock.release_write()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        entered_write = threading.Event()
+        release_write = threading.Event()
+
+        def writer():
+            with lock.write():
+                entered_write.set()
+                order.append("write-start")
+                release_write.wait(5.0)
+                order.append("write-end")
+
+        def reader():
+            entered_write.wait(5.0)
+            with lock.read():
+                order.append("read")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        entered_write.wait(5.0)
+        time.sleep(0.05)  # give the reader a chance to (wrongly) slip in
+        release_write.set()
+        w.join(5.0)
+        r.join(5.0)
+        assert order == ["write-start", "write-end", "read"]
+
+    def test_concurrent_readers_overlap(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert lock.active_readers == 0
