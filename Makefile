@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-cache obs-check
+.PHONY: test docs-check bench bench-smoke bench-cache bench-planner obs-check
 
 ## Tier-1: the full unit/integration suite (includes docs-check).
 test:
@@ -28,6 +28,11 @@ bench-smoke:
 ## The docs/PERFORMANCE.md headline numbers: caching + warm starts.
 bench-cache:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_cache_warmstart.py -q
+
+## The docs/QUERY_PLANNING.md gates: B+-tree range >= 3x over the
+## planner-off scan, engine R-tree bbox probe >= 5x over the seed scan.
+bench-planner:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_planner_indexes.py -q --benchmark-disable
 
 ## Observability gate: unit tests + web surfaces + the overhead budget.
 obs-check:

@@ -95,7 +95,7 @@ class SeedPathEngine(AdvancedSearchEngine):
 
         return {title_to_iri(title).value: title for title in self.smr.titles()}
 
-    def _location_of(self, title):
+    def _cached_location(self, generation, title):
         return self._parse_location(title)
 
 
@@ -143,7 +143,12 @@ def test_fanout_vs_seed_path(write_result):
     ranker = PageRankRanker(smr)
     ranker.scores()  # one shared solve; ranking cost out of the timing
     seed = SeedPathEngine(
-        smr, ranker=ranker, cache=None, pool=WorkerPool(size=1), topk=False
+        smr,
+        ranker=ranker,
+        cache=None,
+        pool=WorkerPool(size=1),
+        topk=False,
+        spatial_index=False,
     )
     pool1 = AdvancedSearchEngine(
         smr, ranker=ranker, cache=None, pool=WorkerPool(size=1), topk=True

@@ -76,6 +76,7 @@ class AdvancedSearchEngine:
         slow_query_seconds: float = 0.25,
         pool: Optional[WorkerPool] = None,
         topk: bool = True,
+        spatial_index: bool = True,
     ):
         self.smr = smr
         self.ranker = ranker or PageRankRanker(smr)
@@ -97,14 +98,21 @@ class AdvancedSearchEngine:
         #: the top-k survivors get a :class:`SearchResult` built. The
         #: returned lists are identical to the full-sort path.
         self.topk = topk
+        #: When True (default), bounding-box constraints probe a
+        #: generation-stamped R-tree over every located page instead of
+        #: scanning all titles; ``False`` keeps the linear scan.
+        self.spatial_index = spatial_index
         # Per-generation memos shared by all query threads: the
-        # IRI -> title map every SPARQL filter needs, and per-title
-        # GeoPoint parses the bbox scan needs. Both are stamped with the
-        # SMR mutation counter — the same generation the result cache
-        # uses — and rebuilt lazily after any write.
+        # IRI -> title map every SPARQL filter needs, per-title GeoPoint
+        # parses the bbox paths need, and the spatial R-tree the bbox
+        # probe descends. All are stamped with the SMR mutation counter —
+        # the same generation the result cache uses — and rebuilt lazily
+        # after any write.
         self._iri_map_lock = threading.Lock()
         self._iri_map_memo: Optional[Tuple[int, Dict[str, str]]] = None
         self._location_memo: Optional[Tuple[int, Dict[str, Optional[GeoPoint]]]] = None
+        self._spatial_lock = threading.Lock()
+        self._spatial_memo: Optional[Tuple[int, Any]] = None  # (generation, RTreeIndex)
         from repro.core.history import QueryLog
 
         self.query_log = QueryLog()
@@ -325,6 +333,91 @@ class AdvancedSearchEngine:
             "hit_rate": stats.hit_rate,
         }
 
+    def explain_search(self, query: SearchQuery) -> Dict[str, Any]:
+        """Describe how each constraint of ``query`` would be evaluated.
+
+        Nothing is executed except relational ``EXPLAIN`` — mapped
+        property filters show the cost-based plan the SQL planner would
+        choose (one entry per mapped kind), unmapped filters report the
+        SPARQL fallback, and a bbox constraint reports whether it would
+        probe the generation-stamped R-tree or fall back to the linear
+        scan. Backs ``/debug/plan`` and ``explain=1`` on ``/api/search``.
+        """
+        constraints: List[Dict[str, Any]] = []
+        if query.keyword:
+            constraints.append(
+                {
+                    "constraint": f"keyword={query.keyword!r}",
+                    "strategy": "InvertedIndexScan",
+                    "detail": "BM25-ranked lookup in the text index",
+                }
+            )
+        if query.kind is not None:
+            constraints.append(
+                {
+                    "constraint": f"kind={query.kind}",
+                    "strategy": "KindTitleLookup",
+                    "detail": "direct per-kind title listing",
+                }
+            )
+        for flt in query.filters:
+            mapped_kinds = [
+                kind
+                for kind in self.smr.mapping.kinds
+                if self.smr.mapping.column_for_property(kind, flt.prop) is not None
+            ]
+            if not mapped_kinds:
+                constraints.append(
+                    {
+                        "constraint": flt.describe(),
+                        "strategy": "SparqlFilter",
+                        "detail": "triple-pattern match + FILTER over the RDF graph",
+                    }
+                )
+                continue
+            tables: List[Dict[str, Any]] = []
+            for kind in mapped_kinds:
+                column = self.smr.mapping.column_for_property(kind, flt.prop)
+                condition = _sql_condition(column, flt)
+                sql = f"SELECT title FROM {kind} WHERE {condition}"
+                entry: Dict[str, Any] = {"kind": kind, "sql": sql}
+                try:
+                    entry["plan"] = [row[0] for row in self.smr.sql(f"EXPLAIN {sql}")]
+                except RelationalError as exc:
+                    entry["error"] = str(exc)
+                tables.append(entry)
+            constraints.append(
+                {
+                    "constraint": flt.describe(),
+                    "strategy": "SqlFilter",
+                    "tables": tables,
+                }
+            )
+        if query.bbox is not None:
+            bbox = query.bbox
+            box = (
+                f"lat in [{bbox.south}, {bbox.north}], "
+                f"lon in [{bbox.west}, {bbox.east}]"
+            )
+            entry = {"constraint": f"bbox({box})"}
+            if self.spatial_index:
+                entry["strategy"] = "RTreeProbe"
+                entry["detail"] = "generation-stamped R-tree over located pages"
+                entry["index"] = self.spatial_index_info()
+            else:
+                entry["strategy"] = "BBoxScan"
+                entry["detail"] = "linear scan over every located page"
+            constraints.append(entry)
+        return {
+            "query": query.describe(),
+            "combine": (
+                "union of filter matches, intersected with other constraints"
+                if query.relaxed
+                else "intersection of all constraint sets"
+            ),
+            "constraints": constraints,
+        }
+
     def facets(self, results: SearchResults, prop: str) -> List[Tuple[Any, int]]:
         """Facet counts of ``prop`` over a result set (for bar/pie charts)."""
         return facet_counts(self.smr, results.titles, prop)
@@ -450,23 +543,81 @@ class AdvancedSearchEngine:
             return mapping
 
     def _titles_in_bbox(self, bbox) -> Set[str]:
+        """Titles of pages located inside ``bbox``.
+
+        One generation read up front is shared by both paths — the
+        R-tree probe and the fallback scan can never disagree about
+        which snapshot they serve, and a memo hit re-parses nothing.
+        ``BoundingBox.contains`` is a plain inclusive axis test (no
+        antimeridian wrap), exactly the R-tree's box semantics, so the
+        probe result needs no per-title re-verification.
+        """
+        generation = self.smr.mutation_count
+        if self.spatial_index:
+            index = self._spatial_index_for(generation)
+            return set(index.box(bbox.south, bbox.north, bbox.west, bbox.east))
         matches: Set[str] = set()
         for title in self.smr.titles():
-            location = self._location_of(title)
+            location = self._cached_location(generation, title)
             if location is not None and bbox.contains(location):
                 matches.add(title)
         return matches
 
-    def _location_of(self, title: str) -> Optional[GeoPoint]:
-        """Per-title GeoPoint, cached by SMR generation.
+    def _spatial_index_for(self, generation: int):
+        """The R-tree over every located page, memoized per generation.
 
-        The bbox scan touches every page; caching the parsed location
-        means only the first spatial query after a write pays the
-        annotation walk. Same generation-before-data ordering as
+        Same double-checked-lock shape as :meth:`_iri_title_map`: the
+        generation was read *before* the titles, so a write landing
+        mid-build at worst stamps fresh data with a stale generation
+        (rebuilt on the next spatial query), never the reverse.
+        """
+        from repro.relational.indexes import RTreeIndex
+
+        memo = self._spatial_memo
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        with self._spatial_lock:
+            memo = self._spatial_memo
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            index = RTreeIndex("engine_spatial", columns=("latitude", "longitude"))
+            for title in self.smr.titles():
+                location = self._cached_location(generation, title)
+                if location is not None:
+                    index.insert((location.lat, location.lon), title)
+            self._spatial_memo = (generation, index)
+            return index
+
+    def spatial_index_info(self) -> Dict[str, Any]:
+        """Spatial-index state for ``/api/stats`` and the health probe.
+
+        ``generation`` is the SMR mutation count the memoized R-tree was
+        built at (None before the first spatial query); comparing it with
+        ``current_generation`` tells whether the next bbox probe will
+        rebuild.
+        """
+        memo = self._spatial_memo
+        info: Dict[str, Any] = {
+            "enabled": self.spatial_index,
+            "generation": memo[0] if memo is not None else None,
+            "current_generation": self.smr.mutation_count,
+        }
+        if memo is not None:
+            info.update(memo[1].statistics())
+        return info
+
+    def _location_of(self, title: str) -> Optional[GeoPoint]:
+        """Per-title GeoPoint, cached by SMR generation."""
+        return self._cached_location(self.smr.mutation_count, title)
+
+    def _cached_location(self, generation: int, title: str) -> Optional[GeoPoint]:
+        """Look up (or parse) ``title``'s location at ``generation``.
+
+        Only the first spatial query after a write pays the annotation
+        walk. Same generation-before-data ordering as
         :meth:`_iri_title_map`; the dict update is lock-free (single
         bytecode-level store, and a lost race merely re-parses).
         """
-        generation = self.smr.mutation_count
         memo = self._location_memo
         if memo is None or memo[0] != generation:
             memo = (generation, {})

@@ -7,6 +7,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.errors import CatalogError, RelationalError
 from repro.relational.executor import Executor
 from repro.relational.expr import RowContext, evaluate, truthy
+from repro.relational.planner import Catalog, Planner
 from repro.relational.schema import TableSchema
 from repro.relational.sql_parser import (
     AlterTableStmt,
@@ -68,6 +69,11 @@ class ResultSet:
 class Database:
     """An in-memory SQL database.
 
+    ``planner=True`` (the default) routes base-table scans through the
+    cost-based planner in :mod:`repro.relational.planner`; ``False``
+    keeps the original fixed access-path preference — results are
+    identical either way, only the physical plan differs.
+
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
     >>> _ = db.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
@@ -75,9 +81,13 @@ class Database:
     [('a',)]
     """
 
-    def __init__(self):
+    def __init__(self, planner: bool = True):
         self._tables: Dict[str, Table] = {}
-        self._executor = Executor(self._tables)
+        self.catalog = Catalog(self._tables)
+        self.planner_enabled = planner
+        self._executor = Executor(
+            self._tables, planner=Planner(self.catalog) if planner else None
+        )
         self._in_transaction = False
         self._created_in_transaction: list[str] = []
 
@@ -99,6 +109,10 @@ class Database:
     def has_table(self, name: str) -> bool:
         """True when a table named ``name`` exists."""
         return name.lower() in self._tables
+
+    def catalog_stats(self) -> Dict[str, Any]:
+        """Planner-catalog statistics plus per-index structure stats."""
+        return self.catalog.snapshot()
 
     # ------------------------------------------------------------------
     # SQL entry point
@@ -209,7 +223,7 @@ class Database:
         return ResultSet([], [], rowcount=0)
 
     def _create_index(self, stmt: CreateIndexStmt) -> ResultSet:
-        self.table(stmt.table).create_index(stmt.name, stmt.column, stmt.kind)
+        self.table(stmt.table).create_index(stmt.name, stmt.columns, stmt.kind)
         return ResultSet([], [], rowcount=0)
 
     def _drop_table(self, stmt: DropTableStmt) -> ResultSet:

@@ -2,7 +2,8 @@
 
 SELECT pipelines are built left-deep in statement order:
 
-    base scan (index scan when an equality predicate hits an index)
+    base scan (access path chosen by the cost-based planner, or by the
+    legacy preference heuristic when the planner is disabled)
     -> joins (hash join for equi-joins, nested loop otherwise; LEFT
        joins null-pad)
     -> WHERE filter
@@ -13,11 +14,16 @@ SELECT pipelines are built left-deep in statement order:
 
 Rows flow as :class:`~repro.relational.expr.RowContext` objects so that
 qualified names keep working across joins.
+
+Access-path selection lives in :mod:`repro.relational.planner`; this
+module re-exports :class:`AccessPath` for compatibility. Every index
+path returns a superset of the matching row ids and the WHERE filter
+above re-checks each row, so planner and heuristic always agree on
+results — only on cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import CatalogError, RelationalError
@@ -36,47 +42,46 @@ from repro.relational.expr import (
     rewrite,
     truthy,
 )
+from repro.relational.planner import (
+    AccessPath,
+    AccessPlan,
+    Planner,
+    conjuncts as _conjuncts,
+    equality_on_alias as _equality_on_alias,
+    range_on_alias as _range_on_alias,
+)
 from repro.relational.sql_parser import Join, SelectStmt
 from repro.relational.storage import Table
 
+__all__ = ["AccessPath", "Executor"]
 
-@dataclass(frozen=True)
-class AccessPath:
-    """How the base table will be read.
 
-    ``kind`` is 'seq' (full scan), 'index_eq' (hash/sorted equality
-    lookup) or 'index_range' (sorted-index range scan).
-    """
+def _count_plan(kind: str) -> None:
+    """Record the chosen access path in planner_plans_total{access_path}."""
+    from repro import obs
 
-    kind: str
-    column: Optional[str] = None
-    value: Any = None
-    low: Any = None
-    high: Any = None
-    include_low: bool = True
-    include_high: bool = True
-
-    def describe(self, table: str) -> str:
-        """EXPLAIN line for this access path over ``table``."""
-        if self.kind == "seq":
-            return f"SeqScan({table})"
-        if self.kind == "index_eq":
-            return f"IndexScan({table}.{self.column} = {self.value!r})"
-        low_op = ">=" if self.include_low else ">"
-        high_op = "<=" if self.include_high else "<"
-        bounds = []
-        if self.low is not None:
-            bounds.append(f"{self.column} {low_op} {self.low!r}")
-        if self.high is not None:
-            bounds.append(f"{self.column} {high_op} {self.high!r}")
-        return f"RangeIndexScan({table}: {' AND '.join(bounds)})"
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "planner_plans_total",
+        "Base-table access paths chosen, by kind.",
+        labels=("access_path",),
+    ).labels(kind).inc()
 
 
 class Executor:
-    """Executes parsed SELECT statements against a table catalog."""
+    """Executes parsed SELECT statements against a table catalog.
 
-    def __init__(self, catalog: Dict[str, Table]):
+    ``planner`` is the cost-based :class:`~repro.relational.planner.Planner`
+    to consult for base-table access paths; ``None`` falls back to the
+    original fixed preference order (equality index, then sorted-index
+    range, then sequential scan).
+    """
+
+    def __init__(self, catalog: Dict[str, Table], planner: Optional[Planner] = None):
         self._catalog = catalog
+        self._planner = planner
 
     # ------------------------------------------------------------------
     # Entry point
@@ -150,8 +155,9 @@ class Executor:
         ref = stmt.table
         table = self._table(ref.name)
         columns = table.schema.column_names
-        path = self.choose_access_path(table, ref.alias, stmt.where)
-        rowids = self._execute_access_path(table, path)
+        plan = self.plan_access(table, ref.alias, stmt.where)
+        _count_plan(plan.path.kind)
+        rowids = self._execute_access_path(table, plan.path)
         contexts = []
         if rowids is None:
             iterator = table.scan()
@@ -160,6 +166,18 @@ class Executor:
         for _, row in iterator:
             contexts.append(RowContext().bind(ref.alias, columns, row))
         return contexts
+
+    def plan_access(self, table: Table, alias: str, where: Optional[Expr]) -> AccessPlan:
+        """The costed access path for one base-table scan.
+
+        Consults the cost-based planner when one is attached; otherwise
+        wraps the legacy heuristic's choice with a row-count cost so the
+        two modes expose the same interface.
+        """
+        if self._planner is not None:
+            return self._planner.plan_scan(table, alias, where)
+        path = self.choose_access_path(table, alias, where)
+        return AccessPlan(path, cost=float(len(table)), rows=float(len(table)))
 
     def choose_access_path(
         self, table: Table, alias: str, where: Optional[Expr]
@@ -198,9 +216,16 @@ class Executor:
         """Return restricted row ids, or None for a full scan."""
         if path.kind == "seq":
             return None
-        index = table.index_on(path.column)
+        if path.index_name is not None:
+            index = table.indexes.get(path.index_name)
+        else:
+            index = table.index_on(path.column)
+        if index is None:
+            return None  # index dropped between planning and execution
         if path.kind == "index_eq":
             return index.lookup(path.value)
+        if path.kind == "rtree":
+            return index.box(path.x_low, path.x_high, path.y_low, path.y_high)
         return index.range(
             low=path.low,
             high=path.high,
@@ -219,8 +244,11 @@ class Executor:
             lines.append("Result(constant)")
         else:
             table = self._table(stmt.table.name)
-            path = self.choose_access_path(table, stmt.table.alias, stmt.where)
-            lines.append(path.describe(stmt.table.name))
+            plan = self.plan_access(table, stmt.table.alias, stmt.where)
+            if self._planner is not None:
+                lines.append(plan.describe(stmt.table.name))
+            else:
+                lines.append(plan.path.describe(stmt.table.name))
             for join in stmt.joins:
                 if _equi_join_columns(join.on, join.table.alias) is not None:
                     kind = "HashJoin"
@@ -277,8 +305,13 @@ class Executor:
                 buckets.setdefault(key, []).append(row)
         joined: List[RowContext] = []
         null_row = tuple([None] * len(columns))
+        # All outer contexts share one binding shape: resolve the probe
+        # column to its (alias, position) slot once, not per row.
+        outer_slot = (
+            contexts[0].locate(outer_ref.name, outer_ref.table) if contexts else None
+        )
         for ctx in contexts:
-            key = ctx.resolve(outer_ref.name, outer_ref.table)
+            key = ctx.at(*outer_slot)
             matches = buckets.get(key, []) if key is not None else []
             if matches:
                 for row in matches:
@@ -406,10 +439,16 @@ class Executor:
         decorated = list(zip(rows, contexts)) if len(contexts) == len(rows) else [
             (row, None) for row in rows
         ]
+        # Resolve output-column positions once per statement — the sort
+        # key runs per row per sort key, so an O(columns) list.index
+        # there is O(rows * columns) wasted work.
+        positions: Dict[str, int] = {}
+        for i, name in enumerate(columns):
+            positions.setdefault(name, i)  # first occurrence, like list.index
 
         def key_for(expr: Expr, row: tuple, ctx: Optional[RowContext]):
-            if isinstance(expr, ColumnRef) and expr.table is None and expr.name in columns:
-                value = row[columns.index(expr.name)]
+            if isinstance(expr, ColumnRef) and expr.table is None and expr.name in positions:
+                value = row[positions[expr.name]]
             elif ctx is not None:
                 value = evaluate(expr, ctx)
             else:
@@ -459,41 +498,6 @@ class Executor:
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
-
-
-def _conjuncts(expr: Expr) -> List[Expr]:
-    if isinstance(expr, BinaryOp) and expr.op == "AND":
-        return _conjuncts(expr.left) + _conjuncts(expr.right)
-    return [expr]
-
-
-def _equality_on_alias(expr: Expr, alias: str) -> Optional[Tuple[str, Any]]:
-    """Match ``col = literal`` (either side) where col belongs to ``alias``."""
-    if not (isinstance(expr, BinaryOp) and expr.op == "="):
-        return None
-    left, right = expr.left, expr.right
-    if isinstance(right, ColumnRef) and isinstance(left, Literal):
-        left, right = right, left
-    if isinstance(left, ColumnRef) and isinstance(right, Literal):
-        if left.table is None or left.table == alias.lower():
-            return left.name, right.value
-    return None
-
-
-def _range_on_alias(expr: Expr, alias: str) -> Optional[Tuple[str, str, Any]]:
-    """Match ``col <op> literal`` (either side) for range operators."""
-    if not isinstance(expr, BinaryOp) or expr.op not in ("<", "<=", ">", ">="):
-        return None
-    left, right = expr.left, expr.right
-    op = expr.op
-    if isinstance(right, ColumnRef) and isinstance(left, Literal):
-        # Flip `literal < col` into `col > literal`.
-        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
-        left, right, op = right, left, flipped[op]
-    if isinstance(left, ColumnRef) and isinstance(right, Literal):
-        if left.table is None or left.table == alias.lower():
-            return left.name, op, right.value
-    return None
 
 
 def _equi_join_columns(on: Expr, new_alias: str) -> Optional[Tuple[ColumnRef, ColumnRef]]:

@@ -218,6 +218,40 @@ class RowContext:
         _, columns, row = matches[0]
         return row[columns.index(name)]
 
+    def locate(self, name: str, table: Optional[str]) -> Tuple[str, int]:
+        """Resolve ``name`` to its ``(alias, position)`` slot.
+
+        Same resolution rules (and errors) as :meth:`resolve`, but the
+        result can be reused across every row of a scan via :meth:`at` —
+        executors resolve a column once per statement instead of paying
+        the O(columns) ``list.index`` per row.
+        """
+        name = name.lower()
+        if table is not None:
+            table = table.lower()
+            if table not in self._bindings:
+                raise RelationalError(f"unknown table alias {table!r}")
+            columns, _ = self._bindings[table]
+            if name not in columns:
+                raise RelationalError(f"table {table!r} has no column {name!r}")
+            return table, columns.index(name)
+        matches = [
+            (alias, columns)
+            for alias, (columns, _) in self._bindings.items()
+            if name in columns
+        ]
+        if not matches:
+            raise RelationalError(f"unknown column {name!r}")
+        if len(matches) > 1:
+            aliases = sorted(alias for alias, _ in matches)
+            raise RelationalError(f"column {name!r} is ambiguous across {aliases}")
+        alias, columns = matches[0]
+        return alias, columns.index(name)
+
+    def at(self, alias: str, position: int) -> Any:
+        """The value in ``alias``'s row at ``position`` (from :meth:`locate`)."""
+        return self._bindings[alias][1][position]
+
     def copy(self) -> "RowContext":
         """An independent copy sharing no mutable state."""
         clone = RowContext()

@@ -2,24 +2,42 @@
 
 Both map column values to sets of row ids. NULLs are not indexed —
 ``WHERE col = NULL`` never matches in SQL, and range scans skip NULLs too.
+
+These two flat structures predate :mod:`repro.relational.indexes`, which
+adds the disk-shaped B+-tree, extendible-hash and R-tree structures the
+cost-based planner prices by depth and fill factor. The factory below
+maps ``CREATE INDEX ... USING <kind>`` onto the full set: ``hash`` now
+builds an extendible hash, ``sorted`` keeps this module's bisect list,
+``btree`` and ``rtree`` build the tree structures. The simple
+:class:`HashIndex` remains the primary-key index — a PK is unique, so
+directory-doubling buys it nothing.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, List, Set
+from typing import Any, Dict, List, Sequence, Set
 
 from repro.errors import CatalogError
+from repro.relational.indexes import (
+    BPlusTreeIndex,
+    ExtendibleHashIndex,
+    RTreeIndex,
+)
 
 
 class HashIndex:
     """value -> {rowid} map for equality lookups."""
 
-    kind = "hash"
+    kind = "flat_hash"
+    supports_eq = True
+    supports_range = False
+    supports_box = False
 
     def __init__(self, name: str, column: str):
         self.name = name
         self.column = column
+        self.columns = (column,)
         self._buckets: dict[Any, Set[int]] = {}
 
     def insert(self, value: Any, rowid: int) -> None:
@@ -44,6 +62,15 @@ class HashIndex:
             return set()
         return set(self._buckets.get(value, ()))
 
+    def statistics(self) -> Dict[str, Any]:
+        """Size statistics for the catalog snapshot (flat: depth 1)."""
+        return {
+            "kind": self.kind,
+            "entries": len(self),
+            "distinct_keys": len(self._buckets),
+            "depth": 1,
+        }
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 
@@ -52,10 +79,14 @@ class SortedIndex:
     """A sorted (value, rowid) list supporting range scans via bisect."""
 
     kind = "sorted"
+    supports_eq = True
+    supports_range = True
+    supports_box = False
 
     def __init__(self, name: str, column: str):
         self.name = name
         self.column = column
+        self.columns = (column,)
         self._entries: List[tuple] = []  # (value, rowid), kept sorted
 
     def insert(self, value: Any, rowid: int) -> None:
@@ -103,14 +134,44 @@ class SortedIndex:
             result.add(rowid)
         return result
 
+    def statistics(self) -> Dict[str, Any]:
+        """Size statistics for the catalog snapshot (flat: depth 1)."""
+        distinct = len({value for value, _ in self._entries})
+        return {
+            "kind": self.kind,
+            "entries": len(self._entries),
+            "distinct_keys": distinct,
+            "depth": 1,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 
 
-def make_index(kind: str, name: str, column: str):
-    """Factory used by ``CREATE INDEX``; kind is 'hash' or 'sorted'."""
+INDEX_KINDS = ("hash", "sorted", "btree", "rtree")
+
+
+def make_index(kind: str, name: str, columns: Sequence[str]):
+    """Factory used by ``CREATE INDEX``; see :data:`INDEX_KINDS`.
+
+    ``columns`` is the indexed column list — exactly two for ``rtree``
+    (x/longitude-like and y/latitude-like), exactly one otherwise.
+    """
+    columns = tuple(column.lower() for column in columns)
+    if kind == "rtree":
+        if len(columns) != 2:
+            raise CatalogError(
+                f"index {name!r}: USING rtree needs exactly two columns, got {list(columns)}"
+            )
+        return RTreeIndex(name, columns)
+    if len(columns) != 1:
+        raise CatalogError(
+            f"index {name!r}: USING {kind} indexes exactly one column, got {list(columns)}"
+        )
     if kind == "hash":
-        return HashIndex(name, column)
+        return ExtendibleHashIndex(name, columns[0])
     if kind == "sorted":
-        return SortedIndex(name, column)
-    raise CatalogError(f"unknown index kind {kind!r}; use 'hash' or 'sorted'")
+        return SortedIndex(name, columns[0])
+    if kind == "btree":
+        return BPlusTreeIndex(name, columns[0])
+    raise CatalogError(f"unknown index kind {kind!r}; use one of {', '.join(INDEX_KINDS)}")

@@ -1,0 +1,228 @@
+"""A B+-tree secondary index: range predicates and ordered iteration.
+
+Disk-shaped but in-memory: bounded-fanout nodes, all row ids in linked
+leaves, internal nodes hold separator keys only — the classic layout, so
+depth/fill-factor statistics mean what they would on disk and the
+planner's ``log_fanout(N)`` descent cost is honest.
+
+Duplicates are supported (one leaf slot holds the *set* of row ids for
+its key). Deletion is incremental but lazy: the row id leaves its key's
+set immediately and an emptied key leaves its leaf, but leaves are not
+merged on underflow — correct for probes, and the fill factor reported
+by :meth:`statistics` makes the degradation observable instead of
+hidden.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.relational.indexes.base import SecondaryIndex, null_key
+
+DEFAULT_ORDER = 32  # max keys per leaf / max children per inner node
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.values: List[Set[int]] = []  # parallel to keys
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[Any], children: List[Any]):
+        # keys[i] is the smallest key reachable under children[i + 1].
+        self.keys = keys
+        self.children = children
+
+
+class BPlusTreeIndex(SecondaryIndex):
+    """value -> {rowid} over one column, with linked-leaf range scans."""
+
+    kind = "btree"
+    supports_eq = True
+    supports_range = True
+
+    def __init__(self, name: str, column, order: int = DEFAULT_ORDER):
+        columns = (column,) if isinstance(column, str) else tuple(column)
+        super().__init__(name, columns)
+        if order < 4:
+            raise ValueError(f"B+-tree order must be >= 4, got {order}")
+        self.order = order
+        self._root: Any = _Leaf()
+        self._entries = 0  # total row ids across all keys
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, rowid: int) -> None:
+        """Add ``rowid`` under ``key``, splitting nodes on overflow."""
+        if null_key(key):
+            return
+        split = self._insert(self._root, key, rowid)
+        if split is not None:
+            separator, new_node = split
+            self._root = _Inner([separator], [self._root, new_node])
+
+    def _insert(self, node: Any, key: Any, rowid: int) -> Optional[Tuple[Any, Any]]:
+        if isinstance(node, _Leaf):
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                if rowid not in node.values[pos]:
+                    node.values[pos].add(rowid)
+                    self._entries += 1
+                return None
+            node.keys.insert(pos, key)
+            node.values.insert(pos, {rowid})
+            self._entries += 1
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        pos = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[pos], key, rowid)
+        if split is None:
+            return None
+        separator, new_child = split
+        node.keys.insert(pos, separator)
+        node.children.insert(pos + 1, new_child)
+        if len(node.children) <= self.order:
+            return None
+        return self._split_inner(node)
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Inner) -> Tuple[Any, _Inner]:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Inner(node.keys[mid + 1 :], node.children[mid + 1 :])
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    def delete(self, key: Any, rowid: int) -> None:
+        """Drop ``rowid`` from ``key``'s posting set (no-op if absent)."""
+        if null_key(key):
+            return
+        leaf, pos = self._find_leaf(key)
+        if pos is None:
+            return
+        bucket = leaf.values[pos]
+        if rowid not in bucket:
+            return
+        bucket.discard(rowid)
+        self._entries -= 1
+        if not bucket:
+            # Lazy structural deletion: the key slot goes, the leaf stays.
+            leaf.keys.pop(pos)
+            leaf.values.pop(pos)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> Tuple[_Leaf, Optional[int]]:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node, pos
+        return node, None
+
+    def _leftmost_leaf_for(self, low: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            if low is None:
+                node = node.children[0]
+            else:
+                node = node.children[bisect.bisect_left(node.keys, low)]
+        return node
+
+    def lookup(self, key: Any) -> Set[int]:
+        if null_key(key):
+            return set()
+        leaf, pos = self._find_leaf(key)
+        if pos is None:
+            return set()
+        return set(leaf.values[pos])
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[int]:
+        result: Set[int] = set()
+        for key, bucket in self._walk(low):
+            if low is not None:
+                if key < low or (not include_low and key == low):
+                    continue
+            if high is not None:
+                if key > high or (not include_high and key == high):
+                    break
+            result |= bucket
+        return result
+
+    def _walk(self, low: Any = None) -> Iterator[Tuple[Any, Set[int]]]:
+        leaf: Optional[_Leaf] = self._leftmost_leaf_for(low)
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.values):
+                yield key, bucket
+            leaf = leaf.next
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """Yield ``(key, rowid)`` in ascending key order (ordered scan)."""
+        for key, bucket in self._walk():
+            for rowid in sorted(bucket):
+                yield key, rowid
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Levels from root to leaf (1 = the root is a leaf)."""
+        levels = 1
+        node = self._root
+        while isinstance(node, _Inner):
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    def statistics(self) -> Dict[str, Any]:
+        leaves = 0
+        keys = 0
+        leaf = self._leftmost_leaf_for(None)
+        while leaf is not None:
+            leaves += 1
+            keys += len(leaf.keys)
+            leaf = leaf.next
+        return {
+            "kind": self.kind,
+            "entries": self._entries,
+            "distinct_keys": keys,
+            "depth": self.depth,
+            "leaves": leaves,
+            "order": self.order,
+            "fill_factor": (keys / (leaves * self.order)) if leaves else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return self._entries

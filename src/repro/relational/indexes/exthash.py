@@ -1,0 +1,149 @@
+"""An extendible-hash secondary index: O(1) equality probes.
+
+Classic Fagin-style extendible hashing: a directory of ``2^global_depth``
+bucket pointers indexed by the low bits of the key's hash. A bucket that
+overflows its distinct-key capacity splits by one more hash bit (its
+*local* depth); only when a bucket's local depth already equals the
+global depth does the directory double. Growth is therefore incremental
+— one bucket at a time — which is the property that makes the structure
+"disk-shaped": a split touches two buckets and some directory slots,
+never the whole table.
+
+Duplicates share one key slot (a set of row ids), so capacity counts
+*distinct keys*. Deletion removes the row id (and the key slot when it
+empties) but never merges buckets or shrinks the directory — the fill
+factor in :meth:`statistics` shows the slack instead of hiding it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from repro.relational.indexes.base import SecondaryIndex, null_key
+
+DEFAULT_BUCKET_CAPACITY = 8
+
+#: Directory-doubling ceiling: past this depth a bucket of hash-identical
+#: keys would keep splitting forever, so it over-fills instead.
+_MAX_GLOBAL_DEPTH = 20
+
+
+class _Bucket:
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int):
+        self.local_depth = local_depth
+        self.entries: Dict[Any, Set[int]] = {}
+
+
+class ExtendibleHashIndex(SecondaryIndex):
+    """value -> {rowid} map with directory-doubling growth."""
+
+    kind = "hash"
+    supports_eq = True
+
+    def __init__(self, name: str, column, capacity: int = DEFAULT_BUCKET_CAPACITY):
+        columns = (column,) if isinstance(column, str) else tuple(column)
+        super().__init__(name, columns)
+        if capacity < 1:
+            raise ValueError(f"bucket capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.global_depth = 0
+        self._directory: List[_Bucket] = [_Bucket(0)]
+        self._entries = 0
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hash(key: Any) -> int:
+        # SQL equality treats 1 and 1.0 as equal and Python's hash agrees,
+        # so mixed INTEGER/REAL probes land in the same bucket.
+        return hash(key)
+
+    def _bucket_for(self, key: Any) -> _Bucket:
+        return self._directory[self._hash(key) & ((1 << self.global_depth) - 1)]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, rowid: int) -> None:
+        """Add ``rowid`` under ``key``, splitting the bucket on overflow."""
+        if null_key(key):
+            return
+        while True:
+            bucket = self._bucket_for(key)
+            if key in bucket.entries:
+                if rowid not in bucket.entries[key]:
+                    bucket.entries[key].add(rowid)
+                    self._entries += 1
+                return
+            if len(bucket.entries) < self.capacity or self.global_depth >= _MAX_GLOBAL_DEPTH:
+                bucket.entries[key] = {rowid}
+                self._entries += 1
+                return
+            self._split(bucket)
+
+    def _split(self, bucket: _Bucket) -> None:
+        if bucket.local_depth == self.global_depth:
+            # The bucket already uses every directory bit: double first.
+            self._directory = self._directory + list(self._directory)
+            self.global_depth += 1
+        new_depth = bucket.local_depth + 1
+        bit = 1 << bucket.local_depth
+        zero = _Bucket(new_depth)
+        one = _Bucket(new_depth)
+        for key, rowids in bucket.entries.items():
+            target = one if self._hash(key) & bit else zero
+            target.entries[key] = rowids
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket:
+                self._directory[slot] = one if slot & bit else zero
+        bucket.local_depth = new_depth  # old object is now unreachable
+
+    def delete(self, key: Any, rowid: int) -> None:
+        """Drop ``rowid`` from ``key``'s set (no-op if absent)."""
+        if null_key(key):
+            return
+        bucket = self._bucket_for(key)
+        rowids = bucket.entries.get(key)
+        if rowids is None or rowid not in rowids:
+            return
+        rowids.discard(rowid)
+        self._entries -= 1
+        if not rowids:
+            del bucket.entries[key]
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Any) -> Set[int]:
+        if null_key(key):
+            return set()
+        return set(self._bucket_for(key).entries.get(key, ()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, Any]:
+        buckets = {id(bucket): bucket for bucket in self._directory}
+        distinct_keys = sum(len(b.entries) for b in buckets.values())
+        return {
+            "kind": self.kind,
+            "entries": self._entries,
+            "distinct_keys": distinct_keys,
+            "depth": self.global_depth,
+            "directory_size": len(self._directory),
+            "buckets": len(buckets),
+            "capacity": self.capacity,
+            "fill_factor": (
+                distinct_keys / (len(buckets) * self.capacity) if buckets else 0.0
+            ),
+        }
+
+    def __len__(self) -> int:
+        return self._entries

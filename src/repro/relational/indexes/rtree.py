@@ -1,0 +1,294 @@
+"""An R-tree over 2-D points: bounding-box probes for spatial predicates.
+
+Guttman's original design, specialized to point data: leaves hold
+``((x, y), payload)`` entries, inner nodes hold minimum bounding
+rectangles over their children, inserts descend by least-area
+enlargement and overflowing nodes split with the quadratic seed-pick.
+Deletion removes the entry and *condenses*: a leaf that underflows is
+dissolved and its surviving entries reinserted, so the tree never keeps
+near-empty nodes that would poison the planner's depth/fill statistics.
+
+Payloads are opaque — the relational storage layer stores integer row
+ids keyed by a ``(latitude, longitude)`` column pair (``CREATE INDEX ...
+USING rtree``), while the search engine stores page titles keyed by
+each page's :class:`~repro.geo.point.GeoPoint`, which is how the demo's
+map-view bounding-box constraint (Fig. 7) becomes an index probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.relational.indexes.base import SecondaryIndex, null_key
+
+DEFAULT_MAX_ENTRIES = 16
+
+_Rect = Tuple[float, float, float, float]  # (min_x, min_y, max_x, max_y)
+
+
+def _point_rect(key: Tuple[float, float]) -> _Rect:
+    x, y = key
+    return (float(x), float(y), float(x), float(y))
+
+
+def _union(a: _Rect, b: _Rect) -> _Rect:
+    return (min(a[0], b[0]), min(a[1], b[1]), max(a[2], b[2]), max(a[3], b[3]))
+
+
+def _area(rect: _Rect) -> float:
+    return (rect[2] - rect[0]) * (rect[3] - rect[1])
+
+
+def _enlargement(rect: _Rect, other: _Rect) -> float:
+    return _area(_union(rect, other)) - _area(rect)
+
+
+def _intersects(a: _Rect, b: _Rect) -> bool:
+    return not (b[0] > a[2] or b[2] < a[0] or b[1] > a[3] or b[3] < a[1])
+
+
+class _Node:
+    __slots__ = ("leaf", "entries")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # Leaf: (rect, (key, payload)); inner: (rect, child _Node).
+        self.entries: List[Tuple[_Rect, Any]] = []
+
+    def mbr(self) -> _Rect:
+        rect = self.entries[0][0]
+        for other, _ in self.entries[1:]:
+            rect = _union(rect, other)
+        return rect
+
+
+class RTreeIndex(SecondaryIndex):
+    """(x, y) point -> payload set, probed by axis-aligned boxes."""
+
+    kind = "rtree"
+    supports_box = True
+
+    def __init__(
+        self,
+        name: str,
+        columns: Tuple[str, str] = ("x", "y"),
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        super().__init__(name, tuple(columns))
+        if len(self.columns) != 2:
+            raise ValueError(f"an R-tree indexes exactly two columns, got {self.columns}")
+        if max_entries < 4:
+            raise ValueError(f"R-tree max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self._root = _Node(leaf=True)
+        self._entries = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Tuple[float, float], payload: Any) -> None:
+        """Add ``payload`` at point ``key`` (NULL components skip indexing)."""
+        if null_key(key):
+            return
+        self._insert_entry(_point_rect(key), (tuple(key), payload))
+        self._entries += 1
+
+    def _insert_entry(self, rect: _Rect, record: Any) -> None:
+        split = self._insert_into(self._root, rect, record)
+        if split is not None:
+            old_root, new_node = self._root, split
+            self._root = _Node(leaf=False)
+            self._root.entries = [(old_root.mbr(), old_root), (new_node.mbr(), new_node)]
+
+    def _insert_into(self, node: _Node, rect: _Rect, record: Any) -> Optional[_Node]:
+        if node.leaf:
+            node.entries.append((rect, record))
+        else:
+            pos = self._choose_subtree(node, rect)
+            child_rect, child = node.entries[pos]
+            split = self._insert_into(child, rect, record)
+            node.entries[pos] = (_union(child_rect, rect), child)
+            if split is not None:
+                node.entries[pos] = (child.mbr(), child)
+                node.entries.append((split.mbr(), split))
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    @staticmethod
+    def _choose_subtree(node: _Node, rect: _Rect) -> int:
+        best = 0
+        best_key = None
+        for pos, (child_rect, _) in enumerate(node.entries):
+            key = (_enlargement(child_rect, rect), _area(child_rect))
+            if best_key is None or key < best_key:
+                best, best_key = pos, key
+        return best
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: seed with the two most wasteful entries."""
+        entries = node.entries
+        seed_a = seed_b = 0
+        worst = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = _area(_union(entries[i][0], entries[j][0])) - _area(
+                    entries[i][0]
+                ) - _area(entries[j][0])
+                if waste > worst:
+                    worst, seed_a, seed_b = waste, i, j
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a, rect_b = entries[seed_a][0], entries[seed_b][0]
+        remaining = [e for pos, e in enumerate(entries) if pos not in (seed_a, seed_b)]
+        for left, entry in enumerate(remaining):
+            unassigned = len(remaining) - left
+            # Honor the minimum: if a group needs every unassigned entry
+            # to reach min_entries, it gets them all.
+            if len(group_a) + unassigned <= self.min_entries:
+                group_a.append(entry)
+                rect_a = _union(rect_a, entry[0])
+                continue
+            if len(group_b) + unassigned <= self.min_entries:
+                group_b.append(entry)
+                rect_b = _union(rect_b, entry[0])
+                continue
+            grow_a = _enlargement(rect_a, entry[0])
+            grow_b = _enlargement(rect_b, entry[0])
+            if (grow_a, _area(rect_a), len(group_a)) <= (grow_b, _area(rect_b), len(group_b)):
+                group_a.append(entry)
+                rect_a = _union(rect_a, entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = _union(rect_b, entry[0])
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        return sibling
+
+    def delete(self, key: Tuple[float, float], payload: Any) -> None:
+        """Remove one ``(key, payload)`` entry and condense the tree."""
+        if null_key(key):
+            return
+        rect = _point_rect(key)
+        orphans: List[Tuple[_Rect, Any]] = []
+        removed = self._delete_from(self._root, rect, (tuple(key), payload), orphans)
+        if not removed:
+            return
+        self._entries -= 1
+        # Collapse a root that shrank to a single inner child.
+        while not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0][1]
+        if not self._root.leaf and not self._root.entries:
+            self._root = _Node(leaf=True)
+        for orphan_rect, orphan_record in orphans:
+            self._insert_entry(orphan_rect, orphan_record)
+
+    def _delete_from(
+        self, node: _Node, rect: _Rect, record: Any, orphans: List[Tuple[_Rect, Any]]
+    ) -> bool:
+        if node.leaf:
+            for pos, (entry_rect, entry_record) in enumerate(node.entries):
+                if entry_record == record:
+                    node.entries.pop(pos)
+                    return True
+            return False
+        for pos, (child_rect, child) in enumerate(node.entries):
+            if not _intersects(child_rect, rect):
+                continue
+            if self._delete_from(child, rect, record, orphans):
+                if child.entries and len(child.entries) >= self.min_entries:
+                    node.entries[pos] = (child.mbr(), child)
+                else:
+                    # Condense: dissolve the underfull child, reinsert later.
+                    node.entries.pop(pos)
+                    self._collect(child, orphans)
+                return True
+        return False
+
+    @staticmethod
+    def _collect(node: _Node, orphans: List[Tuple[_Rect, Any]]) -> None:
+        if node.leaf:
+            orphans.extend(node.entries)
+            return
+        for _, child in node.entries:
+            RTreeIndex._collect(child, orphans)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def box(
+        self,
+        x_low: Optional[float] = None,
+        x_high: Optional[float] = None,
+        y_low: Optional[float] = None,
+        y_high: Optional[float] = None,
+    ) -> Set[Any]:
+        """Payloads of points inside the (inclusive) box; open bounds allowed."""
+        inf = float("inf")
+        query: _Rect = (
+            -inf if x_low is None else float(x_low),
+            -inf if y_low is None else float(y_low),
+            inf if x_high is None else float(x_high),
+            inf if y_high is None else float(y_high),
+        )
+        found: Set[Any] = set()
+        if self._entries:
+            self._search(self._root, query, found)
+        return found
+
+    def lookup(self, key: Tuple[float, float]) -> Set[Any]:
+        """Payloads at exactly ``key`` (a degenerate box probe)."""
+        if null_key(key):
+            return set()
+        x, y = key
+        return self.box(x, x, y, y)
+
+    def _search(self, node: _Node, query: _Rect, found: Set[Any]) -> None:
+        for rect, entry in node.entries:
+            if not _intersects(rect, query):
+                continue
+            if node.leaf:
+                found.add(entry[1])
+            else:
+                self._search(entry, query, found)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        levels = 1
+        node = self._root
+        while not node.leaf:
+            levels += 1
+            node = node.entries[0][1]
+        return levels
+
+    def statistics(self) -> Dict[str, Any]:
+        nodes = leaves = slots = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            slots += len(node.entries)
+            if node.leaf:
+                leaves += 1
+            else:
+                stack.extend(child for _, child in node.entries)
+        return {
+            "kind": self.kind,
+            "entries": self._entries,
+            "depth": self.depth,
+            "nodes": nodes,
+            "leaves": leaves,
+            "max_entries": self.max_entries,
+            "fill_factor": (slots / (nodes * self.max_entries)) if nodes else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return self._entries

@@ -114,8 +114,13 @@ class CreateTableStmt:
 class CreateIndexStmt:
     name: str
     table: str
-    column: str
-    kind: str = "hash"  # CREATE INDEX ... USING (hash | sorted)
+    columns: Tuple[str, ...]
+    kind: str = "hash"  # CREATE INDEX ... USING (hash | sorted | btree | rtree)
+
+    @property
+    def column(self) -> str:
+        """The first indexed column (single-column compatibility alias)."""
+        return self.columns[0]
 
 
 @dataclass(frozen=True)
@@ -440,12 +445,14 @@ class _Parser:
         self._expect("keyword", "on")
         table = self._expect_ident()
         self._expect("punct", "(")
-        column = self._expect_ident()
+        columns = [self._expect_ident()]
+        while self._accept("punct", ","):
+            columns.append(self._expect_ident())
         self._expect("punct", ")")
         kind = "hash"
         if self._accept("keyword", "using"):
             kind = self._expect_ident()
-        return CreateIndexStmt(name, table, column, kind)
+        return CreateIndexStmt(name, table, tuple(columns), kind)
 
     def _parse_explain(self) -> ExplainStmt:
         self._expect("keyword", "explain")

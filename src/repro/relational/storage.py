@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CatalogError, IntegrityError
 from repro.relational.index import HashIndex, make_index
@@ -15,12 +15,18 @@ class Table:
     Deletions leave tombstones (``None`` slots) so row ids stay valid for
     the indexes; :meth:`scan` skips them. A unique hash index is created
     automatically over the primary key.
+
+    ``version`` is a monotone mutation counter: every insert, delete,
+    update, rollback replay and schema change bumps it, which is how the
+    planner's catalog knows its cached statistics for this table are
+    stale without scanning anything.
     """
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: List[Optional[Tuple[Any, ...]]] = []
         self._live = 0
+        self.version = 0
         self.indexes: Dict[str, object] = {}
         # Undo log for transactions: None when autocommitting, else a list
         # of ('insert', rowid) / ('delete', rowid, row) / ('update', rowid,
@@ -31,6 +37,18 @@ class Table:
             self.indexes[self._pk_index.name] = self._pk_index
         else:
             self._pk_index = None
+
+    # ------------------------------------------------------------------
+    # Index keys
+    # ------------------------------------------------------------------
+
+    def _index_key(self, row: Tuple[Any, ...], index) -> Any:
+        """The key ``index`` stores for ``row``: one value, or a tuple
+        across the index's columns (the R-tree's (x, y) pair)."""
+        columns = getattr(index, "columns", None) or (index.column,)
+        if len(columns) == 1:
+            return row[self.schema.position(columns[0])]
+        return tuple(row[self.schema.position(column)] for column in columns)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -48,8 +66,9 @@ class Table:
         rowid = len(self._rows)
         self._rows.append(row)
         self._live += 1
+        self.version += 1
         for index in self.indexes.values():
-            index.insert(row[self.schema.position(index.column)], rowid)
+            index.insert(self._index_key(row, index), rowid)
         if self._undo is not None:
             self._undo.append(("insert", rowid))
         return rowid
@@ -60,9 +79,10 @@ class Table:
         if row is None:
             return
         for index in self.indexes.values():
-            index.delete(row[self.schema.position(index.column)], rowid)
+            index.delete(self._index_key(row, index), rowid)
         self._rows[rowid] = None
         self._live -= 1
+        self.version += 1
         if self._undo is not None:
             self._undo.append(("delete", rowid, row))
 
@@ -81,11 +101,13 @@ class Table:
                     f"duplicate primary key {new_row[pk_pos]!r} in table {self.schema.name!r}"
                 )
         for index in self.indexes.values():
-            position = self.schema.position(index.column)
-            if row[position] != new_row[position]:
-                index.delete(row[position], rowid)
-                index.insert(new_row[position], rowid)
+            old_key = self._index_key(row, index)
+            new_key = self._index_key(new_row, index)
+            if old_key != new_key:
+                index.delete(old_key, rowid)
+                index.insert(new_key, rowid)
         self._rows[rowid] = new_row
+        self.version += 1
         if self._undo is not None:
             self._undo.append(("update", rowid, row))
 
@@ -134,13 +156,15 @@ class Table:
             return
         log = self._undo
         self._undo = None  # mutations below must not be re-logged
+        if log:
+            self.version += 1
         for entry in reversed(log):
             if entry[0] == "insert":
                 _, rowid = entry
                 row = self._rows[rowid]
                 if row is not None:
                     for index in self.indexes.values():
-                        index.delete(row[self.schema.position(index.column)], rowid)
+                        index.delete(self._index_key(row, index), rowid)
                     self._rows[rowid] = None
                     self._live -= 1
             elif entry[0] == "delete":
@@ -148,15 +172,18 @@ class Table:
                 self._rows[rowid] = row
                 self._live += 1
                 for index in self.indexes.values():
-                    index.insert(row[self.schema.position(index.column)], rowid)
+                    index.insert(self._index_key(row, index), rowid)
             else:  # update
                 _, rowid, old_row = entry
                 current = self._rows[rowid]
                 for index in self.indexes.values():
-                    position = self.schema.position(index.column)
-                    if current is not None and current[position] != old_row[position]:
-                        index.delete(current[position], rowid)
-                        index.insert(old_row[position], rowid)
+                    if current is None:
+                        continue
+                    old_key = self._index_key(current, index)
+                    new_key = self._index_key(old_row, index)
+                    if old_key != new_key:
+                        index.delete(old_key, rowid)
+                        index.insert(new_key, rowid)
                 self._rows[rowid] = old_row
 
     # ------------------------------------------------------------------
@@ -175,26 +202,43 @@ class Table:
             )
         self.schema = TableSchema(self.schema.name, [*self.schema.columns, column])
         self._rows = [None if row is None else (*row, None) for row in self._rows]
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Indexes
     # ------------------------------------------------------------------
 
-    def create_index(self, name: str, column: str, kind: str = "hash") -> None:
-        """Create and backfill a secondary index over ``column``."""
+    def create_index(
+        self, name: str, columns: Union[str, Sequence[str]], kind: str = "hash"
+    ) -> None:
+        """Create and backfill a secondary index over ``columns``."""
         if name in self.indexes:
             raise CatalogError(f"index {name!r} already exists on table {self.schema.name!r}")
-        self.schema.column(column)  # validates the column exists
-        index = make_index(kind, name, column.lower())
-        position = self.schema.position(column)
+        if isinstance(columns, str):
+            columns = (columns,)
+        for column in columns:
+            self.schema.column(column)  # validates the column exists
+        index = make_index(kind, name, columns)
         for rowid, row in self.scan():
-            index.insert(row[position], rowid)
+            index.insert(self._index_key(row, index), rowid)
         self.indexes[name] = index
+        self.version += 1
 
     def index_on(self, column: str):
-        """Return some index over ``column`` or None."""
+        """Return some single-column index over ``column`` or None."""
         column = column.lower()
         for index in self.indexes.values():
-            if index.column == column:
+            columns = getattr(index, "columns", (index.column,))
+            if len(columns) == 1 and index.column == column:
                 return index
         return None
+
+    def index_statistics(self) -> Dict[str, Any]:
+        """Per-index structure statistics for the catalog snapshot."""
+        report: Dict[str, Any] = {}
+        for name in sorted(self.indexes):
+            index = self.indexes[name]
+            stats = index.statistics()
+            stats["columns"] = list(getattr(index, "columns", (index.column,)))
+            report[name] = stats
+        return report

@@ -3,6 +3,7 @@
 Endpoints (all under ``/api``):
 
     GET  /api/search?q=<compact query>        ranked results
+         (&explain=1 attaches the per-constraint evaluation plan)
     GET  /api/page/{title}                    one page's metadata
     GET  /api/autocomplete/title?prefix=
     GET  /api/autocomplete/property?prefix=
@@ -23,6 +24,7 @@ Observability (outside ``/api``):
     GET  /debug/logs?level=&trace_id=&k=      structured event log (JSON)
     GET  /debug/profile?k=                    span-path self/cum profile
     GET  /debug/convergence?solver=           solver residual histories
+    GET  /debug/plan?sql=|q=                  cost-based plans + catalog
     GET  /healthz                             component health probes
 
 Every request passes through :class:`MetricsMiddleware`, which mints a
@@ -99,7 +101,8 @@ _INDEX_HTML = """<!doctype html>
   <li><a href="/debug/trace">/debug/trace</a> (recent spans) |
       <a href="/debug/logs">/debug/logs</a> (event log) |
       <a href="/debug/profile">/debug/profile</a> (span profile) |
-      <a href="/debug/convergence">/debug/convergence</a> (solver residuals)</li>
+      <a href="/debug/convergence">/debug/convergence</a> (solver residuals) |
+      <a href="/debug/plan?q=kind%3Dstation">/debug/plan?sql=|q=</a> (query plans)</li>
 </ul>
 <p>Query syntax: <code>keyword=wind kind=sensor elevation_m&gt;=2000 sort=pagerank
 order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
@@ -288,18 +291,20 @@ def create_app(
 
     @router.get("/api/search")
     def search(request: Request) -> Response:
-        results = _search(request)
-        return JsonResponse(
-            {
-                "query": results.query_description,
-                "total_candidates": results.total_candidates,
-                "results": [_result_payload(r) for r in results],
-                # The same id lands in the X-Trace-Id header; it is also
-                # in the body so API clients that log payloads can quote
-                # it back when reporting a slow or wrong result.
-                "trace_id": obs.current_trace_id(),
-            }
-        )
+        query = engine.parse(request.params.get("q", ""))
+        results = engine.search(query)
+        payload = {
+            "query": results.query_description,
+            "total_candidates": results.total_candidates,
+            "results": [_result_payload(r) for r in results],
+            # The same id lands in the X-Trace-Id header; it is also
+            # in the body so API clients that log payloads can quote
+            # it back when reporting a slow or wrong result.
+            "trace_id": obs.current_trace_id(),
+        }
+        if request.params.get("explain") in ("1", "true", "yes"):
+            payload["plan"] = engine.explain_search(query)
+        return JsonResponse(payload)
 
     @router.get("/api/page/{title}")
     def page(request: Request, title: str) -> Response:
@@ -382,6 +387,8 @@ def create_app(
                     requests_family.total() if requests_family else 0.0
                 ),
                 "query_cache": engine.cache_info(),
+                "catalog": engine.smr.db.catalog_stats(),
+                "spatial_index": engine.spatial_index_info(),
                 "slow_queries": [
                     {"query": q, "seconds": s}
                     for q, s in engine.query_log.slow_queries(5)
@@ -439,6 +446,38 @@ def create_app(
             return JsonResponse({"solver": solver, "runs": recorder.runs(solver)})
         return JsonResponse(recorder.snapshot())
 
+    @router.get("/debug/plan")
+    def debug_plan(request: Request) -> Response:
+        """Planner introspection: EXPLAIN for raw SQL or a search query.
+
+        ``sql=SELECT ...`` returns the cost-based relational plan;
+        ``q=<compact query>`` returns the engine's per-constraint
+        evaluation strategy (the same payload ``explain=1`` attaches to
+        ``/api/search``, without running the search).
+        """
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        sql = request.params.get("sql")
+        query_text = request.params.get("q")
+        if sql is None and query_text is None:
+            return JsonResponse(
+                {"error": "pass sql=SELECT ... or q=<compact query>"},
+                status="400 Bad Request",
+            )
+        payload: Dict[str, Any] = {}
+        if sql is not None:
+            payload["sql"] = sql
+            payload["sql_plan"] = [
+                row[0] for row in engine.smr.sql(f"EXPLAIN {sql}")
+            ]
+        if query_text is not None:
+            payload["search_plan"] = engine.explain_search(
+                engine.parse(query_text)
+            )
+        payload["catalog"] = engine.smr.db.catalog_stats()
+        return JsonResponse(payload)
+
     @router.get("/healthz")
     def healthz(request: Request) -> Response:
         """Component health probes for load balancers and operators.
@@ -484,11 +523,26 @@ def create_app(
             info["status"] = "ok" if info.get("enabled") else "degraded"
             return info
 
+        def indexes_probe() -> Dict[str, Any]:
+            info = engine.spatial_index_info()
+            built = info.get("generation")
+            lagging = (
+                info.get("enabled")
+                and built is not None
+                and built != info.get("current_generation")
+            )
+            # A lagging index is *degraded*, not an error: the next bbox
+            # probe rebuilds it (the generation stamp self-heals), but an
+            # operator watching /healthz sees that queries will pay it.
+            info["status"] = "degraded" if lagging else "ok"
+            return info
+
         probe("smr", smr_probe)
         probe("relational", relational_probe)
         probe("rdf", rdf_probe)
         probe("ranker", ranker_probe)
         probe("cache", cache_probe)
+        probe("indexes", indexes_probe)
         statuses = {check["status"] for check in checks.values()}
         overall = (
             "error" if "error" in statuses

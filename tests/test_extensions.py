@@ -16,22 +16,27 @@ EX = Namespace("http://x/")
 class TestExplain:
     @pytest.fixture
     def db(self):
+        # Large enough that the cost-based planner prices selective index
+        # probes below a sequential scan (on a 3-row table seq would win).
         database = Database()
         database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL, tag TEXT)")
         database.execute("CREATE INDEX idx_v ON t(v) USING sorted")
         database.execute("CREATE INDEX idx_tag ON t(tag)")
-        database.execute(
-            "INSERT INTO t (id, v, tag) VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'a')"
-        )
+        for i in range(64):
+            database.execute(
+                f"INSERT INTO t (id, v, tag) VALUES ({i + 1}, {float(i)}, 't{i % 16}')"
+            )
+        database.execute("INSERT INTO t (id, v, tag) VALUES (100, 1.0, 'a')")
         return database
 
     def test_explain_seq_scan(self, db):
         plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t")]
-        assert plan == ["SeqScan(t)"]
+        assert plan[0].startswith("SeqScan(t)")
+        assert "cost=" in plan[0]
 
     def test_explain_index_eq(self, db):
         plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE tag = 'a'")]
-        assert plan[0] == "IndexScan(t.tag = 'a')"
+        assert plan[0].startswith("IndexScan(t.tag = 'a' via idx_tag)")
         assert any("Filter" in line for line in plan)
 
     def test_explain_pk_index(self, db):
@@ -39,12 +44,27 @@ class TestExplain:
         assert plan[0].startswith("IndexScan(t.id")
 
     def test_explain_range_scan(self, db):
-        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE v > 1.5")]
-        assert plan[0] == "RangeIndexScan(t: v > 1.5)"
+        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE v > 60.5")]
+        assert plan[0].startswith("RangeIndexScan(t: v > 60.5 via idx_v)")
 
     def test_explain_flipped_range(self, db):
-        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE 1.5 < v")]
-        assert plan[0] == "RangeIndexScan(t: v > 1.5)"
+        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE 60.5 < v")]
+        assert plan[0].startswith("RangeIndexScan(t: v > 60.5 via idx_v)")
+
+    def test_explain_seq_when_unselective(self, db):
+        # tag = 'a' is selective, but v > -1000 matches everything: the
+        # planner must keep the scan rather than fetch the whole table
+        # through an index.
+        plan = [row[0] for row in db.execute("EXPLAIN SELECT * FROM t WHERE v > -1000.0")]
+        assert plan[0].startswith("SeqScan(t)")
+
+    def test_planner_off_keeps_legacy_explain(self):
+        database = Database(planner=False)
+        database.execute("CREATE TABLE t (id INTEGER, tag TEXT)")
+        database.execute("CREATE INDEX idx_tag ON t(tag)")
+        database.execute("INSERT INTO t (id, tag) VALUES (1, 'a')")
+        plan = [row[0] for row in database.execute("EXPLAIN SELECT * FROM t WHERE tag = 'a'")]
+        assert plan[0] == "IndexScan(t.tag = 'a')"
 
     def test_explain_join_and_agg(self, db):
         plan = [
@@ -71,14 +91,25 @@ class TestExplain:
             db.execute("EXPLAIN DELETE FROM t")
 
     def test_range_scan_results_correct(self, db):
-        assert db.execute("SELECT id FROM t WHERE v > 1.5 ORDER BY id").rows == [(2,), (3,)]
-        assert db.execute("SELECT id FROM t WHERE v >= 2.0 ORDER BY id").rows == [(2,), (3,)]
-        assert db.execute("SELECT id FROM t WHERE v < 2.0").rows == [(1,)]
-        assert db.execute("SELECT id FROM t WHERE v <= 2.0 ORDER BY id").rows == [(1,), (2,)]
+        # v = id - 1 for ids 1..64, plus (id=100, v=1.0).
+        assert db.execute("SELECT id FROM t WHERE v > 61.5 ORDER BY id").rows == [
+            (63,),
+            (64,),
+        ]
+        assert db.execute("SELECT id FROM t WHERE v >= 62.0 ORDER BY id").rows == [
+            (63,),
+            (64,),
+        ]
+        assert db.execute("SELECT id FROM t WHERE v < 1.0").rows == [(1,)]
+        assert db.execute("SELECT id FROM t WHERE v <= 1.0 ORDER BY id").rows == [
+            (1,),
+            (2,),
+            (100,),
+        ]
 
     def test_range_scan_with_extra_predicates(self, db):
         rows = db.execute("SELECT id FROM t WHERE v > 0.5 AND tag = 'a' ORDER BY id").rows
-        assert rows == [(1,), (3,)]
+        assert rows == [(100,)]
 
 
 class TestSparqlUnion:

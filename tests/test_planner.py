@@ -1,0 +1,395 @@
+"""Tests for the cost-based planner, the index structures behind it,
+and the engine's generation-stamped spatial index.
+
+Covers the three secondary-index structures (B+-tree, extendible hash,
+R-tree) directly, index maintenance under SQL mutations, the catalog's
+version-keyed statistics cache, golden EXPLAIN output per access path,
+and the bbox regression the spatial memo must survive: a write between
+two spatial queries."""
+
+import random
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational import Database
+from repro.relational.indexes import (
+    BPlusTreeIndex,
+    ExtendibleHashIndex,
+    RTreeIndex,
+)
+from repro.smr import SensorMetadataRepository
+
+
+class TestBPlusTree:
+    def test_insert_lookup_many(self):
+        index = BPlusTreeIndex("idx", "k")
+        keys = list(range(2000))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            index.insert(key, key * 10)
+        assert len(index) == 2000
+        assert index.lookup(1234) == {12340}
+        assert index.lookup(99999) == set()
+        assert index.statistics()["depth"] >= 2  # splits actually happened
+
+    def test_items_sorted(self):
+        index = BPlusTreeIndex("idx", "k")
+        for key in [5, 1, 9, 3, 7]:
+            index.insert(key, key)
+        assert [key for key, _ in index.items()] == [1, 3, 5, 7, 9]
+
+    def test_range_half_open_and_bounded(self):
+        index = BPlusTreeIndex("idx", "k")
+        for key in range(100):
+            index.insert(key, key)
+        assert index.range(low=95) == {95, 96, 97, 98, 99}
+        assert index.range(low=95, include_low=False) == {96, 97, 98, 99}
+        assert index.range(high=3) == {0, 1, 2, 3}
+        assert index.range(low=10, high=12) == {10, 11, 12}
+        assert index.range() == set(range(100))
+
+    def test_duplicates_and_delete(self):
+        index = BPlusTreeIndex("idx", "k")
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert index.lookup("a") == {1, 2}
+        index.delete("a", 1)
+        assert index.lookup("a") == {2}
+        index.delete("a", 2)
+        assert index.lookup("a") == set()
+        assert index.lookup("b") == {3}
+
+    def test_delete_survives_bulk(self):
+        index = BPlusTreeIndex("idx", "k")
+        for key in range(500):
+            index.insert(key, key)
+        for key in range(0, 500, 2):
+            index.delete(key, key)
+        assert len(index) == 250
+        assert index.range(low=0, high=10) == {1, 3, 5, 7, 9}
+
+    def test_nulls_not_indexed(self):
+        index = BPlusTreeIndex("idx", "k")
+        index.insert(None, 1)
+        assert len(index) == 0
+        assert index.lookup(None) == set()
+
+
+class TestExtendibleHash:
+    def test_directory_doubles_under_load(self):
+        index = ExtendibleHashIndex("idx", "k")
+        for key in range(3000):
+            index.insert(f"key-{key}", key)
+        stats = index.statistics()
+        assert stats["depth"] > 1  # global depth: the directory doubled
+        assert stats["directory_size"] == 2 ** stats["depth"]
+        assert len(index) == 3000
+        assert index.lookup("key-1500") == {1500}
+        assert index.lookup("missing") == set()
+
+    def test_duplicates_and_delete(self):
+        index = ExtendibleHashIndex("idx", "k")
+        index.insert("x", 1)
+        index.insert("x", 2)
+        assert index.lookup("x") == {1, 2}
+        index.delete("x", 2)
+        assert index.lookup("x") == {1}
+
+    def test_no_range_support(self):
+        index = ExtendibleHashIndex("idx", "k")
+        assert index.supports_eq and not index.supports_range
+
+
+class TestRTree:
+    @staticmethod
+    def _brute(points, x_low, x_high, y_low, y_high):
+        return {
+            rowid
+            for rowid, (x, y) in points.items()
+            if x_low <= x <= x_high and y_low <= y <= y_high
+        }
+
+    def test_box_matches_brute_force(self):
+        rng = random.Random(11)
+        index = RTreeIndex("idx", ("lat", "lon"))
+        points = {}
+        for rowid in range(600):
+            point = (rng.uniform(-90, 90), rng.uniform(-180, 180))
+            points[rowid] = point
+            index.insert(point, rowid)
+        for _ in range(25):
+            x_low = rng.uniform(-90, 60)
+            y_low = rng.uniform(-180, 120)
+            x_high, y_high = x_low + 30, y_low + 60
+            assert index.box(x_low, x_high, y_low, y_high) == self._brute(
+                points, x_low, x_high, y_low, y_high
+            )
+
+    def test_open_bounds(self):
+        index = RTreeIndex("idx", ("x", "y"))
+        index.insert((1.0, 1.0), 1)
+        index.insert((5.0, 5.0), 2)
+        assert index.box(None, None, None, None) == {1, 2}
+        assert index.box(2.0, None, None, None) == {2}
+
+    def test_delete_then_query(self):
+        rng = random.Random(3)
+        index = RTreeIndex("idx", ("x", "y"))
+        points = {i: (rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(300)}
+        for rowid, point in points.items():
+            index.insert(point, rowid)
+        for rowid in list(points)[:150]:
+            index.delete(points.pop(rowid), rowid)
+        assert index.box(0, 100, 0, 100) == set(points)
+        stats = index.statistics()
+        assert stats["entries"] == 150
+
+
+class TestIndexMaintenance:
+    """Every index kind stays consistent under INSERT/UPDATE/DELETE."""
+
+    @pytest.fixture(params=["btree", "hash", "sorted"])
+    def db(self, request):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        database.execute(f"CREATE INDEX idx_v ON t(v) USING {request.param}")
+        for i in range(200):
+            database.execute(f"INSERT INTO t (id, v) VALUES ({i}, {i % 20})")
+        return database
+
+    def test_insert_visible(self, db):
+        db.execute("INSERT INTO t (id, v) VALUES (1000, 5)")
+        rows = db.execute("SELECT id FROM t WHERE v = 5").rows
+        assert (1000,) in rows and len(rows) == 11
+
+    def test_delete_invisible(self, db):
+        db.execute("DELETE FROM t WHERE v = 7")
+        assert db.execute("SELECT id FROM t WHERE v = 7").rows == []
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 190
+
+    def test_update_moves_entry(self, db):
+        db.execute("UPDATE t SET v = 99 WHERE id = 3")
+        assert db.execute("SELECT id FROM t WHERE v = 99").rows == [(3,)]
+        assert (3,) not in db.execute("SELECT id FROM t WHERE v = 3").rows
+
+    def test_rtree_maintenance(self):
+        database = Database()
+        database.execute("CREATE TABLE g (id INTEGER PRIMARY KEY, lat REAL, lon REAL)")
+        database.execute("CREATE INDEX idx_geo ON g(lat, lon) USING rtree")
+        for i in range(50):
+            database.execute(
+                f"INSERT INTO g (id, lat, lon) VALUES ({i}, {float(i)}, {float(i)})"
+            )
+        box = "lat >= 10.0 AND lat <= 12.0 AND lon >= 0.0 AND lon <= 90.0"
+        assert database.execute(f"SELECT id FROM g WHERE {box}").rows == [
+            (10,), (11,), (12,),
+        ]
+        database.execute("UPDATE g SET lat = 11.5 WHERE id = 40")
+        database.execute("DELETE FROM g WHERE id = 11")
+        assert database.execute(f"SELECT id FROM g WHERE {box}").rows == [
+            (10,), (12,), (40,),
+        ]
+
+    def test_rtree_requires_two_columns(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)")
+        with pytest.raises(CatalogError):
+            database.execute("CREATE INDEX idx ON t(v) USING rtree")
+
+    def test_btree_requires_one_column(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a REAL, b REAL)")
+        with pytest.raises(CatalogError):
+            database.execute("CREATE INDEX idx ON t(a, b) USING btree")
+
+    def test_unknown_kind_rejected(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)")
+        with pytest.raises(CatalogError):
+            database.execute("CREATE INDEX idx ON t(v) USING bitmap")
+
+
+class TestCatalog:
+    def test_stats_refresh_on_version(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        table = database.table("t")
+        database.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        stats = database.catalog.stats(table)
+        assert stats.row_count == 1
+        assert database.catalog.stats(table) is stats  # cached: same version
+        database.execute("INSERT INTO t (id, v) VALUES (2, 20)")
+        fresh = database.catalog.stats(table)
+        assert fresh is not stats and fresh.row_count == 2
+
+    def test_snapshot_includes_index_structure(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        database.execute("CREATE INDEX idx_v ON t(v) USING btree")
+        for i in range(10):
+            database.execute(f"INSERT INTO t (id, v) VALUES ({i}, {i})")
+        snapshot = database.catalog_stats()
+        table_stats = snapshot["t"]
+        assert table_stats["row_count"] == 10
+        assert "idx_v" in table_stats["indexes"]
+        btree = table_stats["indexes"]["idx_v"]
+        assert btree["kind"] == "btree" and "depth" in btree
+        assert btree["columns"] == ["v"]
+
+
+class TestExplainGoldens:
+    """One golden EXPLAIN line per access path the planner can choose."""
+
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute(
+            "CREATE TABLE s (id INTEGER PRIMARY KEY, v REAL, tag TEXT, "
+            "lat REAL, lon REAL)"
+        )
+        database.execute("CREATE INDEX idx_v ON s(v) USING btree")
+        database.execute("CREATE INDEX idx_tag ON s(tag) USING hash")
+        database.execute("CREATE INDEX idx_geo ON s(lat, lon) USING rtree")
+        for i in range(128):
+            database.execute(
+                f"INSERT INTO s (id, v, tag, lat, lon) VALUES "
+                f"({i}, {float(i)}, 't{i % 32}', {float(i % 90)}, {float(i % 180)})"
+            )
+        return database
+
+    def _first_line(self, db, where):
+        rows = db.execute(f"EXPLAIN SELECT * FROM s WHERE {where}").rows
+        return rows[0][0]
+
+    def test_index_eq_golden(self, db):
+        line = self._first_line(db, "tag = 't3'")
+        assert line.startswith("IndexScan(s.tag = 't3' via idx_tag)")
+        assert "cost=" in line and "rows=" in line
+
+    def test_range_golden(self, db):
+        line = self._first_line(db, "v >= 120.0")
+        assert line.startswith("RangeIndexScan(s: v >= 120.0 via idx_v)")
+
+    def test_between_merges_bounds(self, db):
+        line = self._first_line(db, "v BETWEEN 10.0 AND 12.0")
+        assert line.startswith("RangeIndexScan(s: v >= 10.0 AND v <= 12.0 via idx_v)")
+
+    def test_rtree_golden(self, db):
+        line = self._first_line(
+            db, "lat >= 10.0 AND lat <= 12.0 AND lon >= 0.0 AND lon <= 20.0"
+        )
+        assert line.startswith("RTreeProbe(s:")
+        assert "via idx_geo" in line
+
+    def test_negative_literal_extracted(self, db):
+        line = self._first_line(
+            db, "lat >= -10.0 AND lat <= 12.0 AND lon >= -20.0 AND lon <= 20.0"
+        )
+        assert "lat >= -10.0" in line and "lon >= -20.0" in line
+
+    def test_seq_when_unselective(self, db):
+        assert self._first_line(db, "v > -1.0").startswith("SeqScan(s)")
+
+    def test_seq_without_predicate(self, db):
+        rows = db.execute("EXPLAIN SELECT * FROM s").rows
+        assert rows[0][0].startswith("SeqScan(s)")
+
+
+class TestEngineSpatialIndex:
+    @staticmethod
+    def _smr(n=40):
+        smr = SensorMetadataRepository()
+        for i in range(n):
+            smr.register(
+                "station",
+                f"Station:S{i}",
+                [
+                    ("name", f"S{i}"),
+                    ("latitude", 40.0 + (i % 20) * 0.5),
+                    ("longitude", 5.0 + (i % 10) * 0.5),
+                ],
+            )
+        return smr
+
+    def test_probe_matches_fallback_scan(self):
+        from repro.core import AdvancedSearchEngine
+
+        smr = self._smr()
+        probe = AdvancedSearchEngine(smr, cache=None)
+        scan = AdvancedSearchEngine(smr, cache=None, spatial_index=False)
+        query = "bbox=41,5,45,8"
+        assert {r.title for r in probe.search(probe.parse(query))} == {
+            r.title for r in scan.search(scan.parse(query))
+        }
+
+    def test_stale_generation_invalidation(self):
+        from repro.core import AdvancedSearchEngine
+
+        smr = self._smr()
+        engine = AdvancedSearchEngine(smr, cache=None)
+        query = engine.parse("bbox=41,5,45,8")
+        before = {r.title for r in engine.search(query)}
+        smr.register(
+            "station",
+            "Station:LATE",
+            [("name", "LATE"), ("latitude", 42.0), ("longitude", 6.0)],
+        )
+        after = {r.title for r in engine.search(query)}
+        assert "Station:LATE" in after and "Station:LATE" not in before
+        # The other direction: an edit moves the page out of the box.
+        smr.register(
+            "station",
+            "Station:LATE",
+            [("name", "LATE"), ("latitude", -60.0), ("longitude", 6.0)],
+        )
+        assert "Station:LATE" not in {r.title for r in engine.search(query)}
+
+    def test_memo_hit_reparses_nothing(self):
+        from repro.core import AdvancedSearchEngine
+
+        smr = self._smr()
+        engine = AdvancedSearchEngine(smr, cache=None)
+        query = engine.parse("bbox=41,5,45,8")
+        engine.search(query)  # builds the R-tree and the location memo
+        calls = []
+        original = engine._parse_location
+
+        def counting(title):
+            calls.append(title)
+            return original(title)
+
+        engine._parse_location = counting
+        engine.search(query)
+        assert calls == []  # same generation: pure memo hits
+
+    def test_spatial_index_info(self):
+        from repro.core import AdvancedSearchEngine
+
+        smr = self._smr()
+        engine = AdvancedSearchEngine(smr, cache=None)
+        info = engine.spatial_index_info()
+        assert info["enabled"] is True and info["generation"] is None
+        engine.search(engine.parse("bbox=41,5,45,8"))
+        info = engine.spatial_index_info()
+        assert info["generation"] == info["current_generation"]
+        assert info["kind"] == "rtree" and info["entries"] == 40
+
+    def test_explain_search_strategies(self):
+        from repro.core import AdvancedSearchEngine
+
+        smr = self._smr()
+        engine = AdvancedSearchEngine(smr, cache=None)
+        plan = engine.explain_search(
+            engine.parse("keyword=S1 kind=station name=S3 bbox=41,5,45,8")
+        )
+        strategies = [c["strategy"] for c in plan["constraints"]]
+        assert strategies == [
+            "InvertedIndexScan",
+            "KindTitleLookup",
+            "SqlFilter",
+            "RTreeProbe",
+        ]
+        sql_tables = plan["constraints"][2]["tables"]
+        assert any("plan" in entry for entry in sql_tables)

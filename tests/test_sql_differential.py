@@ -208,3 +208,89 @@ class TestDifferentialSelect:
             ref.execute(statement)
         query = "SELECT COUNT(*), SUM(a) FROM t"
         assert normalize(ours.execute(query).rows) == normalize(ref.execute(query).fetchall())
+
+
+def make_planner_pair(rows):
+    """Identical data, one planner-on database (with every index kind on
+    the filterable columns) and one planner-off database (no secondary
+    indexes at all) — the physical plans differ maximally, the rows must
+    not differ at all."""
+    plan_on = Database(planner=True)
+    plan_off = Database(planner=False)
+    ddl = "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL, tag TEXT)"
+    plan_on.execute(ddl)
+    plan_off.execute(ddl)
+    plan_on.execute("CREATE INDEX idx_a ON t(a) USING btree")
+    plan_on.execute("CREATE INDEX idx_b ON t(b) USING sorted")
+    plan_on.execute("CREATE INDEX idx_tag ON t(tag) USING hash")
+    for i, (a, b, tag) in enumerate(rows):
+        a_sql = "NULL" if a is None else str(a)
+        b_sql = "NULL" if b is None else repr(b)
+        tag_sql = "NULL" if tag is None else f"'{tag}'"
+        statement = f"INSERT INTO t (id, a, b, tag) VALUES ({i}, {a_sql}, {b_sql}, {tag_sql})"
+        plan_on.execute(statement)
+        plan_off.execute(statement)
+    return plan_on, plan_off
+
+
+class TestPlannerDifferential:
+    """Cost-based planner on vs off: rows must be byte-identical.
+
+    No ORDER BY is added — the executor's contract is that every access
+    path enumerates rowids in ascending order, so even the *row order*
+    must match between a SeqScan and an index probe."""
+
+    @given(rows_strategy, where_clause())
+    @settings(max_examples=120, deadline=None)
+    def test_where_rows_identical(self, rows, clause):
+        plan_on, plan_off = make_planner_pair(rows)
+        query = f"SELECT id, a, b, tag FROM t WHERE {clause}"
+        assert plan_on.execute(query).rows == plan_off.execute(query).rows, query
+
+    @given(rows_strategy, where_clause())
+    @settings(max_examples=40, deadline=None)
+    def test_rows_identical_after_mutation(self, rows, clause):
+        plan_on, plan_off = make_planner_pair(rows)
+        for statement in (
+            "UPDATE t SET a = a + 1, tag = 'y' WHERE a IS NOT NULL AND a < 0",
+            "DELETE FROM t WHERE tag = 'x'",
+            "UPDATE t SET b = 0.5 WHERE b IS NULL",
+        ):
+            plan_on.execute(statement)
+            plan_off.execute(statement)
+        query = f"SELECT id, a, b, tag FROM t WHERE {clause}"
+        assert plan_on.execute(query).rows == plan_off.execute(query).rows, query
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-90, 90, allow_nan=False).map(lambda f: round(f, 3)),
+                st.floats(-180, 180, allow_nan=False).map(lambda f: round(f, 3)),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        st.floats(-90, 90, allow_nan=False).map(lambda f: round(f, 3)),
+        st.floats(0, 60, allow_nan=False).map(lambda f: round(f, 3)),
+        st.floats(-180, 180, allow_nan=False).map(lambda f: round(f, 3)),
+        st.floats(0, 120, allow_nan=False).map(lambda f: round(f, 3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rtree_bbox_rows_identical(self, points, south, height, west, width):
+        plan_on = Database(planner=True)
+        plan_off = Database(planner=False)
+        ddl = "CREATE TABLE geo (id INTEGER PRIMARY KEY, lat REAL, lon REAL)"
+        plan_on.execute(ddl)
+        plan_off.execute(ddl)
+        plan_on.execute("CREATE INDEX idx_geo ON geo(lat, lon) USING rtree")
+        for i, (lat, lon) in enumerate(points):
+            statement = f"INSERT INTO geo (id, lat, lon) VALUES ({i}, {lat!r}, {lon!r})"
+            plan_on.execute(statement)
+            plan_off.execute(statement)
+        north, east = round(south + height, 3), round(west + width, 3)
+        query = (
+            "SELECT id, lat, lon FROM geo WHERE "
+            f"lat >= {south!r} AND lat <= {north!r} AND "
+            f"lon >= {west!r} AND lon <= {east!r}"
+        )
+        assert plan_on.execute(query).rows == plan_off.execute(query).rows, query

@@ -413,7 +413,9 @@ class TestDeepObservability:
         status, _, body = call(app, "GET", "/healthz")
         assert status == "200 OK"
         assert body["status"] in ("ok", "degraded")  # ranker may be cold
-        assert set(body["checks"]) == {"smr", "relational", "rdf", "ranker", "cache"}
+        assert set(body["checks"]) == {
+            "smr", "relational", "rdf", "ranker", "cache", "indexes",
+        }
         assert body["checks"]["smr"]["pages"] == 3
         assert body["checks"]["relational"]["status"] == "ok"
         assert body["checks"]["rdf"]["triples"] > 0
