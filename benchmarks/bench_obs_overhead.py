@@ -7,9 +7,12 @@ Measures advanced-search throughput in three configurations:
   always performed. This is exactly what ``search`` did before the
   observability layer existed, so the deltas below isolate obs cost;
 - **disabled** — the public ``engine.search`` with the metrics registry,
-  tracer, event log and convergence recorder disabled (the no-op fast
-  path);
-- **enabled** — ``engine.search`` with all four components live.
+  tracer, event log, convergence recorder, provenance recorder and
+  slow-query log disabled (the no-op fast path);
+- **enabled** — ``engine.search`` with all six components live, plus
+  histogram exemplar collection on the registry, so the budget covers
+  the full deep-explainability stack (per-query provenance record,
+  slow-log heap offer, exemplar tuple per histogram observation).
 
 A second section times the PageRank solver path (one full Gauss–Seidel
 solve on an n=500 double-link graph) enabled vs. disabled, covering the
@@ -72,13 +75,20 @@ def _timed_round(run, engine, queries) -> float:
 
 
 class _ObsStack:
-    """All four obs components, installed fresh and toggled together."""
+    """All six obs components, installed fresh and toggled together.
+
+    The registry is built with exemplar collection on, so the *enabled*
+    mode pays for the trace-id tuple every histogram observation stores
+    — the worst-case configuration of the stack.
+    """
 
     def __init__(self):
-        self.registry = obs.MetricsRegistry(enabled=True)
+        self.registry = obs.MetricsRegistry(enabled=True, exemplars=True)
         self.tracer = obs.Tracer()
         self.event_log = obs.EventLog(capacity=4096)
         self.recorder = obs.ConvergenceRecorder(per_solver=4)
+        self.prov_recorder = obs.ProvenanceRecorder(capacity=256)
+        self.slowlog = obs.SlowQueryLog(capacity=64)
         self._previous = None
 
     def install(self):
@@ -87,26 +97,34 @@ class _ObsStack:
             obs.set_tracer(self.tracer),
             obs.set_event_log(self.event_log),
             obs.set_convergence_recorder(self.recorder),
+            obs.set_provenance_recorder(self.prov_recorder),
+            obs.set_slow_query_log(self.slowlog),
         )
 
     def restore(self):
-        registry, tracer, event_log, recorder = self._previous
+        registry, tracer, event_log, recorder, prov, slowlog = self._previous
         obs.set_registry(registry)
         obs.set_tracer(tracer)
         obs.set_event_log(event_log)
         obs.set_convergence_recorder(recorder)
+        obs.set_provenance_recorder(prov)
+        obs.set_slow_query_log(slowlog)
 
     def disable(self):
         self.registry.disable()
         self.tracer.disable()
         self.event_log.disable()
         self.recorder.disable()
+        self.prov_recorder.disable()
+        self.slowlog.disable()
 
     def enable(self):
         self.registry.enable()
         self.tracer.enable()
         self.event_log.enable()
         self.recorder.enable()
+        self.prov_recorder.enable()
+        self.slowlog.enable()
 
 
 def _solver_overhead(stack: _ObsStack):
@@ -160,6 +178,9 @@ def test_obs_overhead(engine, write_result):
 
         sample_count = stack.registry.histogram("engine_query_seconds").count
         log_count = len(stack.event_log)
+        prov_records = len(stack.prov_recorder)
+        slow_retained = len(stack.slowlog)
+        slow_offered = stack.slowlog.recorded
         solver_disabled, solver_enabled = _solver_overhead(stack)
         recorded_runs = len(stack.recorder.runs("gauss_seidel"))
     finally:
@@ -172,7 +193,8 @@ def test_obs_overhead(engine, write_result):
     lines = [
         "Observability overhead on the engine query path",
         f"rounds={ROUNDS} iterations={ITERATIONS} queries/round={queries_per_round}",
-        "(enabled/disabled toggles registry + tracer + event log + convergence recorder)",
+        "(enabled/disabled toggles registry[+exemplars] + tracer + event log",
+        " + convergence recorder + provenance recorder + slow-query log)",
         "",
         f"{'mode':<10} {'best round (s)':>15} {'queries/s':>12} {'overhead':>10}",
         f"{'baseline':<10} {baseline:>15.6f} {queries_per_round / baseline:>12.0f} {'—':>10}",
@@ -183,6 +205,9 @@ def test_obs_overhead(engine, write_result):
         "",
         f"histogram samples recorded while enabled: {sample_count}",
         f"event-log records captured while enabled: {log_count}",
+        f"provenance records captured while enabled: {prov_records}",
+        f"slow-log offers retained while enabled: {slow_retained} "
+        f"(of {slow_offered} ever kept)",
         "",
         f"Solver path (gauss_seidel, n={SOLVER_N}, best of {SOLVER_ROUNDS} rounds)",
         "(per-solve cost: convergence-recorder append + log event + span + metrics)",
@@ -197,6 +222,8 @@ def test_obs_overhead(engine, write_result):
     assert sample_count == queries_per_round * ROUNDS + len(QUERIES)
     assert log_count > 0, "enabled rounds should have produced engine.search events"
     assert recorded_runs > 0, "enabled solver rounds should have recorded runs"
+    assert prov_records > 0, "enabled rounds should have recorded provenance"
+    assert slow_retained > 0, "enabled rounds should have fed the slow-query log"
     if not SMOKE:
         assert enabled_overhead < 0.05, f"enabled overhead {enabled_overhead:.2%} >= 5%"
         assert disabled_overhead < 0.01, f"disabled overhead {disabled_overhead:.2%} >= 1%"

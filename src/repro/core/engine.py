@@ -142,7 +142,15 @@ class AdvancedSearchEngine:
         registry = obs.get_registry()
         tracer = obs.get_tracer()
         event_log = obs.get_event_log()
-        if not registry.enabled and not tracer.enabled and not event_log.enabled:
+        slowlog = obs.get_slow_query_log()
+        prov_recorder = obs.get_provenance_recorder()
+        if (
+            not registry.enabled
+            and not tracer.enabled
+            and not event_log.enabled
+            and not slowlog.enabled
+            and not prov_recorder.enabled
+        ):
             # Observability off: skip the timers and span entirely so the
             # hot path costs only this branch (the <1% disabled target).
             if key is not None:
@@ -158,6 +166,11 @@ class AdvancedSearchEngine:
         # Observability on: cache hits are still served queries, so they
         # flow through the same span and latency histogram (tagged with a
         # ``cache`` attribute) — percentiles reflect what callers see.
+        prov = None
+        if prov_recorder.enabled:
+            prov = obs.QueryProvenance(
+                description, privileges=_privilege_label(user)
+            )
         start = time.perf_counter()
         verdict = "uncached"
         try:
@@ -169,7 +182,7 @@ class AdvancedSearchEngine:
                 if cached is not None:
                     results = cached
                 else:
-                    results = self._search(query, user, description)
+                    results = self._search(query, user, description, prov=prov)
                 if key is not None:
                     span.set_attribute("cache", verdict)
         except Exception:
@@ -179,6 +192,30 @@ class AdvancedSearchEngine:
             event_log.error("engine.search_error", query=description)
             raise
         elapsed = time.perf_counter() - start
+        if prov is not None:
+            prov.seconds = elapsed
+            prov.trace_id = obs.current_trace_id()
+            prov.generation = list(generation) if generation is not None else None
+            prov.cache = verdict
+            prov_recorder.record(prov)
+        if slowlog.enabled:
+            # Hand the slow log the waterfall snapshot already in hand
+            # (no planner round-trip); the log deep-copies only entries
+            # it actually retains.
+            plan = None
+            if prov is not None and prov.stages:
+                plan = {
+                    "stages": [stage.to_dict() for stage in prov.stages],
+                    "waterfall": [dict(step) for step in prov.waterfall],
+                }
+            slowlog.record(
+                description,
+                elapsed,
+                trace_id=obs.current_trace_id(),
+                cache=verdict,
+                results=results.total_candidates,
+                plan=plan,
+            )
         if key is not None and verdict != "hit":
             self.cache.put(key, generation, results)
         registry.counter(
@@ -197,8 +234,7 @@ class AdvancedSearchEngine:
                 "engine_zero_result_queries_total", "Searches that matched nothing."
             ).inc()
         if event_log.enabled:
-            allowed = user.policy.allowed_kinds
-            privileges = "*" if allowed is None else ",".join(sorted(allowed))
+            privileges = _privilege_label(user)
             event_log.info(
                 "engine.search",
                 query=description,
@@ -225,8 +261,25 @@ class AdvancedSearchEngine:
         return results
 
     def _search(
-        self, query: SearchQuery, user: User, description: Optional[str] = None
+        self,
+        query: SearchQuery,
+        user: User,
+        description: Optional[str] = None,
+        prov: Optional[obs.QueryProvenance] = None,
     ) -> SearchResults:
+        """Execute the Fig. 1 pipeline for one parsed query.
+
+        With ``prov=None`` (the default, and the only mode the disabled
+        fast path uses) this is the bare pipeline: no timers, no
+        per-stage bookkeeping, nothing allocated beyond the result sets
+        themselves. With a :class:`~repro.obs.provenance.QueryProvenance`
+        the same pipeline additionally records each constraint's wall
+        time, match count and selectivity, the intersection waterfall,
+        the privilege filter and the ranking path — the candidate *sets*
+        and result lists are identical either way (intersection is
+        order-independent and the waterfall intersects in declaration
+        order).
+        """
         if query.kind is not None:
             user.check_kind(query.kind)
         relevance: Dict[str, float] = {}
@@ -244,23 +297,60 @@ class AdvancedSearchEngine:
         jobs.extend(partial(self._titles_matching_filter, flt) for flt in query.filters)
         if query.bbox is not None:
             jobs.append(partial(self._titles_in_bbox, query.bbox))
+        if prov is not None:
+            jobs = [_timed_job(job) for job in jobs]
         outputs = parallel_map(
             lambda job: job(), jobs, pool=self.pool, label="engine.constraint"
         )
+        job_seconds: List[float] = []
+        if prov is not None:
+            job_seconds = [seconds for seconds, _ in outputs]
+            outputs = [value for _, value in outputs]
+            corpus = len(self.smr.titles())
+        set_names: List[str] = []
 
         cursor = 0
         if query.keyword:
             hits = outputs[cursor]
-            cursor += 1
             relevance = {hit.doc_id: hit.score for hit in hits}
             constraint_sets.append(set(relevance))
+            if prov is not None:
+                name = f"keyword={query.keyword!r}"
+                prov.add_stage(
+                    name, "InvertedIndexScan", job_seconds[cursor], len(hits), corpus
+                )
+                set_names.append(name)
+            cursor += 1
 
         if query.kind is not None:
-            constraint_sets.append(set(self.smr.titles(query.kind)))
+            if prov is not None:
+                kind_start = time.perf_counter()
+                kind_titles = set(self.smr.titles(query.kind))
+                name = f"kind={query.kind}"
+                prov.add_stage(
+                    name,
+                    "KindTitleLookup",
+                    time.perf_counter() - kind_start,
+                    len(kind_titles),
+                    corpus,
+                )
+                set_names.append(name)
+                constraint_sets.append(kind_titles)
+            else:
+                constraint_sets.append(set(self.smr.titles(query.kind)))
 
         filter_matches = list(
             zip(query.filters, outputs[cursor : cursor + len(query.filters)])
         )
+        if prov is not None:
+            for offset, (flt, titles) in enumerate(filter_matches):
+                prov.add_stage(
+                    flt.describe(),
+                    self._filter_strategy(flt),
+                    job_seconds[cursor + offset],
+                    len(titles),
+                    corpus,
+                )
         cursor += len(query.filters)
         if filter_matches:
             if query.relaxed:
@@ -268,17 +358,50 @@ class AdvancedSearchEngine:
                 for _, titles in filter_matches:
                     union |= titles
                 constraint_sets.append(union)
+                if prov is not None:
+                    set_names.append(
+                        "any-of(" + ", ".join(f.describe() for f, _ in filter_matches) + ")"
+                    )
             else:
-                for _, titles in filter_matches:
+                for flt, titles in filter_matches:
                     constraint_sets.append(titles)
+                    if prov is not None:
+                        set_names.append(flt.describe())
 
         if query.bbox is not None:
             constraint_sets.append(outputs[cursor])
+            if prov is not None:
+                bbox = query.bbox
+                name = (
+                    f"bbox(lat in [{bbox.south}, {bbox.north}], "
+                    f"lon in [{bbox.west}, {bbox.east}])"
+                )
+                prov.add_stage(
+                    name,
+                    "RTreeProbe" if self.spatial_index else "BBoxScan",
+                    job_seconds[cursor],
+                    len(outputs[cursor]),
+                    corpus,
+                )
+                set_names.append(name)
 
         if constraint_sets:
-            candidates = set.intersection(*constraint_sets)
+            if prov is not None:
+                # Intersect sequentially in declaration order so each
+                # step's before/after counts land in the waterfall; the
+                # final set equals set.intersection(*constraint_sets).
+                candidates = set(constraint_sets[0])
+                prov.add_waterfall_step(set_names[0], None, len(candidates))
+                for name, cset in zip(set_names[1:], constraint_sets[1:]):
+                    before = len(candidates)
+                    candidates &= cset
+                    prov.add_waterfall_step(name, before, len(candidates))
+            else:
+                candidates = set.intersection(*constraint_sets)
         else:
             candidates = set(self.smr.titles())
+            if prov is not None:
+                prov.add_waterfall_step("(no constraints)", None, len(candidates))
 
         # One locked snapshot instead of a kind_of() lock round-trip per
         # candidate; every candidate came from the repository, so the
@@ -290,9 +413,12 @@ class AdvancedSearchEngine:
             if user.policy.can_read(kind):
                 allowed.append((title, kind))
         total = len(allowed)
+        if prov is not None:
+            prov.set_privilege_filter(len(candidates), total)
 
         if self._use_topk(query):
             results = self._select_topk(query, allowed, relevance, filter_matches)
+            ranking_path = "heap-topk"
         else:
             results = [
                 self._build_result(title, kind, relevance, filter_matches)
@@ -302,9 +428,44 @@ class AdvancedSearchEngine:
             results = results[query.offset :]
             if query.limit is not None:
                 results = results[: query.limit]
+            ranking_path = "full-sort"
+        if prov is not None:
+            prov.set_ranking(query.sort, ranking_path, len(results))
         if description is None:
             description = query.describe()
         return SearchResults(results, total, description)
+
+    def search_explained(
+        self, query: SearchQuery, user: User = ANONYMOUS
+    ) -> Tuple[SearchResults, obs.QueryProvenance]:
+        """Run ``query`` with full provenance, bypassing the result cache.
+
+        The cache bypass is deliberate: a cached hit would yield an empty
+        waterfall, and the point of ``explain=full`` / ``/explore`` is to
+        watch the real pipeline run. The record is also pushed into the
+        provenance recorder (when enabled) so ``/debug`` surfaces can
+        find it again by trace id.
+        """
+        description = query.describe()
+        prov = obs.QueryProvenance(description, privileges=_privilege_label(user))
+        prov.cache = "bypass"
+        start = time.perf_counter()
+        results = self._search(query, user, description, prov=prov)
+        prov.seconds = time.perf_counter() - start
+        prov.trace_id = obs.current_trace_id()
+        prov.generation = list(self._generation())
+        recorder = obs.get_provenance_recorder()
+        if recorder.enabled:
+            recorder.record(prov)
+        self.query_log.record(description, results.total_candidates, latency=prov.seconds)
+        return results, prov
+
+    def _filter_strategy(self, flt: PropertyFilter) -> str:
+        """The access path a property filter resolves to (for provenance)."""
+        for kind in self.smr.mapping.kinds:
+            if self.smr.mapping.column_for_property(kind, flt.prop) is not None:
+                return "SqlFilter"
+        return "SparqlFilter"
 
     def _generation(self) -> Tuple[int, int]:
         """The cache generation: (SMR mutations, ranker epoch).
@@ -768,6 +929,33 @@ class AdvancedSearchEngine:
             results[:] = present + missing
             return
         results.sort(key=lambda r: (r.score, r.title), reverse=query.descending)
+
+
+# ----------------------------------------------------------------------
+# Provenance helpers
+# ----------------------------------------------------------------------
+
+
+def _timed_job(job: Callable[[], Any]) -> Callable[[], Tuple[float, Any]]:
+    """Wrap a constraint job to return ``(seconds, value)``.
+
+    Only used when provenance is active; the wrapper is what makes the
+    per-constraint wall times in the waterfall real measurements of the
+    parallel fan-out, not serialized re-runs.
+    """
+
+    def run() -> Tuple[float, Any]:
+        start = time.perf_counter()
+        value = job()
+        return time.perf_counter() - start, value
+
+    return run
+
+
+def _privilege_label(user: User) -> str:
+    """The compact privilege-set label used by events and provenance."""
+    allowed = user.policy.allowed_kinds
+    return "*" if allowed is None else ",".join(sorted(allowed))
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConvergenceError, QueryError
+from repro.pagerank.contributions import decompose_score
 from repro.pagerank.doublelink import DoubleLinkGraph
 from repro.pagerank.incremental import dirty_rows, initial_residual, refine_incremental
 from repro.pagerank.linear_system import normalize_solution
@@ -68,6 +69,11 @@ class PageRankRanker:
         # cache at once — one solve is expensive enough without N copies.
         # Reentrant because property_weights() -> scores() may recompute.
         self._refresh_lock = threading.RLock()
+        # Per-generation snapshot backing explain(): (titles, index map,
+        # the combined problem, the score vector, both link graphs).
+        # Stamped with (mutation_count, epoch) so writes and forced
+        # refreshes both invalidate it; built lazily on first explain.
+        self._explain_memo: Optional[Tuple[Tuple[Any, int], Dict[str, Any]]] = None
         #: Bumped by :meth:`refresh`. Result caches that embed PageRank
         #: scores fold this into their generation stamp, so forcing a
         #: re-solve also invalidates cached search results.
@@ -303,6 +309,85 @@ class PageRankRanker:
         """The ``k`` highest-ranked pages as (title, score) pairs."""
         ranked = sorted(self.scores().items(), key=lambda item: (-item[1], item[0]))
         return ranked[:k]
+
+    # ------------------------------------------------------------------
+    # Score provenance ("why is this page ranked here")
+    # ------------------------------------------------------------------
+
+    def _explain_snapshot(self) -> Dict[str, Any]:
+        """The per-generation state :meth:`explain` decomposes against.
+
+        Same generation-before-data, double-checked-lock shape as the
+        score cache: the (mutation, epoch) stamp is read before the
+        graphs, so a racing write can at worst stamp fresh state stale
+        (rebuilt next call), never stale state fresh. The snapshot holds
+        the combined double-link problem — whose cached transpose is the
+        in-link index the decomposition reads — plus both component
+        graphs, so each contribution can be classified as arriving via
+        the web link, the semantic link, or both (Section III).
+        """
+        stamp = (getattr(self.smr, "mutation_count", None), self.epoch)
+        memo = self._explain_memo
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        with self._refresh_lock:
+            stamp = (getattr(self.smr, "mutation_count", None), self.epoch)
+            memo = self._explain_memo
+            if memo is not None and memo[0] == stamp:
+                return memo[1]
+            scores = self.scores()
+            with self.smr.lock.read():
+                titles = list(self.smr.wiki.titles())
+                web = self.smr.wiki.link_graph()
+                semantic = self.smr.wiki.semantic_graph()
+            double = DoubleLinkGraph(web, semantic)
+            problem = double.to_problem(alpha=self.alpha, teleport=self.teleport)
+            state: Dict[str, Any] = {
+                "titles": titles,
+                "index": {title.strip().lower(): i for i, title in enumerate(titles)},
+                "problem": problem,
+                "x": np.array([scores.get(title, 0.0) for title in titles]),
+                "web": web,
+                "semantic": semantic,
+            }
+            self._explain_memo = (stamp, state)
+            return state
+
+    def explain(self, title: str, top_k: int = 5) -> Dict[str, Any]:
+        """Decompose one page's PageRank into its Eq. 2 fixed-point terms.
+
+        Returns the :func:`~repro.pagerank.contributions.decompose_score`
+        dict with titles attached: the page's score split into the
+        ``top_k`` largest in-link contributions (each naming its source
+        page and whether the link is a web link, a semantic link, or
+        both), the mass folded into ``remainder``, the dangling and
+        teleport terms, and the solver ``residual``. The parts sum to the
+        reported score exactly. Unknown titles raise
+        :class:`~repro.errors.QueryError`.
+        """
+        state = self._explain_snapshot()
+        position = state["index"].get(title.strip().lower())
+        if position is None:
+            raise QueryError(f"unknown page {title!r}")
+        decomposition = decompose_score(
+            state["problem"], state["x"], position, top_k=top_k
+        )
+        titles = state["titles"]
+        web, semantic = state["web"], state["semantic"]
+        contributions = []
+        for source, value in decomposition.contributions:
+            via_web = position in web.out_links(source)
+            via_semantic = position in semantic.out_links(source)
+            via = "both" if via_web and via_semantic else (
+                "web" if via_web else "semantic"
+            )
+            contributions.append(
+                {"source": titles[source], "value": value, "via": via}
+            )
+        out = decomposition.to_dict()
+        out["title"] = titles[position]
+        out["contributions"] = contributions
+        return out
 
     # ------------------------------------------------------------------
     # Personalized PageRank ("pages related to these pages")

@@ -159,6 +159,19 @@ class CsrMatrix:
         start, stop = self.indptr[i], self.indptr[i + 1]
         return self.indices[start:stop], self.data[start:stop]
 
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_indices, values)`` of column ``j``.
+
+        O(nnz) per call — a one-off extraction for callers that need a
+        single column without paying for a full :meth:`transpose` (score
+        provenance cross-checks, tests). Repeated column access should
+        transpose once instead.
+        """
+        if not 0 <= j < self.ncols:
+            raise LinalgError(f"column {j} out of range for {self.ncols} columns")
+        mask = self.indices == j
+        return self.row_index()[mask], self.data[mask]
+
     def row_index(self) -> np.ndarray:
         """The expanded row index of every stored entry (cached).
 

@@ -18,13 +18,21 @@ single substrate they flow through:
   aggregation of finished span trees (``/debug/profile``);
 - :mod:`repro.obs.convergence` — bounded per-solver residual-series
   history, the live counterpart of Fig. 3(a) (``/debug/convergence``);
-- :mod:`repro.obs.exposition` — Prometheus text format and JSON
+- :mod:`repro.obs.provenance` — per-query constraint-waterfall records:
+  which constraint matched what, at what cost, and who killed the
+  candidate set (``/explore``, ``explain=full``);
+- :mod:`repro.obs.slowlog` — bounded reservoir of the slowest queries
+  with their plans and trace ids (``/debug/slow``);
+- :mod:`repro.obs.exposition` — Prometheus and OpenMetrics text formats
+  (the latter with trace-id exemplars on histogram buckets) and JSON
   snapshots (served by ``GET /metrics`` and ``/api/stats``).
 
 Instrumented modules call :func:`get_registry` / :func:`get_tracer` /
-:func:`get_event_log` / :func:`get_convergence_recorder` at the point of
-use, so tests inject fresh instances with the matching ``set_*`` hooks
-and production code can disable any of them for near-zero overhead.
+:func:`get_event_log` / :func:`get_convergence_recorder` /
+:func:`get_provenance_recorder` / :func:`get_slow_query_log` at the
+point of use, so tests inject fresh instances with the matching
+``set_*`` hooks and production code can disable any of them for
+near-zero overhead.
 
 Metric naming conventions (documented in README "Observability"):
 ``<subsystem>_<quantity>_<unit|total>`` with snake_case names, e.g.
@@ -75,14 +83,29 @@ from repro.obs.convergence import (
     get_convergence_recorder,
     set_convergence_recorder,
 )
+from repro.obs.provenance import (
+    ConstraintStage,
+    ProvenanceRecorder,
+    QueryProvenance,
+    get_provenance_recorder,
+    set_provenance_recorder,
+)
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    get_slow_query_log,
+    set_slow_query_log,
+)
 from repro.obs.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
+    render_openmetrics,
     render_prometheus,
     snapshot,
     snapshot_json,
 )
 
 __all__ = [
+    "ConstraintStage",
     "ConvergenceRecorder",
     "ConvergenceRun",
     "Counter",
@@ -99,7 +122,11 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_METRIC",
     "NOOP_SPAN",
+    "OPENMETRICS_CONTENT_TYPE",
     "PROMETHEUS_CONTENT_TYPE",
+    "ProvenanceRecorder",
+    "QueryProvenance",
+    "SlowQueryLog",
     "Span",
     "Tracer",
     "WARNING",
@@ -108,16 +135,21 @@ __all__ = [
     "format_profile",
     "get_convergence_recorder",
     "get_event_log",
+    "get_provenance_recorder",
     "get_registry",
+    "get_slow_query_log",
     "get_tracer",
     "level_number",
     "mint_trace_id",
     "profile_spans",
     "profile_tracer",
+    "render_openmetrics",
     "render_prometheus",
     "set_convergence_recorder",
     "set_event_log",
+    "set_provenance_recorder",
     "set_registry",
+    "set_slow_query_log",
     "set_tracer",
     "snapshot",
     "snapshot_json",

@@ -1,26 +1,33 @@
 """Exposition formats for a :class:`~repro.obs.metrics.MetricsRegistry`.
 
-Two renderings:
+Three renderings:
 
 - :func:`render_prometheus` — the Prometheus text exposition format
   (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample per line,
   histograms expanded into cumulative ``_bucket{le=...}`` series plus
   ``_sum`` and ``_count``.
+- :func:`render_openmetrics` — the OpenMetrics 1.0 dialect: the same
+  series with ``# EOF`` terminator and, when exemplar collection is on,
+  a ``# {trace_id="..."} value timestamp`` exemplar appended to each
+  bucket line — the hyperlink from a latency percentile back to one
+  recorded trace in ``/debug/traces``.
 - :func:`snapshot` — a JSON-friendly dict for programmatic consumers
   (the ``/api/stats`` endpoint, benchmark reports).
 
 Output is deterministic: families sorted by name, children by label
-values, so tests can assert on exact text.
+values, so tests can assert on exact text (exemplar timestamps being
+the one wall-clock-dependent field).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 
 def _escape_label_value(value: str) -> str:
@@ -74,6 +81,58 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
                 lines.append(f"{family.name}_count{labels} {child.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_exemplar(exemplar: Optional[Dict[str, Any]]) -> str:
+    """The OpenMetrics exemplar suffix, or "" when there is none."""
+    if exemplar is None:
+        return ""
+    labels = ""
+    if exemplar.get("trace_id"):
+        labels = f'trace_id="{_escape_label_value(str(exemplar["trace_id"]))}"'
+    return (
+        f" # {{{labels}}} {_format_value(exemplar['value'])}"
+        f" {repr(float(exemplar['timestamp']))}"
+    )
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """Render ``registry`` as OpenMetrics 1.0 text, exemplars included.
+
+    Counter sample lines take the dialect's ``_total`` suffix; histogram
+    bucket lines carry their stored exemplar (if any); output ends with
+    the mandatory ``# EOF``.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        kind = family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {kind}")
+        for label_values, child in family.samples():
+            if kind in (COUNTER, GAUGE):
+                suffix = "_total" if kind == COUNTER else ""
+                labels = _render_labels(family.label_names, label_values)
+                lines.append(
+                    f"{family.name}{suffix}{labels} {_format_value(child.value)}"
+                )
+            elif kind == HISTOGRAM:
+                exemplars = dict(child.exemplars())
+                for bound, cumulative in child.bucket_counts():
+                    labels = _render_labels(
+                        family.label_names,
+                        label_values,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    suffix = _render_exemplar(exemplars.get(bound))
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}{suffix}"
+                    )
+                labels = _render_labels(family.label_names, label_values)
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 def snapshot(registry: MetricsRegistry) -> Dict[str, Any]:

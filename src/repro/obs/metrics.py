@@ -58,6 +58,38 @@ def _check_name(name: str) -> str:
     return name
 
 
+class _Flag:
+    """A mutable boolean shared by reference.
+
+    The registry hands one instance to every histogram it creates, so
+    flipping exemplar collection on or off takes effect in all existing
+    histograms without touching them individually.
+    """
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool = False):
+        self.on = on
+
+
+_current_trace_id_fn = None
+
+
+def _observed_trace_id() -> Optional[str]:
+    """The active trace id, resolved lazily to avoid a circular import.
+
+    :mod:`repro.obs.tracing` imports this module for its error counter,
+    so the reverse dependency must bind at first use, not import time.
+    Only called when exemplar collection is on.
+    """
+    global _current_trace_id_fn
+    if _current_trace_id_fn is None:
+        from repro.obs.tracing import current_trace_id
+
+        _current_trace_id_fn = current_trace_id
+    return _current_trace_id_fn()
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -116,9 +148,15 @@ class Histogram:
     everything above the last boundary.
     """
 
-    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock",
+                 "_exemplar_flag", "_exemplars")
 
-    def __init__(self, buckets: Sequence[float], lock: threading.Lock):
+    def __init__(
+        self,
+        buckets: Sequence[float],
+        lock: threading.Lock,
+        exemplar_flag: Optional[_Flag] = None,
+    ):
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ObservabilityError("histogram needs at least one bucket boundary")
@@ -129,14 +167,88 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._lock = lock
+        self._exemplar_flag = exemplar_flag if exemplar_flag is not None else _Flag(False)
+        # Per-bucket latest exemplar: (value, trace_id, unix_timestamp).
+        self._exemplars: List[Optional[Tuple[float, Optional[str], float]]] = (
+            [None] * (len(bounds) + 1)
+        )
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        When exemplar collection is on, the observation also becomes the
+        bucket's latest exemplar, tagged with the active trace id — the
+        link that lets a ``/metrics`` percentile point at one recorded
+        request. The exemplar branch is skipped entirely (one flag read)
+        when collection is off, keeping the hot path allocation-free.
+        """
         index = bisect_left(self.buckets, value)
+        if self._exemplar_flag.on:
+            exemplar = (float(value), _observed_trace_id(), time.time())
+            with self._lock:
+                self._counts[index] += 1
+                self._sum += value
+                self._count += 1
+                self._exemplars[index] = exemplar
+            return
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+
+    def exemplars(self) -> List[Tuple[float, Optional[Dict[str, Any]]]]:
+        """``(upper_bound, exemplar_dict_or_None)`` per bucket, +Inf last.
+
+        Each exemplar dict has ``value``, ``trace_id`` and ``timestamp``
+        keys — the OpenMetrics exemplar triple.
+        """
+        with self._lock:
+            stored = list(self._exemplars)
+        bounds = list(self.buckets) + [float("inf")]
+        out: List[Tuple[float, Optional[Dict[str, Any]]]] = []
+        for bound, item in zip(bounds, stored):
+            if item is None:
+                out.append((bound, None))
+            else:
+                value, trace_id, timestamp = item
+                out.append((bound, {
+                    "value": value, "trace_id": trace_id, "timestamp": timestamp,
+                }))
+        return out
+
+    def exemplar_for_quantile(self, q: float) -> Optional[Dict[str, Any]]:
+        """An exemplar representative of the ``q``-quantile, or None.
+
+        Walks the cumulative counts to the bucket containing the quantile
+        rank (the same bucket :meth:`quantile` interpolates in) and
+        returns its stored exemplar. If that bucket has none — exemplar
+        collection may have been enabled after its observations landed —
+        the nearest bucket above, then below, is used, so a non-empty
+        exemplar store always yields a witness.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            stored = list(self._exemplars)
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        target = len(counts) - 1
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                target = index
+                break
+        candidates = list(range(target, len(stored))) + list(range(target - 1, -1, -1))
+        for index in candidates:
+            item = stored[index]
+            if item is not None:
+                value, trace_id, timestamp = item
+                return {"value": value, "trace_id": trace_id, "timestamp": timestamp}
+        return None
 
     @property
     def sum(self) -> float:
@@ -283,6 +395,14 @@ class MetricFamily:
         """Bucket counts of the unlabelled child (histograms only)."""
         return self._solo().bucket_counts()
 
+    def exemplars(self) -> List[Tuple[float, Optional[Dict[str, Any]]]]:
+        """Exemplars of the unlabelled child (histograms only)."""
+        return self._solo().exemplars()
+
+    def exemplar_for_quantile(self, q: float) -> Optional[Dict[str, Any]]:
+        """Quantile exemplar of the unlabelled child (histograms only)."""
+        return self._solo().exemplar_for_quantile(q)
+
     def total(self) -> float:
         """Sum of all children's counter/gauge values."""
         return sum(child.value for _, child in self.samples())
@@ -329,6 +449,12 @@ class _NoopMetric:
     def bucket_counts(self) -> List[Tuple[float, int]]:
         return []
 
+    def exemplars(self) -> List[Tuple[float, Optional[Dict[str, Any]]]]:
+        return []
+
+    def exemplar_for_quantile(self, q: float) -> Optional[Dict[str, Any]]:
+        return None
+
     def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
         return []
 
@@ -345,10 +471,13 @@ class MetricsRegistry:
     :meth:`enable` (existing values are kept).
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, exemplars: bool = False):
         self.enabled = enabled
         self._families: Dict[str, MetricFamily] = {}
         self._lock = threading.Lock()
+        # Shared by reference with every histogram child this registry
+        # creates, so enable_exemplars() reaches existing histograms.
+        self._exemplar_flag = _Flag(exemplars)
 
     # -- creation (get-or-create, idempotent) ---------------------------
 
@@ -428,8 +557,9 @@ class MetricsRegistry:
             # Validate eagerly: children are created lazily, and a bad
             # bucket list should fail at the declaration site.
             raise ObservabilityError(f"histogram buckets must be strictly increasing: {bounds}")
+        flag = self._exemplar_flag
         return self._family(
-            name, help_text, HISTOGRAM, labels, lambda: Histogram(bounds, lock)
+            name, help_text, HISTOGRAM, labels, lambda: Histogram(bounds, lock, flag)
         )
 
     # -- inspection ------------------------------------------------------
@@ -452,6 +582,19 @@ class MetricsRegistry:
     def disable(self) -> None:
         """Turn metric collection off; accessors return the no-op metric."""
         self.enabled = False
+
+    @property
+    def exemplars_enabled(self) -> bool:
+        """Whether histograms attach trace-id exemplars to buckets."""
+        return self._exemplar_flag.on
+
+    def enable_exemplars(self) -> None:
+        """Start attaching exemplars in every histogram (existing too)."""
+        self._exemplar_flag.on = True
+
+    def disable_exemplars(self) -> None:
+        """Stop attaching exemplars; already-stored ones are kept."""
+        self._exemplar_flag.on = False
 
     def reset(self) -> None:
         """Drop every family (for test isolation)."""

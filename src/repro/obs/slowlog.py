@@ -1,0 +1,168 @@
+"""Slow-query log: a bounded reservoir of the worst-latency searches.
+
+Percentiles in ``/metrics`` say the p99 is bad; this module keeps the
+actual p99 *queries*. A :class:`SlowQueryLog` retains the ``capacity``
+slowest searches seen so far — query text, wall time, trace id, cache
+verdict, result count and the planner's access-path explanation — as a
+min-heap keyed on duration: a new observation only displaces the current
+fastest retained entry, so steady-state cost per query is one comparison
+against the heap root (O(1) when the query is not slow enough to keep,
+the overwhelmingly common case).
+
+Snapshot isolation matters here: the ``plan`` a caller hands in may be a
+live dict the engine keeps mutating. :meth:`record` deep-copies it at
+record time and :meth:`snapshot` re-copies on the way out, so readers of
+``/debug/slow`` can never observe in-flight mutation — mirroring how the
+demo's debug surfaces stay consistent while queries run (paper,
+Section V).
+
+The module follows the package contract: process-wide default behind
+:func:`get_slow_query_log` / :func:`set_slow_query_log`, ``enabled``
+flag checked once per query on the engine hot path.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+class SlowQueryLog:
+    """Thread-safe reservoir of the ``capacity`` slowest queries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries retained; when full, a new query evicts the
+        fastest retained entry only if it is slower.
+    threshold_seconds:
+        Queries faster than this are never retained (0.0 keeps all).
+    enabled:
+        When False, :meth:`record` is a no-op after one flag check.
+    clock:
+        Injectable wall-clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        threshold_seconds: float = 0.0,
+        enabled: bool = True,
+        clock=time.time,
+    ):
+        if capacity <= 0:
+            raise ObservabilityError(
+                f"slow-query log capacity must be positive, got {capacity}"
+            )
+        if threshold_seconds < 0:
+            raise ObservabilityError(
+                f"slow-query threshold must be non-negative, got {threshold_seconds}"
+            )
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self.enabled = enabled
+        self._clock = clock
+        # Min-heap of (seconds, seq, entry): the root is the *fastest*
+        # retained query, i.e. the first to be evicted.
+        self._heap: List[tuple] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._recorded = 0
+
+    def record(
+        self,
+        query: str,
+        seconds: float,
+        trace_id: Optional[str] = None,
+        cache: Optional[str] = None,
+        results: Optional[int] = None,
+        plan: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Offer one finished query; returns True if it was retained.
+
+        ``plan`` is deep-copied immediately so later mutation by the
+        caller cannot leak into retained entries.
+        """
+        if not self.enabled or seconds < self.threshold_seconds:
+            return False
+        with self._lock:
+            if len(self._heap) >= self.capacity and seconds <= self._heap[0][0]:
+                # Not slower than the fastest retained entry: drop before
+                # allocating the entry dict or copying the plan.
+                return False
+            self._seq += 1
+            self._recorded += 1
+            entry = {
+                "query": query,
+                "seconds": seconds,
+                "trace_id": trace_id,
+                "cache": cache,
+                "results": results,
+                "plan": copy.deepcopy(plan) if plan is not None else None,
+                "timestamp": self._clock(),
+                "seq": self._seq,
+            }
+            item = (seconds, self._seq, entry)
+            if len(self._heap) >= self.capacity:
+                heapq.heapreplace(self._heap, item)
+            else:
+                heapq.heappush(self._heap, item)
+            return True
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Retained entries, slowest first, isolated from future mutation.
+
+        Ties on duration order by sequence (earlier recording first).
+        Every entry — including its nested plan — is copied, so callers
+        may mutate the result freely.
+        """
+        with self._lock:
+            items = list(self._heap)
+        items.sort(key=lambda item: (-item[0], item[1]))
+        return [copy.deepcopy(entry) for _, _, entry in items]
+
+    @property
+    def recorded(self) -> int:
+        """Total queries ever retained (including later-evicted ones)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def clear(self) -> None:
+        """Drop all retained entries (counters survive)."""
+        with self._lock:
+            self._heap.clear()
+
+    def enable(self) -> None:
+        """Turn recording on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off (record() becomes one flag check)."""
+        self.enabled = False
+
+
+# ----------------------------------------------------------------------
+# Module-level default log with injection hooks
+# ----------------------------------------------------------------------
+
+_default_log = SlowQueryLog()
+
+
+def get_slow_query_log() -> SlowQueryLog:
+    """The process-wide default slow-query log."""
+    return _default_log
+
+
+def set_slow_query_log(log: SlowQueryLog) -> SlowQueryLog:
+    """Swap the default log (tests inject a fresh one); returns the old."""
+    global _default_log
+    previous = _default_log
+    _default_log = log
+    return previous

@@ -12,7 +12,10 @@ stationary and Krylov iterations. This package reproduces all of it:
 - :mod:`repro.pagerank.linear_system` — the Eq. 5 system;
 - :mod:`repro.pagerank.solvers` — power, Jacobi, Gauss–Seidel, SOR,
   GMRES(m), BiCGSTAB and Arnoldi, implemented from scratch;
-- :mod:`repro.pagerank.convergence` — the Fig. 3 convergence/time study.
+- :mod:`repro.pagerank.convergence` — the Fig. 3 convergence/time study;
+- :mod:`repro.pagerank.contributions` — per-page score provenance: the
+  Eq. 2 fixed point split into in-link contributions, dangling and
+  teleport mass ("why is this page ranked here").
 """
 
 from repro.pagerank.webgraph import LinkGraph, PageRankProblem
@@ -20,6 +23,7 @@ from repro.pagerank.doublelink import DoubleLinkGraph, combine_link_structures
 from repro.pagerank.linear_system import build_linear_system
 from repro.pagerank.solvers import SOLVERS, SolverResult, solve_pagerank
 from repro.pagerank.convergence import ConvergenceRecord, ConvergenceStudy
+from repro.pagerank.contributions import ScoreDecomposition, decompose_score
 
 __all__ = [
     "LinkGraph",
@@ -32,4 +36,6 @@ __all__ = [
     "solve_pagerank",
     "ConvergenceRecord",
     "ConvergenceStudy",
+    "ScoreDecomposition",
+    "decompose_score",
 ]

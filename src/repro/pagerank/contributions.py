@@ -1,0 +1,168 @@
+"""Per-page score provenance: where a PageRank score comes from.
+
+The paper ranks metadata pages by the double-link PageRank metric
+(Section III) but offers no way to ask *why* a page sits where it does.
+At the converged solution the Eq. 2 fixed point
+
+    x_j = c · Σ_i P_ij x_i  +  c · u_j · (dᵀx)  +  (1 - c) · u_j · (eᵀx)
+
+splits every page's score into physically meaningful parts:
+
+- one **in-link contribution** ``c · P_ij · x_i`` per page ``i`` linking
+  to ``j`` — read straight off row ``j`` of the cached CSR transpose
+  ``Pᵀ`` (the same array the solvers iterate on);
+- the **dangling mass** ``c · u_j · (dᵀx)`` redistributed from pages
+  with no out-links;
+- the **teleport mass** ``(1 - c) · u_j · (eᵀx)`` every page receives
+  unconditionally.
+
+:func:`decompose_score` evaluates those terms for one page, keeps the
+``top_k`` largest in-link contributions, folds the rest into a
+``remainder`` and reports the leftover ``residual`` — the solver's
+convergence slack, which tests pin below the reconstruction tolerance:
+``teleport + dangling + Σ(top-k) + remainder + residual == score``
+exactly, and the residual itself is bounded by the solve tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg import CsrMatrix
+from repro.pagerank.webgraph import PageRankProblem
+
+
+class ScoreDecomposition:
+    """The provenance of one page's PageRank score.
+
+    Attributes
+    ----------
+    index:
+        Dense page index the decomposition describes.
+    score:
+        The page's converged PageRank value ``x_j``.
+    teleport:
+        Mass received via the ``(1 - c) u_j`` teleport term.
+    dangling:
+        Mass redistributed from dangling pages, ``c u_j (dᵀx)``.
+    contributions:
+        The ``top_k`` largest in-link contributions as
+        ``(source_index, value)`` pairs, largest first (ties broken by
+        source index for determinism).
+    remainder:
+        Sum of the in-link contributions *not* listed individually.
+    residual:
+        ``score - (teleport + dangling + Σ all contributions)`` — the
+        solver's convergence slack at this row; ~0 at convergence.
+    in_links:
+        Total number of in-link contributions (listed + folded).
+    """
+
+    __slots__ = (
+        "index", "score", "teleport", "dangling",
+        "contributions", "remainder", "residual", "in_links",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        score: float,
+        teleport: float,
+        dangling: float,
+        contributions: List[Tuple[int, float]],
+        remainder: float,
+        residual: float,
+        in_links: int,
+    ):
+        self.index = index
+        self.score = score
+        self.teleport = teleport
+        self.dangling = dangling
+        self.contributions = contributions
+        self.remainder = remainder
+        self.residual = residual
+        self.in_links = in_links
+
+    def reconstructed(self) -> float:
+        """The score rebuilt from its parts (equals ``score`` exactly)."""
+        return (
+            self.teleport
+            + self.dangling
+            + sum(value for _, value in self.contributions)
+            + self.remainder
+            + self.residual
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering (indices only; callers attach titles)."""
+        return {
+            "index": self.index,
+            "score": self.score,
+            "teleport": self.teleport,
+            "dangling": self.dangling,
+            "contributions": [
+                {"source": source, "value": value}
+                for source, value in self.contributions
+            ],
+            "remainder": self.remainder,
+            "residual": self.residual,
+            "in_links": self.in_links,
+        }
+
+
+def decompose_score(
+    problem: PageRankProblem,
+    scores: np.ndarray,
+    index: int,
+    top_k: int = 5,
+    transpose: Optional[CsrMatrix] = None,
+) -> ScoreDecomposition:
+    """Split ``scores[index]`` into its Eq. 2 fixed-point terms.
+
+    ``scores`` must be the converged probability vector the problem was
+    solved to (unit 1-norm); ``transpose`` defaults to the problem's
+    cached ``Pᵀ``. The in-link contributions come from row ``index`` of
+    ``Pᵀ`` — exactly the entries a solver sweep reads — so the
+    decomposition costs O(in-degree) after the transpose is in hand.
+    """
+    x = np.asarray(scores, dtype=float)
+    if x.shape != (problem.n,):
+        raise LinalgError(
+            f"scores must have length {problem.n}, got {x.shape}"
+        )
+    if not 0 <= index < problem.n:
+        raise LinalgError(f"page index {index} out of range for n={problem.n}")
+    if top_k < 0:
+        raise LinalgError(f"top_k must be non-negative, got {top_k}")
+    transpose = transpose if transpose is not None else problem.transition_t
+    c = problem.teleport
+    u_j = float(problem.personalization[index])
+    total_mass = float(x.sum())
+    dangling_mass = float(x[problem.dangling].sum()) if problem.dangling.any() else 0.0
+
+    sources, weights = transpose.row(index)
+    values = c * weights * x[sources]
+    contribution_total = float(values.sum())
+    # Sort by (-value, source) so equal contributions order deterministically.
+    order = sorted(range(len(values)), key=lambda k: (-values[k], sources[k]))
+    kept = order[:top_k]
+    contributions = [(int(sources[k]), float(values[k])) for k in kept]
+    remainder = contribution_total - sum(value for _, value in contributions)
+
+    teleport_term = (1.0 - c) * u_j * total_mass
+    dangling_term = c * u_j * dangling_mass
+    score = float(x[index])
+    residual = score - (teleport_term + dangling_term + contribution_total)
+    return ScoreDecomposition(
+        index=index,
+        score=score,
+        teleport=teleport_term,
+        dangling=dangling_term,
+        contributions=contributions,
+        remainder=remainder,
+        residual=residual,
+        in_links=int(len(values)),
+    )

@@ -144,6 +144,17 @@ class PageRankProblem:
         self._dangling_idx = np.flatnonzero(self.dangling)
         self._transition_t = transition.transpose()
 
+    @property
+    def transition_t(self) -> CsrMatrix:
+        """The cached transpose ``Pᵀ``.
+
+        Built once at construction and shared: the linear-system solvers
+        iterate on it, and row ``j`` of it is exactly the in-link list
+        :mod:`repro.pagerank.contributions` reads to decompose page
+        ``j``'s score.
+        """
+        return self._transition_t
+
     @classmethod
     def from_graph(
         cls,

@@ -13,6 +13,8 @@ standalone SVG/HTML/DOT text:
   a force-directed SVG renderer from :mod:`repro.viz.layout`);
 - :mod:`repro.viz.hypergraph` — the browsable link-structure hypergraph;
 - :mod:`repro.viz.tagcloud` — tag clouds with clique coloring;
+- :mod:`repro.viz.waterfall` — constraint-narrowing waterfalls for the
+  query-provenance explorer (``/explore``);
 - :mod:`repro.viz.svg` / :mod:`repro.viz.color` — the shared substrate.
 """
 
@@ -27,6 +29,7 @@ from repro.viz.layout import circular_layout, force_directed_layout
 from repro.viz.graphviz import GraphRenderer, to_dot
 from repro.viz.hypergraph import Hypergraph, HypergraphRenderer
 from repro.viz.tagcloud import render_tag_cloud_html, render_tag_cloud_svg
+from repro.viz.waterfall import WaterfallChart
 
 __all__ = [
     "SvgCanvas",
@@ -47,4 +50,5 @@ __all__ = [
     "HypergraphRenderer",
     "render_tag_cloud_html",
     "render_tag_cloud_svg",
+    "WaterfallChart",
 ]

@@ -1,0 +1,114 @@
+"""Constraint-waterfall charts for query provenance (``/explore``).
+
+The advanced search of the paper (Fig. 1) evaluates several constraints
+and intersects their match sets; this renderer shows that narrowing as a
+horizontal waterfall: one bar per intersection step, the light segment
+marking the candidates the step discarded and the solid segment those it
+kept. Reading top to bottom answers the operator question the aggregate
+metrics cannot: *which constraint killed my result set, and how much did
+it cost?* Per-stage wall times (when provided) annotate each bar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import VizError
+from repro.viz.color import categorical_color
+from repro.viz.svg import SvgCanvas
+
+_MARGIN = 40
+_LABEL_SPACE = 230
+
+
+def _shorten(text: str, limit: int = 34) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class WaterfallChart:
+    """Renders intersection steps ``[{constraint, before, after}, ...]``.
+
+    ``before`` is None for the first step (nothing to narrow yet). Each
+    step may carry an optional ``seconds`` (the constraint's evaluation
+    wall time) which is rendered into the bar annotation. The input is
+    exactly the ``waterfall`` list of a
+    :class:`~repro.obs.provenance.QueryProvenance` record, with stage
+    timings merged in by the caller.
+    """
+
+    def __init__(self, steps: Sequence[Dict[str, Any]], title: str = ""):
+        if not steps:
+            raise VizError("waterfall chart needs at least one step")
+        self.steps: List[Dict[str, Any]] = []
+        for step in steps:
+            if "constraint" not in step or "after" not in step:
+                raise VizError(f"waterfall step needs constraint and after: {step!r}")
+            after = int(step["after"])
+            before = step.get("before")
+            if after < 0 or (before is not None and int(before) < after):
+                raise VizError(
+                    f"waterfall step must narrow (before >= after >= 0): {step!r}"
+                )
+            self.steps.append(
+                {
+                    "constraint": str(step["constraint"]),
+                    "before": None if before is None else int(before),
+                    "after": after,
+                    "seconds": step.get("seconds"),
+                }
+            )
+        self.title = title
+
+    def to_svg(self, width: int = 720, height: int = 0) -> str:
+        """Render the waterfall as an SVG document string."""
+        bar_height = 24
+        gap = 10
+        height = height or (_MARGIN * 2 + len(self.steps) * (bar_height + gap))
+        canvas = SvgCanvas(width, height, background="#ffffff")
+        if self.title:
+            canvas.text(
+                width / 2, 22, self.title, size=15, anchor="middle", weight="bold"
+            )
+        plot_width = width - _LABEL_SPACE - _MARGIN - 120
+        scale_max = max(
+            max(step["after"], step["before"] or 0) for step in self.steps
+        ) or 1
+        y = _MARGIN
+        for i, step in enumerate(self.steps):
+            before = step["before"]
+            after = step["after"]
+            canvas.text(
+                _LABEL_SPACE - 8,
+                y + bar_height * 0.7,
+                _shorten(step["constraint"]),
+                size=12,
+                anchor="end",
+            )
+            full_length = (before or 0) / scale_max * plot_width
+            if before is not None and before > after:
+                # The discarded candidates: a light tail behind the kept bar.
+                canvas.rect(
+                    _LABEL_SPACE,
+                    y,
+                    max(full_length, 0.5),
+                    bar_height,
+                    fill="#d9d9d9",
+                    title=f"{step['constraint']}: dropped {before - after}",
+                )
+            kept_length = after / scale_max * plot_width
+            canvas.rect(
+                _LABEL_SPACE,
+                y,
+                max(kept_length, 0.5),
+                bar_height,
+                fill=categorical_color(i),
+                title=f"{step['constraint']}: kept {after}",
+            )
+            annotation = str(after) if before is None else f"{before} → {after}"
+            if step["seconds"] is not None:
+                annotation += f" ({step['seconds'] * 1000:.2f} ms)"
+            anchor_x = _LABEL_SPACE + max(kept_length, full_length)
+            canvas.text(anchor_x + 6, y + bar_height * 0.7, annotation, size=11)
+            y += bar_height + gap
+        canvas.line(_LABEL_SPACE, _MARGIN - 4, _LABEL_SPACE, y - gap + 4, stroke="#333333")
+        return canvas.to_string()

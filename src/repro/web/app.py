@@ -3,7 +3,12 @@
 Endpoints (all under ``/api``):
 
     GET  /api/search?q=<compact query>        ranked results
-         (&explain=1 attaches the per-constraint evaluation plan)
+         (&explain=1 attaches the per-constraint evaluation plan;
+          &explain=full runs the pipeline cache-bypassed and attaches
+          the full provenance record — constraint waterfall with wall
+          times and selectivities — plus a per-result PageRank score
+          decomposition into top-k in-link contributions, dangling and
+          teleport mass)
     GET  /api/page/{title}                    one page's metadata
     GET  /api/autocomplete/title?prefix=
     GET  /api/autocomplete/property?prefix=
@@ -20,11 +25,20 @@ Endpoints (all under ``/api``):
 Observability (outside ``/api``):
 
     GET  /metrics                             Prometheus text exposition
+         (&format=openmetrics or an OpenMetrics Accept header switches
+          to OpenMetrics 1.0 with trace-id exemplars on histogram
+          buckets — the p99 bucket links to a recorded trace)
+    GET  /explore?q=                          slow-query explorer (HTML):
+         constraint waterfall + link-contribution breakdown
+    GET  /explore/waterfall.svg?q=            the waterfall as SVG
+    GET  /explore/contributions.svg?q=&title= score breakdown as SVG
     GET  /debug/trace?k=&trace_id=            recent span trees (JSON)
     GET  /debug/logs?level=&trace_id=&k=      structured event log (JSON)
     GET  /debug/profile?k=                    span-path self/cum profile
     GET  /debug/convergence?solver=           solver residual histories
     GET  /debug/plan?sql=|q=                  cost-based plans + catalog
+    GET  /debug/slow                          slowest-query reservoir
+    GET  /debug/provenance?trace_id=&k=       recent provenance records
     GET  /healthz                             component health probes
 
 Every request passes through :class:`MetricsMiddleware`, which mints a
@@ -52,6 +66,7 @@ from __future__ import annotations
 
 import time
 from typing import Any, Dict, Optional
+from urllib.parse import quote
 from wsgiref.simple_server import make_server
 
 from repro import obs
@@ -62,6 +77,7 @@ from repro.viz.bar import BarChart
 from repro.viz.maprender import MapMarker, MapRenderer
 from repro.viz.pie import PieChart
 from repro.viz.tagcloud import render_tag_cloud_svg
+from repro.viz.waterfall import WaterfallChart
 from repro.web.http import (
     HtmlResponse,
     JsonResponse,
@@ -96,13 +112,17 @@ _INDEX_HTML = """<!doctype html>
       POST /api/tags</li>
   <li><a href="/api/viz/map.svg?q=kind%3Dstation">/api/viz/map.svg?q=</a></li>
   <li><a href="/api/viz/facets.svg?q=kind%3Dstation&prop=status&chart=pie">/api/viz/facets.svg?q=&amp;prop=&amp;chart=bar|pie</a></li>
-  <li><a href="/metrics">/metrics</a> (Prometheus) |
+  <li><a href="/metrics">/metrics</a> (Prometheus;
+      <a href="/metrics?format=openmetrics">?format=openmetrics</a> adds exemplars) |
       <a href="/healthz">/healthz</a> (component health)</li>
+  <li><a href="/explore?q=kind%3Dsensor">/explore?q=</a> (query provenance explorer)</li>
   <li><a href="/debug/trace">/debug/trace</a> (recent spans) |
       <a href="/debug/logs">/debug/logs</a> (event log) |
       <a href="/debug/profile">/debug/profile</a> (span profile) |
       <a href="/debug/convergence">/debug/convergence</a> (solver residuals) |
-      <a href="/debug/plan?q=kind%3Dstation">/debug/plan?sql=|q=</a> (query plans)</li>
+      <a href="/debug/plan?q=kind%3Dstation">/debug/plan?sql=|q=</a> (query plans) |
+      <a href="/debug/slow">/debug/slow</a> (slowest queries) |
+      <a href="/debug/provenance">/debug/provenance</a> (provenance ring)</li>
 </ul>
 <p>Query syntax: <code>keyword=wind kind=sensor elevation_m&gt;=2000 sort=pagerank
 order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
@@ -292,7 +312,15 @@ def create_app(
     @router.get("/api/search")
     def search(request: Request) -> Response:
         query = engine.parse(request.params.get("q", ""))
-        results = engine.search(query)
+        explain = request.params.get("explain", "")
+        if explain == "full":
+            # Full provenance: bypass the result cache so the waterfall
+            # reflects a real pipeline run, and decompose each returned
+            # page's PageRank into its fixed-point terms.
+            results, provenance = engine.search_explained(query)
+        else:
+            results = engine.search(query)
+            provenance = None
         payload = {
             "query": results.query_description,
             "total_candidates": results.total_candidates,
@@ -302,7 +330,14 @@ def create_app(
             # it back when reporting a slow or wrong result.
             "trace_id": obs.current_trace_id(),
         }
-        if request.params.get("explain") in ("1", "true", "yes"):
+        if provenance is not None:
+            top_k = int(request.params.get("top_k", "5"))
+            payload["provenance"] = provenance.to_dict()
+            for entry in payload["results"]:
+                entry["score_explanation"] = engine.ranker.explain(
+                    entry["title"], top_k=top_k
+                )
+        elif explain in ("1", "true", "yes"):
             payload["plan"] = engine.explain_search(query)
         return JsonResponse(payload)
 
@@ -367,6 +402,32 @@ def create_app(
             "engine_query_seconds", "Advanced-search latency in seconds."
         )
         requests_family = registry.get("http_requests_total")
+
+        def _percentiles(histogram) -> Dict[str, Any]:
+            """p50/p95/p99 with each percentile's exemplar trace id.
+
+            The exemplar is the recorded request sitting in the same
+            bucket the percentile interpolates in — so a bad p99 links
+            straight to one concrete trace in ``/debug/trace``.
+            """
+            entry: Dict[str, Any] = {"count": histogram.count}
+            for q, name in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                entry[f"{name}_seconds"] = histogram.quantile(q)
+                exemplar = histogram.exemplar_for_quantile(q)
+                entry[f"{name}_trace_id"] = (
+                    exemplar["trace_id"] if exemplar else None
+                )
+            return entry
+
+        endpoint_latency: Dict[str, Any] = {}
+        http_family = registry.get("http_request_seconds")
+        if http_family is not None:
+            for label_values, child in http_family.samples():
+                endpoint_latency[label_values[0]] = _percentiles(child)
+        query_latency = _percentiles(latency)
+        query_latency["mean_seconds"] = (
+            latency.sum / latency.count if latency.count else 0.0
+        )
         return JsonResponse(
             {
                 "page_count": report.page_count,
@@ -375,14 +436,8 @@ def create_app(
                 "web_links": report.web_links.__dict__,
                 "semantic_links": report.semantic_links.__dict__,
                 "top_values": report.top_values,
-                "query_latency": {
-                    "count": latency.count,
-                    "p50_seconds": latency.quantile(0.5),
-                    "p95_seconds": latency.quantile(0.95),
-                    "mean_seconds": (
-                        latency.sum / latency.count if latency.count else 0.0
-                    ),
-                },
+                "query_latency": query_latency,
+                "endpoint_latency": endpoint_latency,
                 "http_requests_total": (
                     requests_family.total() if requests_family else 0.0
                 ),
@@ -399,6 +454,22 @@ def create_app(
 
     @router.get("/metrics")
     def metrics(request: Request) -> Response:
+        """Metric exposition with format negotiation.
+
+        Default is Prometheus 0.0.4 text; ``?format=openmetrics`` or an
+        ``Accept`` header naming ``application/openmetrics-text``
+        switches to OpenMetrics 1.0, whose histogram bucket lines carry
+        trace-id exemplars when exemplar collection is enabled.
+        """
+        wants_openmetrics = (
+            request.params.get("format") == "openmetrics"
+            or "application/openmetrics-text" in request.header("Accept")
+        )
+        if wants_openmetrics:
+            body = obs.render_openmetrics(obs.get_registry())
+            return Response(
+                body.encode("utf-8"), "200 OK", obs.OPENMETRICS_CONTENT_TYPE
+            )
         body = obs.render_prometheus(obs.get_registry())
         return TextResponse(body, content_type=obs.PROMETHEUS_CONTENT_TYPE)
 
@@ -477,6 +548,173 @@ def create_app(
             )
         payload["catalog"] = engine.smr.db.catalog_stats()
         return JsonResponse(payload)
+
+    @router.get("/debug/slow")
+    def debug_slow(request: Request) -> Response:
+        """The slow-query reservoir: the worst-latency searches seen.
+
+        Each entry carries the query, its wall time, the trace id to
+        pivot into ``/debug/trace`` / ``/debug/logs``, the cache verdict
+        and the constraint-waterfall plan snapshot taken when the query
+        ran — enough to diagnose a past slow query without reproducing
+        it.
+        """
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        slowlog = obs.get_slow_query_log()
+        entries = slowlog.snapshot()
+        return JsonResponse(
+            {
+                "enabled": slowlog.enabled,
+                "capacity": slowlog.capacity,
+                "threshold_seconds": slowlog.threshold_seconds,
+                "recorded": slowlog.recorded,
+                "count": len(entries),
+                "entries": entries,
+            }
+        )
+
+    @router.get("/debug/provenance")
+    def debug_provenance(request: Request) -> Response:
+        """Recent query-provenance records, filterable by trace id."""
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        recorder = obs.get_provenance_recorder()
+        records = recorder.records(
+            trace_id=request.params.get("trace_id") or None,
+            k=int(request.params.get("k", "20")),
+        )
+        return JsonResponse(
+            {"enabled": recorder.enabled, "count": len(records), "records": records}
+        )
+
+    def _explained(request: Request):
+        """Shared ``/explore`` helper: run the query with provenance."""
+        text = request.params.get("q", "")
+        query = engine.parse(text)
+        return engine.search_explained(query)
+
+    def _waterfall_steps(provenance) -> list:
+        """Waterfall steps with each stage's wall time merged in."""
+        seconds_of = {stage.name: stage.seconds for stage in provenance.stages}
+        steps = []
+        for step in provenance.waterfall:
+            merged = dict(step)
+            merged["seconds"] = seconds_of.get(step["constraint"])
+            steps.append(merged)
+        return steps
+
+    @router.get("/explore")
+    def explore(request: Request) -> Response:
+        """The slow-query explorer: provenance rendered for humans.
+
+        For a query, shows the constraint waterfall (per-constraint
+        strategy, wall time, selectivity, and the candidates each
+        intersection step kept) and, for the top results, the PageRank
+        score decomposition — which in-links carry the score, over which
+        link structure, plus teleport/dangling mass. The SVGs are served
+        by the ``/explore/*.svg`` siblings so they can also be embedded
+        elsewhere.
+        """
+        text = request.params.get("q", "")
+        body = [
+            "<!doctype html><html><head><title>Query explorer</title></head><body>",
+            "<h1>Query provenance explorer</h1>",
+            '<form method="get" action="/explore">',
+            f'<input name="q" size="70" value="{_html_escape(text)}" '
+            'placeholder="keyword=wind kind=sensor sort=pagerank"/>',
+            '<button type="submit">Explain</button></form>',
+        ]
+        if text.strip():
+            try:
+                results, provenance = _explained(request)
+            except ReproError as exc:
+                body.append(f"<p><strong>Error:</strong> {_html_escape(str(exc))}</p>")
+            else:
+                quoted = quote(text, safe="")
+                body.append(
+                    f"<p>{len(results)} of {results.total_candidates} candidates in "
+                    f"{provenance.seconds * 1000:.2f} ms "
+                    f"(trace <code>{_html_escape(str(provenance.trace_id))}</code>)</p>"
+                )
+                body.append("<h2>Constraint waterfall</h2>")
+                body.append(
+                    f'<img src="/explore/waterfall.svg?q={quoted}" '
+                    'alt="constraint waterfall"/>'
+                )
+                body.append(
+                    "<table border='1' cellpadding='4'>"
+                    "<tr><th>constraint</th><th>strategy</th><th>matched</th>"
+                    "<th>selectivity</th><th>ms</th></tr>"
+                )
+                for stage in provenance.stages:
+                    body.append(
+                        f"<tr><td>{_html_escape(stage.name)}</td>"
+                        f"<td>{stage.strategy}</td><td>{stage.matched}</td>"
+                        f"<td>{stage.selectivity:.1%}</td>"
+                        f"<td>{stage.seconds * 1000:.2f}</td></tr>"
+                    )
+                body.append("</table>")
+                if results:
+                    top_title = results.results[0].title
+                    body.append("<h2>Score provenance (top result)</h2>")
+                    body.append(
+                        f'<img src="/explore/contributions.svg?q={quoted}" '
+                        'alt="score contributions"/>'
+                    )
+                    explanation = engine.ranker.explain(top_title)
+                    body.append(
+                        f"<p><b>{_html_escape(top_title)}</b>: score "
+                        f"{explanation['score']:.6f} = teleport "
+                        f"{explanation['teleport']:.6f} + dangling "
+                        f"{explanation['dangling']:.6f} + "
+                        f"{explanation['in_links']} in-link contributions</p>"
+                    )
+        body.append("</body></html>")
+        return HtmlResponse("".join(body))
+
+    @router.get("/explore/waterfall.svg")
+    def explore_waterfall(request: Request) -> Response:
+        _, provenance = _explained(request)
+        chart = WaterfallChart(
+            _waterfall_steps(provenance),
+            title=f"Constraint waterfall: {provenance.query}",
+        )
+        return SvgResponse(chart.to_svg())
+
+    @router.get("/explore/contributions.svg")
+    def explore_contributions(request: Request) -> Response:
+        """Bar chart of one page's score decomposition.
+
+        ``title=`` picks the page (default: the query's top result);
+        bars are the top-k in-link contributions (labelled with their
+        source page and link structure) plus the teleport, dangling and
+        remainder mass — the parts sum to the page's PageRank score.
+        """
+        title = request.params.get("title")
+        if title is None:
+            results, _ = _explained(request)
+            if not results:
+                return JsonResponse(
+                    {"error": "query returned no results to explain"},
+                    status="404 Not Found",
+                )
+            title = results.results[0].title
+        top_k = int(request.params.get("top_k", "8"))
+        explanation = engine.ranker.explain(title, top_k=top_k)
+        data = [
+            (f"{entry['source']} [{entry['via']}]", entry["value"])
+            for entry in explanation["contributions"]
+        ]
+        data.append(("(remainder)", explanation["remainder"]))
+        data.append(("(dangling)", explanation["dangling"]))
+        data.append(("(teleport)", explanation["teleport"]))
+        chart = BarChart(
+            data, title=f"Score provenance: {title} ({explanation['score']:.6f})"
+        )
+        return SvgResponse(chart.to_svg())
 
     @router.get("/healthz")
     def healthz(request: Request) -> Response:
@@ -640,6 +878,24 @@ def create_app(
             )
         except (ValueError, KeyError) as exc:
             response = JsonResponse({"error": str(exc)}, status="400 Bad Request")
+        except Exception as exc:  # noqa: BLE001 — uniform 500 envelope
+            # Without this, an unexpected bug would propagate to the WSGI
+            # server's own 500 page — which bypasses the middleware's
+            # X-Trace-Id stamping. Every response, crashes included, must
+            # carry the trace id; it is the handle users quote back.
+            obs.get_event_log().error(
+                "http.unhandled_error",
+                path=request.path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            response = JsonResponse(
+                {
+                    "error": "internal server error",
+                    "type": type(exc).__name__,
+                    "trace_id": obs.current_trace_id(),
+                },
+                status="500 Internal Server Error",
+            )
         start_response(response.status, response.headers)
         return [response.body]
 
@@ -706,24 +962,34 @@ class MetricsMiddleware:
                 status=captured["status"],
                 seconds=elapsed,
             )
+            # Record latency while the trace id is still bound: the
+            # histogram's exemplar reads the *current* trace id, and an
+            # exemplar without one cannot link a percentile to its trace.
+            if registry.enabled:
+                registry.counter(
+                    "http_requests_total",
+                    "HTTP requests served per endpoint, method and status.",
+                    labels=("endpoint", "method", "status"),
+                ).labels(endpoint, method, captured["status"]).inc()
+                registry.histogram(
+                    "http_request_seconds",
+                    "HTTP request latency per endpoint.",
+                    labels=("endpoint",),
+                ).labels(endpoint).observe(elapsed)
         finally:
             obs.unbind_trace_id()
-        if registry.enabled:
-            registry.counter(
-                "http_requests_total",
-                "HTTP requests served per endpoint, method and status.",
-                labels=("endpoint", "method", "status"),
-            ).labels(endpoint, method, captured["status"]).inc()
-            registry.histogram(
-                "http_request_seconds",
-                "HTTP request latency per endpoint.",
-                labels=("endpoint",),
-            ).labels(endpoint).observe(elapsed)
         return body
 
 
 def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:
-    """Serve the app with wsgiref (blocking; demo use only)."""
+    """Serve the app with wsgiref (blocking; demo use only).
+
+    Turns on histogram exemplar collection for the served process, so
+    ``/metrics?format=openmetrics`` bucket lines and the ``/api/stats``
+    percentiles link to concrete trace ids out of the box (the library
+    default stays off for embedders that never scrape exemplars).
+    """
+    obs.get_registry().enable_exemplars()
     with make_server(host, port, app) as server:
         print(f"serving on http://{host}:{port}")
         server.serve_forever()

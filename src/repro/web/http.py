@@ -53,6 +53,18 @@ class Request:
         self.params: Dict[str, str] = {key: values[0] for key, values in query.items()}
         self._environ = environ
 
+    def header(self, name: str, default: str = "") -> str:
+        """A request header by its HTTP name (case-insensitive).
+
+        ``header("Accept")`` reads ``HTTP_ACCEPT`` from the WSGI environ;
+        ``Content-Type`` and ``Content-Length`` use their dedicated
+        environ keys per PEP 3333.
+        """
+        key = name.upper().replace("-", "_")
+        if key in ("CONTENT_TYPE", "CONTENT_LENGTH"):
+            return self._environ.get(key, default)
+        return self._environ.get(f"HTTP_{key}", default)
+
     def json(self) -> Any:
         """The parsed JSON request body, or None when absent/invalid."""
         try:

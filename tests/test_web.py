@@ -474,3 +474,183 @@ class TestVizEndpoints:
             app, "GET", "/api/viz/facets.svg", "q=kind%3Dstation&prop=status&chart=pie"
         )
         assert "<path" in body
+
+
+class TestProvenanceExplorer:
+    @pytest.fixture
+    def fresh_obs(self):
+        """Fresh registry (exemplars on) + recorder + slow log per test."""
+        from repro import obs
+
+        registry = obs.MetricsRegistry(exemplars=True)
+        tracer = obs.Tracer()
+        event_log = obs.EventLog()
+        recorder = obs.ProvenanceRecorder()
+        slowlog = obs.SlowQueryLog()
+        previous = (
+            obs.set_registry(registry),
+            obs.set_tracer(tracer),
+            obs.set_event_log(event_log),
+            obs.set_provenance_recorder(recorder),
+            obs.set_slow_query_log(slowlog),
+        )
+        yield registry, recorder, slowlog
+        obs.set_registry(previous[0])
+        obs.set_tracer(previous[1])
+        obs.set_event_log(previous[2])
+        obs.set_provenance_recorder(previous[3])
+        obs.set_slow_query_log(previous[4])
+
+    def test_explain_full_attaches_provenance_and_decomposition(self, app, fresh_obs):
+        status, _, body = call(
+            app, "GET", "/api/search", "q=kind%3Dstation&explain=full"
+        )
+        assert status == "200 OK"
+        provenance = body["provenance"]
+        assert provenance["cache"] == "bypass"
+        assert provenance["trace_id"] == body["trace_id"]
+        assert [s["strategy"] for s in provenance["stages"]] == ["KindTitleLookup"]
+        assert provenance["waterfall"][-1]["after"] == provenance["candidates"]
+        assert provenance["ranking"]["returned"] == len(body["results"])
+        for entry in body["results"]:
+            explanation = entry["score_explanation"]
+            parts = (
+                explanation["teleport"]
+                + explanation["dangling"]
+                + sum(c["value"] for c in explanation["contributions"])
+                + explanation["remainder"]
+            )
+            # The acceptance bar, asserted at the HTTP layer.
+            assert abs(parts - explanation["score"]) < 1e-9
+
+    def test_explain_full_lands_in_debug_provenance_by_trace_id(self, app, fresh_obs):
+        _, headers, _ = call(app, "GET", "/api/search", "q=kind%3Dstation&explain=full")
+        trace_id = headers["X-Trace-Id"]
+        status, _, body = call(app, "GET", "/debug/provenance", f"trace_id={trace_id}")
+        assert status == "200 OK"
+        assert body["count"] == 1
+        assert body["records"][0]["trace_id"] == trace_id
+        assert body["records"][0]["cache"] == "bypass"
+
+    def test_explore_page_renders_waterfall_and_contributions(self, app, fresh_obs):
+        status, headers, body = call(app, "GET", "/explore", "q=kind%3Dstation")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("text/html")
+        assert len(headers["X-Trace-Id"]) == 16
+        assert "waterfall.svg" in body and "contributions.svg" in body
+        assert "KindTitleLookup" in body
+
+    def test_explore_without_query_serves_the_form(self, app, fresh_obs):
+        status, _, body = call(app, "GET", "/explore")
+        assert status == "200 OK"
+        assert "<form" in body
+
+    def test_explore_waterfall_svg(self, app, fresh_obs):
+        status, headers, body = call(
+            app, "GET", "/explore/waterfall.svg", "q=kind%3Dstation"
+        )
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert "<svg" in body and "kind=station" in body
+
+    def test_explore_contributions_svg(self, app, fresh_obs):
+        status, headers, body = call(
+            app, "GET", "/explore/contributions.svg", "q=kind%3Dstation"
+        )
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert "<svg" in body and "teleport" in body
+
+    def test_contributions_svg_404_when_no_results(self, app, fresh_obs):
+        status, headers, body = call(
+            app, "GET", "/explore/contributions.svg", "q=zzznothing"
+        )
+        assert status == "404 Not Found"
+        assert len(headers["X-Trace-Id"]) == 16
+        assert "no results" in body["error"]
+
+    def test_debug_slow_serves_recorded_queries_with_plans(self, app, fresh_obs):
+        # A unique query so the module-scoped engine's result cache
+        # cannot serve it: a hit would record a plan-less entry.
+        _, headers, _ = call(app, "GET", "/api/search", "q=elevation_m%3C2500")
+        status, _, body = call(app, "GET", "/debug/slow")
+        assert status == "200 OK"
+        assert body["enabled"] is True and body["count"] >= 1
+        entry = body["entries"][0]
+        assert entry["trace_id"] == headers["X-Trace-Id"]
+        assert entry["plan"]["waterfall"], "the plan must carry the waterfall"
+
+    def test_openmetrics_negotiation_via_param_and_accept(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        status, headers, body = call(app, "GET", "/metrics", "format=openmetrics")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("application/openmetrics-text")
+        assert body.endswith("# EOF\n")
+        assert "http_requests_total" in body
+
+        environ_accept = "application/openmetrics-text; version=1.0.0"
+        raw = io.BytesIO(b"")
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/metrics",
+            "QUERY_STRING": "",
+            "HTTP_ACCEPT": environ_accept,
+            "wsgi.input": raw,
+        }
+        captured = {}
+
+        def start_response(response_status, response_headers):
+            captured["status"] = response_status
+            captured["headers"] = dict(response_headers)
+
+        chunks = app(environ, start_response)
+        assert captured["status"] == "200 OK"
+        assert captured["headers"]["Content-Type"].startswith(
+            "application/openmetrics-text"
+        )
+        assert b"# EOF\n" in b"".join(chunks)
+
+    def test_openmetrics_buckets_carry_trace_id_exemplars(self, app, fresh_obs):
+        _, headers, _ = call(app, "GET", "/api/search", "q=kind%3Dstation")
+        _, _, body = call(app, "GET", "/metrics", "format=openmetrics")
+        assert f'trace_id="{headers["X-Trace-Id"]}"' in body
+
+    def test_prometheus_default_remains_exemplar_free(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        _, headers, body = call(app, "GET", "/metrics")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert "trace_id=" not in body and "# EOF" not in body
+
+    def test_stats_per_endpoint_percentiles_with_exemplars(self, app, fresh_obs):
+        call(app, "GET", "/api/search", "q=kind%3Dstation")
+        call(app, "GET", "/api/search", "q=kind%3Dsensor")
+        _, _, body = call(app, "GET", "/api/stats")
+        latency = body["endpoint_latency"]["/api/search"]
+        assert latency["count"] == 2
+        for name in ("p50", "p95", "p99"):
+            assert latency[f"{name}_seconds"] >= 0.0
+            assert len(latency[f"{name}_trace_id"]) == 16
+
+    def test_unhandled_exception_is_a_500_with_trace_id(self, app, fresh_obs, monkeypatch):
+        def boom(query):
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setattr(app.engine, "search_explained", boom)
+        status, headers, body = call(
+            app, "GET", "/api/search", "q=kind%3Dstation&explain=full"
+        )
+        assert status == "500 Internal Server Error"
+        assert len(headers["X-Trace-Id"]) == 16
+        assert body["error"] == "internal server error"
+        assert body["type"] == "RuntimeError"
+        assert body["trace_id"] == headers["X-Trace-Id"]
+
+    def test_new_debug_surfaces_locked_without_debug_flag(self, app, fresh_obs):
+        locked = create_app(app.engine, debug=False)
+        for path in ("/debug/slow", "/debug/provenance"):
+            status, headers, _ = call(locked, "GET", path)
+            assert status == "403 Forbidden"
+            assert len(headers["X-Trace-Id"]) == 16
+        # /explore is an operator UI but not a debug dump: stays open.
+        status, _, _ = call(locked, "GET", "/explore")
+        assert status == "200 OK"
