@@ -4,15 +4,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-cache bench-planner obs-check
+.PHONY: test docs-check bench bench-smoke bench-cache bench-planner bench-procpool obs-check
 
 ## Tier-1: the full unit/integration suite (includes docs-check).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-## Documentation gate: package docstrings + markdown cross-links.
+## Documentation gate: package + invariant docstrings, markdown
+## cross-links, required docs, stale-claim scan. On failure pytest names
+## the missing or stale doc file in the assertion message.
 docs-check:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_docs_check.py -q
+	@PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_docs_check.py -q || \
+		{ echo "docs-check FAILED: a doc file is missing, unlinked, or stale — the failing test names it (look for 'missing docs/...' or 'stale doc: ...' above)."; exit 1; }
 
 ## All benchmarks (one module per paper figure); writes benchmarks/results/.
 bench:
@@ -33,6 +36,12 @@ bench-cache:
 ## planner-off scan, engine R-tree bbox probe >= 5x over the seed scan.
 bench-planner:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_planner_indexes.py -q --benchmark-disable
+
+## The docs/PARALLELISM.md gates: serial-vs-process bitwise identity on
+## the matvec + similarity kernels, the vectorized-similarity >= 2x win,
+## and (on >= 2 CPUs) process pool4 >= 2x over pool1.
+bench-procpool:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
 
 ## Observability gate: unit tests + web surfaces + the overhead budget.
 obs-check:

@@ -1,0 +1,237 @@
+"""E13 — the process backend on the CPU-bound kernels.
+
+PR 4 committed ``pool4_vs_pool1=0.93x`` for the *thread* pool: on a GIL
+build, threads cannot speed up the Section III matvec or the Section IV
+similarity matrix. This module measures the *process* backend
+(``repro.perf.procpool``: worker processes over shared-memory CSR slabs,
+docs/PARALLELISM.md) against the one-worker baseline on both kernels,
+over a 100k+-node graph / a multi-hundred-tag store — enough work to
+amortize slab sharing and process startup.
+
+Gates:
+
+- **Identity, always.** Every compared path must return *bitwise
+  identical* arrays before anything is timed — the speedups are never
+  bought with a behavior change. This half runs even in smoke mode and
+  on platforms where the process backend cannot start (the degraded
+  paths must also be identical).
+- **pool4-process >= 2x over pool1, when the hardware can.** The wall
+  clock gate arms only with >= 2 CPUs visible to this process; on a
+  1-CPU container a process pool can only interleave, not multiply, so
+  the measured ratio is committed transparently instead (the same
+  policy PR 4 used for the thread pool). The CPU count is recorded in
+  the results file.
+- **Vectorized similarity >= 2x over the legacy pairwise loop.** The
+  Fig. 4 matrix build dropped its O(n^2) Python ``cosine_similarity``
+  loop for an incidence-CSR tile kernel; that algorithmic win is
+  hardware-independent and gated unconditionally (outside smoke).
+
+Results go to ``benchmarks/results/procpool.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.perf import procpool
+from repro.tagging.similarity import _incidence_arrays, _similarity_tile
+from repro.tagging.store import TagStore
+from repro.text.tfidf import cosine_similarity
+from repro.workloads.webgraphs import preferential_attachment_graph
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+GRAPH_NODES = 2_000 if SMOKE else 100_000
+MATVEC_REPEATS = 3 if SMOKE else 30
+SIM_TAGS = 80 if SMOKE else 600
+SIM_PAGES = 200 if SMOKE else 4_000
+SIM_REPEATS = 2 if SMOKE else 5
+LEGACY_TAGS = 40 if SMOKE else 300
+MIN_SPEEDUP = 2.0
+POOL_SIZE = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _gate_armed() -> bool:
+    return not SMOKE and _cpus() >= 2 and procpool.available()
+
+
+def _random_store(tags: int, pages: int, seed: int = 13) -> TagStore:
+    rng = np.random.default_rng(seed)
+    store = TagStore()
+    titles = [f"Page:{i:05d}" for i in range(pages)]
+    for t in range(tags):
+        count = int(rng.integers(3, 40))
+        for page_idx in rng.choice(pages, size=count, replace=False):
+            store.create(titles[page_idx], f"tag{t:04d}")
+    return store
+
+
+def _legacy_similarity(store: TagStore) -> np.ndarray:
+    """The pre-PR pairwise dict loop, kept as the honest baseline."""
+    tags = store.tags()
+    vectors = [{page: 1.0 for page in store.pages_of(tag)} for tag in tags]
+    n = len(tags)
+    out = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = cosine_similarity(vectors[i], vectors[j])
+    return out
+
+
+def test_procpool_matvec(write_result):
+    """Shared-memory process matvec: identical always, >=2x when armed."""
+    from repro.perf.pool import chunk_ranges
+
+    graph = preferential_attachment_graph(GRAPH_NODES, seed=3)
+    matrix = graph.transition_matrix()
+    rng = np.random.default_rng(0)
+    x0 = rng.random(matrix.ncols)
+    x0 /= x0.sum()
+
+    def run_serial() -> np.ndarray:
+        x = x0
+        for _ in range(MATVEC_REPEATS):
+            x = matrix.matvec(x)
+        return x
+
+    serial_start = time.perf_counter()
+    serial = run_serial()
+    serial_s = time.perf_counter() - serial_start
+
+    lines = [
+        f"# E13 procpool: {GRAPH_NODES} nodes, {matrix.data.size} edges, "
+        f"{MATVEC_REPEATS} chained matvecs; cpus={_cpus()} "
+        f"procpool_available={procpool.available()} "
+        f"gate_armed={_gate_armed()}",
+        f"matvec_serial_seconds={serial_s:.4f}",
+    ]
+
+    if procpool.available():
+        pool = procpool.ProcessWorkerPool(size=POOL_SIZE, name="bench-proc")
+        try:
+            # warm once: share the CSR slabs + start the workers outside
+            # the timed region (an iterative solver pays these once too)
+            warm = procpool.shared_matvec(matrix, x0, POOL_SIZE, pool)
+            assert np.array_equal(warm, matrix.matvec(x0)), "matvec identity"
+
+            proc_start = time.perf_counter()
+            x = x0
+            for _ in range(MATVEC_REPEATS):
+                x = procpool.shared_matvec(matrix, x, POOL_SIZE, pool)
+            proc_s = time.perf_counter() - proc_start
+            assert np.array_equal(x, serial), "chained matvec identity"
+            ratio = serial_s / proc_s if proc_s > 0 else float("inf")
+            lines.append(f"matvec_pool4_process_seconds={proc_s:.4f}")
+            lines.append(f"matvec_pool4_vs_pool1={ratio:.2f}x")
+            if _gate_armed():
+                assert ratio >= MIN_SPEEDUP, (
+                    f"expected >= {MIN_SPEEDUP}x from {POOL_SIZE} process "
+                    f"workers on {_cpus()} CPUs, got {ratio:.2f}x"
+                )
+        finally:
+            pool.shutdown()
+    else:
+        lines.append(
+            f"matvec_pool4_process_seconds=unavailable "
+            f"({procpool.unavailable_reason()})"
+        )
+    # chunked kernel must also be identical without any pool (degraded)
+    bounds = chunk_ranges(matrix.nrows, POOL_SIZE)
+    parts = [matrix.matvec_rows(x0, start, stop) for start, stop in bounds]
+    assert np.array_equal(np.concatenate(parts), matrix.matvec(x0))
+
+    write_result("procpool.txt", "\n".join(lines) + "\n")
+
+
+def test_procpool_similarity(results_dir):
+    """Similarity tiles: identical always; vectorized >=2x over legacy."""
+    store = _random_store(SIM_TAGS, SIM_PAGES)
+    tags = store.tags()
+    n = len(tags)
+    arrays = _incidence_arrays(store, tags)
+
+    serial_start = time.perf_counter()
+    for _ in range(SIM_REPEATS):
+        serial = _similarity_tile(arrays, 0, n)
+    serial_s = time.perf_counter() - serial_start
+
+    lines = [
+        f"# E13 similarity: {n} tags x {SIM_PAGES} pages, "
+        f"{SIM_REPEATS} repeats"
+    ]
+
+    if procpool.available():
+        from repro.perf.pool import chunk_ranges
+
+        pool = procpool.ProcessWorkerPool(size=POOL_SIZE, name="bench-sim")
+        try:
+            bounds = chunk_ranges(n, POOL_SIZE)
+            warm = np.vstack(
+                pool.run_kernel(_similarity_tile, dict(arrays), bounds)
+            )
+            assert np.array_equal(warm, serial), "similarity identity"
+            proc_start = time.perf_counter()
+            for _ in range(SIM_REPEATS):
+                tiles = pool.run_kernel(_similarity_tile, dict(arrays), bounds)
+            proc_s = time.perf_counter() - proc_start
+            assert np.array_equal(np.vstack(tiles), serial)
+            ratio = serial_s / proc_s if proc_s > 0 else float("inf")
+            lines.append(
+                f"similarity_serial_seconds={serial_s:.4f} "
+                f"similarity_pool4_process_seconds={proc_s:.4f} "
+                f"similarity_pool4_vs_pool1={ratio:.2f}x"
+            )
+            if _gate_armed():
+                assert ratio >= MIN_SPEEDUP, (
+                    f"expected >= {MIN_SPEEDUP}x from {POOL_SIZE} process "
+                    f"workers on {_cpus()} CPUs, got {ratio:.2f}x"
+                )
+        finally:
+            pool.shutdown()
+    else:
+        lines.append(
+            f"similarity_serial_seconds={serial_s:.4f} "
+            f"similarity_pool4_process_seconds=unavailable"
+        )
+
+    # The algorithmic gate: vectorized tiles vs the legacy pairwise loop,
+    # at a size the O(n^2) Python loop can finish in reasonable time.
+    small = _random_store(LEGACY_TAGS, SIM_PAGES // 2, seed=17)
+    small_tags = small.tags()
+    small_arrays = _incidence_arrays(small, small_tags)
+    legacy_start = time.perf_counter()
+    legacy = _legacy_similarity(small)
+    legacy_s = time.perf_counter() - legacy_start
+    vec_start = time.perf_counter()
+    vectorized = _similarity_tile(small_arrays, 0, len(small_tags))
+    np.fill_diagonal(vectorized, 1.0)
+    vec_s = time.perf_counter() - vec_start
+    assert np.array_equal(vectorized, legacy), "legacy identity"
+    algo_ratio = legacy_s / vec_s if vec_s > 0 else float("inf")
+    lines.append(
+        f"# algorithmic: {len(small_tags)} tags, legacy pairwise loop vs "
+        f"vectorized tile kernel (bitwise identical)"
+    )
+    lines.append(
+        f"similarity_legacy_seconds={legacy_s:.4f} "
+        f"similarity_vectorized_seconds={vec_s:.4f} "
+        f"similarity_vectorized_speedup={algo_ratio:.1f}x"
+    )
+    if not SMOKE:
+        assert algo_ratio >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x from the vectorized kernel, got "
+            f"{algo_ratio:.2f}x"
+        )
+
+    with open(f"{results_dir}/procpool.txt", "a", encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")

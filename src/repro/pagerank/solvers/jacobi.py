@@ -34,10 +34,11 @@ def solve_jacobi(
 
     Jacobi updates every row from the *previous* sweep's vector, so the
     sparse product row-partitions freely: ``chunks`` > 1 fans it across
-    the worker ``pool`` via :func:`repro.perf.pool.parallel_matvec` with
-    bitwise-identical results (unlike Gauss–Seidel, whose in-sweep
-    dependency keeps it serial — see
-    :mod:`repro.pagerank.solvers.gauss_seidel`).
+    the worker ``pool`` via :func:`repro.perf.pool.parallel_matvec` —
+    worker processes over shared-memory CSR slabs when available,
+    threads otherwise — with bitwise-identical results on every backend
+    (unlike Gauss–Seidel, whose in-sweep dependency keeps it serial —
+    see :mod:`repro.pagerank.solvers.gauss_seidel`).
     """
     check_problem(problem)
     system, rhs = build_linear_system(problem)

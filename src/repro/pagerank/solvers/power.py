@@ -29,9 +29,11 @@ def solve_power(
     """Run power iterations until ``||x(k+1) - x(k)||₁ < tol``.
 
     ``chunks`` > 1 row-partitions each step's sparse product across the
-    worker ``pool`` (:func:`repro.perf.pool.parallel_matvec`); the chunk
-    kernel is bitwise identical to the serial one, so the iterate
-    sequence — and therefore the residual history — does not change.
+    worker ``pool`` (:func:`repro.perf.pool.parallel_matvec` — worker
+    *processes* over shared-memory CSR slabs when the platform allows,
+    threads otherwise); the chunk kernel is bitwise identical to the
+    serial one, so the iterate sequence — and therefore the residual
+    history — does not change on any backend.
     """
     check_problem(problem)
     x = problem.personalization.copy() if x0 is None else np.asarray(x0, dtype=float).copy()

@@ -178,10 +178,12 @@ class PageRankProblem:
         sparse structure of ``P`` is preserved.
 
         With ``chunks`` > 1 the sparse product is row-partitioned across
-        the worker ``pool`` via :func:`repro.perf.pool.parallel_matvec`;
-        each chunk is the exact reduceat kernel of
+        the worker ``pool`` via :func:`repro.perf.pool.parallel_matvec` —
+        worker processes over the matrix's shared-memory CSR slabs when
+        the platform allows, the thread pool otherwise; each chunk runs
+        the exact reduceat kernel of
         :meth:`~repro.linalg.sparse.CsrMatrix.matvec_rows`, so the result
-        is bitwise identical to the serial product.
+        is bitwise identical to the serial product on every backend.
         """
         x = np.asarray(x, dtype=float)
         if chunks is not None and chunks > 1:

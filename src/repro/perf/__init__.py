@@ -21,6 +21,14 @@ and :class:`repro.core.ranking.PageRankRanker`.
   PageRank solvers chunk their matvecs over, and the bulk loader
   parses batches on; :func:`parallel_map` degrades to plain serial
   execution for small inputs, one-worker pools, or nested fan-out.
+- :mod:`repro.perf.procpool` — the *process* backend behind
+  ``kind="cpu"`` fan-outs: worker processes operating on shared-memory
+  CSR slabs and dense vectors, which is what actually escapes the GIL
+  for the Section III matvec kernels, the Section IV similarity tiles
+  and bulk-parse batches. :func:`~repro.perf.pool.pool_for` selects
+  thread vs process vs serial per task kind and degrades gracefully
+  (process → thread → serial) with byte-identical results at every
+  level (docs/PARALLELISM.md).
 
 Everything reports through :mod:`repro.obs`: cache verdicts under
 ``perf_cache_*_total{cache=...}``, pool health under
@@ -35,26 +43,46 @@ from repro.perf.cache import (
     result_cache_key,
 )
 from repro.perf.pool import (
+    TASK_KINDS,
     WorkerPool,
+    backend_for,
     chunk_ranges,
     default_pool_size,
     get_pool,
+    get_serial_pool,
     in_worker,
     parallel_map,
     parallel_matvec,
+    pool_for,
     set_pool,
+)
+from repro.perf.procpool import (
+    PoolTaskError,
+    ProcessWorkerPool,
+    SharedSlab,
+    get_process_pool,
+    shutdown_process_pool,
 )
 
 __all__ = [
     "CacheStats",
     "GenerationalLruCache",
+    "PoolTaskError",
+    "ProcessWorkerPool",
+    "SharedSlab",
+    "TASK_KINDS",
     "WorkerPool",
+    "backend_for",
     "chunk_ranges",
     "default_pool_size",
     "get_pool",
+    "get_process_pool",
+    "get_serial_pool",
     "in_worker",
     "parallel_map",
     "parallel_matvec",
+    "pool_for",
     "result_cache_key",
     "set_pool",
+    "shutdown_process_pool",
 ]

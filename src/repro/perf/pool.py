@@ -22,11 +22,27 @@ Every task inherits the submitting thread's trace id: the wrapper binds
 it in the worker and opens a ``pool.task`` span, so ``/debug/trace``
 still reconstructs a parallel request as one trace tree.
 
-Degradation rules (:func:`parallel_map`): execution is plain serial when
-the input is smaller than ``min_chunk``, when the pool has one worker,
-or when the caller already *is* a pool worker — the last rule makes
-nested fan-out (an engine task that bulk-loads, a solver inside a
-filter) deadlock-free by construction instead of by discipline.
+Backend selection (:func:`pool_for`): callers describe their work with a
+*task kind* and the pool picks the backend —
+
+- ``kind="io"`` — GIL-releasing or I/O-ish work (constraint fan-out,
+  anything that blocks): the shared **thread** pool;
+- ``kind="cpu"`` — CPU-bound kernels (PageRank matvec chunks, tagging
+  similarity tiles, bulk-parse batches): the **process** pool of
+  :mod:`repro.perf.procpool`, whose shared-memory slabs escape the GIL;
+- ``kind="serial"`` — explicitly serial (a one-worker pool).
+
+Degradation rules, each one level weaker and each preserving results
+exactly: the process backend falls back to the thread pool when the
+platform probe fails (sandboxed CI), a worker dies mid-run, or the
+payload does not pickle; the thread pool falls back to plain serial
+execution (:func:`parallel_map`) when the input is smaller than
+``min_chunk``, when the pool has one worker, or when the caller already
+*is* a pool worker — the last rule makes nested fan-out (an engine task
+that bulk-loads, a solver inside a filter) deadlock-free by construction
+instead of by discipline. Every fan-out therefore has the same
+observable behavior at every degradation level — only the wall clock
+changes (``tests/test_procpool.py`` pins the whole chain).
 """
 
 from __future__ import annotations
@@ -89,6 +105,8 @@ class WorkerPool:
     Threads are started lazily on first submit, so constructing a pool
     (including the process-wide default) costs nothing until used.
     """
+
+    backend = "thread"
 
     def __init__(self, size: Optional[int] = None, name: str = "default"):
         if size is None:
@@ -200,6 +218,7 @@ def parallel_map(
     min_chunk: int = 2,
     pool: Optional[WorkerPool] = None,
     label: str = "map",
+    kind: str = "io",
 ) -> List[R]:
     """``[fn(item) for item in items]``, fanned out when it pays off.
 
@@ -207,12 +226,25 @@ def parallel_map(
     *input position* raises, exactly as the serial loop would (later
     tasks may still run to completion in the background).
 
-    Degrades to the plain serial loop when ``items`` has fewer than
-    ``min_chunk`` elements, when the pool has a single worker, or when
-    the caller is itself a pool worker (nested fan-out would otherwise
-    deadlock a fully busy pool).
+    ``kind`` selects the backend when no explicit ``pool`` is given
+    (an explicit pool always wins): ``"cpu"`` routes to the process
+    backend when the platform supports it *and* ``fn`` plus the items
+    pickle, batching items per worker; anything else — including every
+    degradation — uses the thread pool. Degrades to the plain serial
+    loop when ``items`` has fewer than ``min_chunk`` elements, when the
+    pool has a single worker, or when the caller is itself a pool worker
+    (nested fan-out would otherwise deadlock a fully busy pool).
     """
     work = list(items)
+    if pool is None and kind == "cpu" and len(work) >= max(min_chunk, 2) and not in_worker():
+        from repro.perf import procpool
+
+        proc = procpool.get_process_pool()
+        if proc is not None and procpool.picklable(fn, work[:1]):
+            try:
+                return proc.map_batched(fn, work, label=label)
+            except procpool.ProcpoolUnavailable:
+                pass  # marked down; fall through to the thread pool
     if pool is None:
         pool = get_pool()
     if len(work) < max(min_chunk, 2) or pool.size <= 1 or in_worker():
@@ -239,12 +271,18 @@ def chunk_ranges(n: int, chunks: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def parallel_matvec(matrix, x, *, chunks: int, pool: Optional[WorkerPool] = None):
-    """Row-partitioned ``matrix @ x`` over the pool.
+def parallel_matvec(matrix, x, *, chunks: int, pool=None):
+    """Row-partitioned ``matrix @ x`` over the selected backend.
 
-    Each chunk computes rows ``[start, stop)`` independently via
-    :meth:`repro.linalg.CsrMatrix.matvec_rows`; the request thread
-    concatenates the slices. Falls back to the fused serial
+    Each chunk computes rows ``[start, stop)`` independently; the
+    request thread concatenates the slices. When ``pool`` is a
+    :class:`~repro.perf.procpool.ProcessWorkerPool` (or ``None`` and the
+    process backend is up), chunks run in worker processes over the
+    matrix's cached shared-memory CSR slabs
+    (:func:`repro.perf.procpool.shared_matvec`); otherwise each chunk is
+    :meth:`repro.linalg.CsrMatrix.matvec_rows` on the thread pool. Both
+    kernels are the same reduceat code, so every backend returns bitwise
+    identical results. Falls back to the fused serial
     :meth:`~repro.linalg.CsrMatrix.matvec` for one chunk or tiny
     matrices, where partitioning costs more than it saves.
     """
@@ -252,12 +290,23 @@ def parallel_matvec(matrix, x, *, chunks: int, pool: Optional[WorkerPool] = None
 
     if chunks <= 1 or matrix.nrows < 2 * chunks:
         return matrix.matvec(x)
+    from repro.perf import procpool
+
+    proc = pool if isinstance(pool, procpool.ProcessWorkerPool) else None
+    if proc is None and pool is None:
+        proc = procpool.get_process_pool()
+    if proc is not None and proc.size > 1 and not in_worker():
+        try:
+            return procpool.shared_matvec(matrix, x, chunks, proc)
+        except procpool.ProcpoolUnavailable:
+            pass  # marked down; recompute on the thread/serial path
+    thread_pool = pool if isinstance(pool, WorkerPool) else None
     bounds = chunk_ranges(matrix.nrows, chunks)
     parts = parallel_map(
         lambda b: matrix.matvec_rows(x, b[0], b[1]),
         bounds,
         min_chunk=2,
-        pool=pool,
+        pool=thread_pool,
         label="matvec",
     )
     return np.concatenate(parts)
@@ -287,3 +336,55 @@ def set_pool(pool: WorkerPool) -> Optional[WorkerPool]:
     with _default_pool_lock:
         previous, _default_pool = _default_pool, pool
     return previous
+
+
+_serial_pool: Optional[WorkerPool] = None
+
+
+def get_serial_pool() -> WorkerPool:
+    """A shared one-worker pool: every fan-out over it runs serially."""
+    global _serial_pool
+    if _serial_pool is None:
+        _serial_pool = WorkerPool(size=1, name="serial")
+    return _serial_pool
+
+
+#: The task kinds :func:`pool_for` understands, and their ideal backend.
+TASK_KINDS = {"io": "thread", "cpu": "process", "serial": "serial"}
+
+
+def backend_for(kind: str) -> str:
+    """The backend :func:`pool_for` would *actually* use for ``kind``.
+
+    ``"cpu"`` resolves to ``"process"`` only when the platform probe
+    passed and more than one process worker is configured; otherwise it
+    degrades to ``"thread"`` (and, inside :func:`parallel_map`, further
+    to serial for small inputs or one-worker pools).
+    """
+    if kind not in TASK_KINDS:
+        raise ReproError(f"unknown task kind {kind!r}; known: {sorted(TASK_KINDS)}")
+    if kind == "serial":
+        return "serial"
+    if kind == "cpu":
+        from repro.perf import procpool
+
+        if procpool.get_process_pool() is not None:
+            return "process"
+    return "thread"
+
+
+def pool_for(kind: str = "io"):
+    """The pool serving ``kind`` after degradation (never ``None``).
+
+    Selection matrix (docs/PARALLELISM.md): ``io`` → the shared thread
+    pool; ``cpu`` → the shared process pool, degrading to the thread
+    pool when unavailable; ``serial`` → a one-worker pool.
+    """
+    backend = backend_for(kind)
+    if backend == "serial":
+        return get_serial_pool()
+    if backend == "process":
+        from repro.perf import procpool
+
+        return procpool.get_process_pool()
+    return get_pool()

@@ -19,10 +19,23 @@ four hundred thousand. This module is the decision procedure:
   returns the cheapest as an :class:`AccessPlan` whose ``describe()``
   is the first line of ``EXPLAIN`` output (with estimated rows/cost).
 
-Every path returns a *superset* of the matching rows and the executor
-re-applies the full WHERE filter, so a planning mistake can cost time
-but never correctness — the property the planner-on/planner-off
-differential tests in ``tests/test_sql_differential.py`` pin down.
+Invariants:
+
+- **Superset, never subset.** Every path returns a *superset* of the
+  matching rows and the executor re-applies the full WHERE filter, so a
+  planning mistake can cost time but never correctness — the property
+  the planner-on/planner-off differential tests in
+  ``tests/test_sql_differential.py`` pin down.
+- **Three-valued NULL handling.** Statistics separate ``non_null`` from
+  ``nulls`` per column; selectivity estimates scale by the non-NULL
+  fraction because under SQL's 3VL *no* comparison predicate matches a
+  NULL — an index probe may therefore skip NULL rows, which is exactly
+  what re-filtering would do anyway, and a histogram never buckets
+  NULLs.
+- **Version-gated staleness.** The catalog refreshes a table's
+  statistics lazily when its mutation ``version`` moves; estimates may
+  lag a write, plans may be momentarily suboptimal, but the superset
+  rule above keeps results exact regardless.
 """
 
 from __future__ import annotations

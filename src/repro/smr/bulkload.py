@@ -11,11 +11,12 @@ fail-fast.
 from __future__ import annotations
 
 import csv
+import functools
 import io
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import BulkLoadError, ReproError
@@ -46,15 +47,33 @@ class BulkLoadReport:
         return f"loaded {self.loaded}/{self.attempted} records, {len(self.errors)} errors"
 
 
+def _prepare_record(
+    kind: str, record: Dict[str, Any]
+) -> Tuple[Optional[Any], Optional[str]]:
+    """Validate and type one record: ``(typed, None)`` or ``(None, error)``.
+
+    Module-level (not a closure) so the CPU fan-out can pickle it into
+    worker processes; pure per-record work with no SMR access.
+    """
+    issues = validate_record(kind, record)
+    if issues:
+        return None, "; ".join(issues)
+    try:
+        return record_class_for(kind).from_record(record), None
+    except ReproError as exc:
+        return None, str(exc)
+
+
 class BulkLoader:
     """Feeds batches of records into a repository.
 
     Validation and typing of each record are pure functions of the input,
-    so :meth:`load_records` fans them across ``pool`` (defaulting to the
-    process-wide :func:`repro.perf.pool.get_pool`); registration itself
-    stays a serial loop in row order, because ``register`` takes the SMR
-    write lock anyway and strict mode must raise at the *first* failing
-    row exactly as the serial loader did.
+    so :meth:`load_records` fans them out as ``kind="cpu"`` work — worker
+    processes when the platform allows, the thread pool otherwise, or an
+    explicitly passed ``pool``; registration itself stays a serial loop
+    in row order, because ``register`` takes the SMR write lock anyway
+    and strict mode must raise at the *first* failing row exactly as the
+    serial loader did.
     """
 
     def __init__(
@@ -114,20 +133,15 @@ class BulkLoader:
             raise BulkLoadError(f"unknown kind {kind!r}; known: {KIND_ORDER}")
         report = BulkLoadReport()
         start = time.perf_counter()
-
-        def prepare(record: Dict[str, Any]):
-            # Pure per-record work (no SMR access): validate, then type.
-            issues = validate_record(kind, record)
-            if issues:
-                return None, "; ".join(issues)
-            try:
-                return record_class_for(kind).from_record(record), None
-            except ReproError as exc:
-                return None, str(exc)
-
+        prepare = functools.partial(_prepare_record, kind)
         with obs.get_tracer().span("bulkload.batch", kind=kind) as span:
             prepared = parallel_map(
-                prepare, records, min_chunk=16, pool=self.pool, label="bulkload.prepare"
+                prepare,
+                records,
+                min_chunk=16,
+                pool=self.pool,
+                label="bulkload.prepare",
+                kind="cpu",
             )
             # parallel_map preserves input order, so the commit loop sees
             # rows — and strict mode sees the first error — exactly as the

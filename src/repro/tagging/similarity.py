@@ -9,20 +9,31 @@ one tag to another and 0 denotes no linking between tags."
 Each tag's vector is the set of pages it annotates (binary occurrence
 vector); the cosine of two tags is then their page-overlap normalized by
 the geometric mean of their frequencies — co-occurring tags are similar.
+
+The matrix is built by a vectorized tile kernel over a tag↔page
+incidence CSR (:func:`_similarity_tile`): for binary vectors the legacy
+per-pair ``cosine_similarity`` reduces to ``overlap / (sqrt(|a|) *
+sqrt(|b|))``, and the kernel performs those exact float operations, so
+the result is bitwise identical to the historical dict-based loop
+(pinned in ``tests/test_tagging.py``). Row tiles fan out to the
+``kind="cpu"`` process backend (:mod:`repro.perf.procpool`) for large
+tag sets and degrade process → thread → serial with identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TaggingError
 from repro.tagging.store import TagStore
-from repro.text.tfidf import cosine_similarity
 
 DEFAULT_THRESHOLD = 0.5  # the paper's "above 50%"
+
+#: Below this many tags the tile fan-out costs more than it saves.
+_PARALLEL_MIN_TAGS = 128
 
 
 @dataclass
@@ -48,27 +59,139 @@ class SimilarityMatrix:
         return bool(self.adjacency[i, j])
 
 
+def _incidence_arrays(store: TagStore, tags: List[str]) -> Dict[str, np.ndarray]:
+    """Tag→page and page→tag incidence CSR arrays plus per-tag norms.
+
+    Page ids are positions in the sorted union of annotated pages; both
+    directions are needed because a tile computes one tag's overlaps by
+    walking its pages and counting the *other* tags on each page.
+    """
+    page_ids: Dict[str, int] = {}
+    tag_pages: List[List[int]] = []
+    for tag in tags:
+        pages = store.pages_of(tag)
+        ids = []
+        for page in pages:
+            pid = page_ids.setdefault(page, len(page_ids))
+            ids.append(pid)
+        tag_pages.append(ids)
+    n, m = len(tags), len(page_ids)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, ids in enumerate(tag_pages):
+        indptr[i + 1] = indptr[i] + len(ids)
+    indices = np.zeros(int(indptr[-1]), dtype=np.int64)
+    for i, ids in enumerate(tag_pages):
+        indices[indptr[i] : indptr[i + 1]] = ids
+    # transpose: page -> tags, via a counting sort over the same pairs
+    tindptr = np.zeros(m + 1, dtype=np.int64)
+    if indices.size:
+        np.add.at(tindptr, indices + 1, 1)
+        np.cumsum(tindptr, out=tindptr)
+    tindices = np.zeros(indices.size, dtype=np.int64)
+    cursor = tindptr[:-1].copy()
+    for i in range(n):
+        for pid in indices[indptr[i] : indptr[i + 1]]:
+            tindices[cursor[pid]] = i
+            cursor[pid] += 1
+    counts = (indptr[1:] - indptr[:-1]).astype(float)
+    return {
+        "indptr": indptr,
+        "indices": indices,
+        "tindptr": tindptr,
+        "tindices": tindices,
+        "sqrtc": np.sqrt(counts),
+    }
+
+
+def _similarity_tile(
+    arrays: Dict[str, np.ndarray], start: int, stop: int
+) -> np.ndarray:
+    """Rows ``[start, stop)`` of the cosine matrix over incidence slabs.
+
+    For binary page vectors the cosine is ``overlap / (sqrt(|a|) *
+    sqrt(|b|))`` — the same float divides and multiplies, in the same
+    order, as ``repro.text.tfidf.cosine_similarity`` on 1.0-valued
+    dicts, so tiles are bitwise identical to the legacy pairwise loop.
+    Empty tags get 0.0 rows/columns (the legacy empty-vector contract);
+    the diagonal is left as computed — the caller overwrites it with
+    exact 1.0, as the legacy ``np.eye`` seed did.
+    """
+    indptr = arrays["indptr"]
+    indices = arrays["indices"]
+    tindptr = arrays["tindptr"]
+    tindices = arrays["tindices"]
+    sqrtc = arrays["sqrtc"]
+    n = sqrtc.size
+    out = np.zeros((stop - start, n))
+    for row, i in enumerate(range(start, stop)):
+        lo, hi = indptr[i], indptr[i + 1]
+        if hi == lo:
+            continue  # empty tag: cosine 0.0 against everything
+        cotags = np.concatenate(
+            [tindices[tindptr[p] : tindptr[p + 1]] for p in indices[lo:hi]]
+        )
+        overlap = np.bincount(cotags, minlength=n).astype(float)
+        denom = sqrtc[i] * sqrtc
+        nonzero = denom > 0.0
+        out[row, nonzero] = overlap[nonzero] / denom[nonzero]
+    return out
+
+
+def _similarity_rows(
+    arrays: Dict[str, np.ndarray], n: int, pool: Optional[object]
+) -> np.ndarray:
+    """The full cosine matrix, fanned out process → thread → serial."""
+    from repro.perf import pool as perf_pool
+    from repro.perf import procpool
+
+    proc = pool if isinstance(pool, procpool.ProcessWorkerPool) else None
+    if proc is None and pool is None and n >= _PARALLEL_MIN_TAGS:
+        proc = procpool.get_process_pool()
+    if proc is not None:
+        bounds = perf_pool.chunk_ranges(n, proc.size)
+        try:
+            tiles = proc.run_kernel(
+                _similarity_tile, dict(arrays), bounds, label="tagging.similarity"
+            )
+            return np.vstack(tiles)
+        except procpool.ProcpoolUnavailable:
+            pass  # marked down; fall through to the thread pool
+    if n >= _PARALLEL_MIN_TAGS:
+        thread_pool = pool if isinstance(pool, perf_pool.WorkerPool) else None
+        bounds = perf_pool.chunk_ranges(n, (thread_pool or perf_pool.get_pool()).size)
+        tiles = perf_pool.parallel_map(
+            lambda b: _similarity_tile(arrays, *b),
+            bounds,
+            pool=thread_pool,
+            label="tagging.similarity",
+        )
+        return np.vstack(tiles)
+    return _similarity_tile(arrays, 0, n)
+
+
 def build_similarity(
-    store: TagStore, threshold: float = DEFAULT_THRESHOLD
+    store: TagStore,
+    threshold: float = DEFAULT_THRESHOLD,
+    pool: Optional[object] = None,
 ) -> SimilarityMatrix:
     """Compute the tag similarity matrix from a tag store.
 
     ``threshold`` is exclusive, per the paper's "above 50 %": a cosine of
-    exactly 0.5 does *not* link two tags.
+    exactly 0.5 does *not* link two tags. ``pool`` pins a backend (a
+    :class:`~repro.perf.procpool.ProcessWorkerPool` or
+    :class:`~repro.perf.pool.WorkerPool`); by default large tag sets use
+    the shared process pool and degrade to threads, then serial, with
+    bitwise-identical matrices at every level.
     """
     if not 0.0 <= threshold <= 1.0:
         raise TaggingError(f"threshold must lie in [0, 1], got {threshold}")
     tags = store.tags()
-    vectors: List[Dict[str, float]] = [
-        {page: 1.0 for page in store.pages_of(tag)} for tag in tags
-    ]
     n = len(tags)
-    similarities = np.eye(n)
-    adjacency = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            sim = cosine_similarity(vectors[i], vectors[j])
-            similarities[i, j] = similarities[j, i] = sim
-            if sim > threshold:
-                adjacency[i, j] = adjacency[j, i] = 1.0
+    arrays = _incidence_arrays(store, tags)
+    similarities = _similarity_rows(arrays, n, pool)
+    if n:
+        np.fill_diagonal(similarities, 1.0)
+    adjacency = (similarities > threshold).astype(float)
+    if n:
+        np.fill_diagonal(adjacency, 0.0)
     return SimilarityMatrix(tags, similarities, adjacency, threshold)

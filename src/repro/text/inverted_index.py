@@ -6,6 +6,27 @@ stopword-filtered before indexing. Queries run through the same pipeline,
 then candidate documents are scored with either TF-IDF cosine or Okapi
 BM25 — BM25 is the default because short metadata pages benefit from its
 length normalization.
+
+Invariants the rest of the system leans on:
+
+- **Write-through freshness, not generation stamping.** The index is
+  mutated inside the same :meth:`repro.smr.SensorMetadataRepository.
+  register` call that bumps the SMR generation, *before* the write
+  returns — so unlike the query-result cache (which stamps entries and
+  invalidates lazily), an ``InvertedIndexScan`` can never observe a page
+  the SMR doesn't have, or miss one it does. There is no rebuild step to
+  forget.
+- **Re-add replaces.** ``add`` on an existing ``doc_id`` removes the old
+  postings first; re-registering a page never double-counts terms, and
+  ``remove`` drops emptied postings lists so ``term_count`` reflects
+  live terms only.
+- **Symmetric analysis.** Queries pass through the exact tokenize →
+  stopword → Porter-stem pipeline documents were indexed under
+  (:func:`_analyze` both ways); a term that indexes differently than it
+  queries can't exist.
+- **Deterministic ranking.** Ties in score break on ``doc_id``, so equal
+  corpora return identical hit orderings across runs and backends — the
+  property the engine's result cache and the differential tests rely on.
 """
 
 from __future__ import annotations

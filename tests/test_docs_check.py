@@ -30,6 +30,31 @@ REQUIRED_DOCS = [
     "docs/PERFORMANCE.md",
     "docs/OBSERVABILITY.md",
     "docs/QUERY_PLANNING.md",
+    "docs/PARALLELISM.md",
+]
+
+#: Modules whose docstrings must state their operating invariants, and a
+#: phrase each docstring must contain (evidence the invariant is written
+#: down, not just that a docstring exists).
+INVARIANT_DOCSTRINGS = {
+    "repro.perf.pool": ["Degradation rules", "kind"],
+    "repro.text.inverted_index": ["Write-through", "Re-add replaces"],
+    "repro.relational.planner": ["NULL", "Superset"],
+}
+
+#: Claims that once were true and must never reappear: (file, regex,
+#: what replaced them). Docs drift is a build failure, not a shrug.
+STALE_CLAIMS = [
+    (
+        "ROADMAP.md",
+        re.compile(r"keyword constraints currently walk pages", re.IGNORECASE),
+        "keyword constraints run InvertedIndexScan now",
+    ),
+    (
+        "docs/PERFORMANCE.md",
+        re.compile(r"thread-only|only a thread pool", re.IGNORECASE),
+        "the pool selects thread/process/serial backends per task kind",
+    ),
 ]
 
 
@@ -94,6 +119,32 @@ def test_required_docs_exist_and_are_linked_from_readme():
     for doc in REQUIRED_DOCS:
         assert os.path.exists(os.path.join(REPO_ROOT, doc)), f"missing {doc}"
         assert doc in readme, f"README.md must link to {doc}"
+
+
+@pytest.mark.parametrize("name", sorted(INVARIANT_DOCSTRINGS))
+def test_module_docstring_states_invariants(name):
+    doc = importlib.import_module(name).__doc__ or ""
+    missing = [
+        phrase for phrase in INVARIANT_DOCSTRINGS[name] if phrase not in doc
+    ]
+    assert not missing, (
+        f"{name}'s module docstring must state its invariants; "
+        f"missing the phrase(s) {missing} — see docs/PARALLELISM.md for "
+        f"what each module promises"
+    )
+
+
+@pytest.mark.parametrize(
+    "rel_path,pattern,fix", STALE_CLAIMS, ids=[c[0] for c in STALE_CLAIMS]
+)
+def test_docs_carry_no_stale_claims(rel_path, pattern, fix):
+    path = os.path.join(REPO_ROOT, rel_path)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    match = pattern.search(text)
+    assert match is None, (
+        f"stale doc: {rel_path} still claims {match.group(0)!r} — {fix}"
+    )
 
 
 def test_docs_reference_real_benchmark_results():

@@ -1,0 +1,363 @@
+"""Tests for the process backend (repro.perf.procpool) and its degradation.
+
+The load-bearing properties: the backend chain process → thread → serial
+returns *identical* results at every level (matvec bitwise, bulk-load
+reports equal, similarity matrices bitwise), task failures re-raise the
+worker's original exception type with the remote traceback chained and
+``errors_total{component="procpool"}`` incremented — without marking the
+backend down — and shared-memory slabs round-trip arrays exactly and
+release cleanly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, render_prometheus, set_registry, set_tracer
+from repro.linalg import CsrMatrix
+from repro.perf import pool as perf_pool
+from repro.perf import procpool
+from repro.perf.pool import (
+    WorkerPool,
+    backend_for,
+    chunk_ranges,
+    parallel_map,
+    parallel_matvec,
+    pool_for,
+)
+from repro.errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers (worker tasks must pickle)
+# ----------------------------------------------------------------------
+
+
+def _double(value):
+    return value * 2
+
+
+def _boom(value):
+    raise ValueError(f"bad {value}")
+
+
+def _boom_on_three(value):
+    if value == 3:
+        raise KeyError(value)
+    return value
+
+
+@pytest.fixture
+def fresh_obs():
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    prev_registry = set_registry(registry)
+    prev_tracer = set_tracer(tracer)
+    yield registry, tracer
+    set_registry(prev_registry)
+    set_tracer(prev_tracer)
+
+
+@pytest.fixture
+def proc_env(monkeypatch):
+    """Force the process backend on (2 workers) for one test, then reset."""
+    monkeypatch.delenv(procpool.PROCPOOL_ENV, raising=False)
+    monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "2")
+    procpool.reset_probe()
+    yield
+    procpool.shutdown_process_pool()
+    procpool.reset_probe()
+
+
+@pytest.fixture
+def no_proc_env(monkeypatch):
+    """Force the process backend off for one test, then reset."""
+    monkeypatch.setenv(procpool.PROCPOOL_ENV, "0")
+    procpool.reset_probe()
+    yield
+    procpool.shutdown_process_pool()
+    procpool.reset_probe()
+
+
+def _random_csr(n=400, nnz=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return CsrMatrix.from_coo_arrays(
+        n,
+        n,
+        rng.integers(0, n, nnz),
+        rng.integers(0, n, nnz),
+        rng.random(nnz),
+    )
+
+
+def _procpool_or_skip():
+    if not procpool.available():
+        pytest.skip(f"process backend unavailable: {procpool.unavailable_reason()}")
+
+
+# ----------------------------------------------------------------------
+# Shared slabs
+# ----------------------------------------------------------------------
+
+
+class TestSharedSlab:
+    def test_round_trip_and_release(self):
+        _procpool_or_skip()
+        array = np.arange(32, dtype=np.float64) * 1.5
+        slab = procpool.SharedSlab.create(array)
+        try:
+            assert np.array_equal(slab.view(), array)
+            name, dtype, shape, owner = slab.meta
+            assert (dtype, shape, owner) == (array.dtype.str, (32,), os.getpid())
+        finally:
+            slab.release()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=slab.name)
+
+    def test_csr_slabs_cached_per_matrix(self):
+        _procpool_or_skip()
+        matrix = _random_csr()
+        first = procpool.shared_csr_slabs(matrix)
+        assert procpool.shared_csr_slabs(matrix) is first
+        assert np.array_equal(first["data"].view(), matrix.data)
+
+
+# ----------------------------------------------------------------------
+# Identity across backends
+# ----------------------------------------------------------------------
+
+
+class TestBackendIdentity:
+    def test_shared_matvec_bitwise_identical(self, proc_env):
+        _procpool_or_skip()
+        matrix = _random_csr()
+        x = np.random.default_rng(1).random(matrix.nrows)
+        pool = procpool.get_process_pool()
+        assert pool is not None
+        result = procpool.shared_matvec(matrix, x, chunks=4, pool=pool)
+        assert np.array_equal(result, matrix.matvec(x))
+
+    def test_parallel_matvec_identical_at_every_level(self, monkeypatch):
+        matrix = _random_csr(seed=2)
+        x = np.random.default_rng(3).random(matrix.nrows)
+        serial = matrix.matvec(x)
+
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "2")
+        procpool.reset_probe()
+        try:
+            if procpool.available():
+                assert np.array_equal(
+                    parallel_matvec(matrix, x, chunks=4), serial
+                ), "process level"
+        finally:
+            procpool.shutdown_process_pool()
+
+        monkeypatch.setenv(procpool.PROCPOOL_ENV, "0")
+        procpool.reset_probe()
+        thread_pool = WorkerPool(size=2, name="deg-thread")
+        try:
+            assert np.array_equal(
+                parallel_matvec(matrix, x, chunks=4, pool=thread_pool), serial
+            ), "thread level"
+        finally:
+            thread_pool.shutdown()
+        serial_pool = WorkerPool(size=1, name="deg-serial")
+        assert np.array_equal(
+            parallel_matvec(matrix, x, chunks=4, pool=serial_pool), serial
+        ), "serial level"
+        procpool.reset_probe()
+
+    def test_parallel_map_cpu_kind_identical(self, proc_env):
+        _procpool_or_skip()
+        items = list(range(100))
+        expected = [_double(v) for v in items]
+        assert parallel_map(_double, items, kind="cpu") == expected
+
+    def test_parallel_map_cpu_degrades_for_unpicklable(self, proc_env):
+        # a lambda cannot cross the process boundary: thread/serial path
+        items = list(range(10))
+        assert parallel_map(lambda v: v * 2, items, kind="cpu") == [
+            v * 2 for v in items
+        ]
+
+    def test_similarity_identical_across_backends(self, monkeypatch):
+        import random
+
+        from repro.tagging.similarity import build_similarity
+        from repro.tagging.store import TagStore
+
+        random.seed(11)
+        store = TagStore()
+        pages = [f"Page:{i}" for i in range(60)]
+        for j in range(40):
+            for page in random.sample(pages, random.randint(1, 12)):
+                store.create(page, f"tag{j}")
+
+        monkeypatch.setenv(procpool.PROCPOOL_ENV, "0")
+        procpool.reset_probe()
+        reference = build_similarity(store)
+
+        monkeypatch.delenv(procpool.PROCPOOL_ENV)
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "2")
+        procpool.reset_probe()
+        try:
+            if procpool.available():
+                proc = procpool.ProcessWorkerPool(size=2, name="sim-test")
+                try:
+                    via_process = build_similarity(store, pool=proc)
+                finally:
+                    proc.shutdown()
+                assert np.array_equal(
+                    via_process.similarities, reference.similarities
+                )
+                assert np.array_equal(via_process.adjacency, reference.adjacency)
+        finally:
+            procpool.shutdown_process_pool()
+            procpool.reset_probe()
+        thread_pool = WorkerPool(size=2, name="sim-thread")
+        try:
+            via_threads = build_similarity(store, pool=thread_pool)
+        finally:
+            thread_pool.shutdown()
+        assert np.array_equal(via_threads.similarities, reference.similarities)
+
+    def test_bulkload_identical_across_backends(self, monkeypatch):
+        from repro.smr.bulkload import BulkLoader
+        from repro.smr.repository import SensorMetadataRepository
+        from repro.workloads import CorpusSpec, generate_corpus
+
+        corpus = generate_corpus(
+            CorpusSpec(seed=5, deployments=3, stations=12, sensors=60)
+        )
+
+        def load():
+            smr = SensorMetadataRepository()
+            report = BulkLoader(smr).load_corpus_dump(corpus.records)
+            return report.loaded, report.errors, sorted(smr.titles())
+
+        monkeypatch.setenv(procpool.PROCPOOL_ENV, "0")
+        procpool.reset_probe()
+        reference = load()
+        monkeypatch.delenv(procpool.PROCPOOL_ENV)
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "2")
+        procpool.reset_probe()
+        try:
+            assert load() == reference
+        finally:
+            procpool.shutdown_process_pool()
+            procpool.reset_probe()
+
+
+# ----------------------------------------------------------------------
+# Backend selection and degradation
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_backend_matrix(self, no_proc_env):
+        assert backend_for("io") == "thread"
+        assert backend_for("serial") == "serial"
+        # forced off: cpu degrades to thread
+        assert backend_for("cpu") == "thread"
+        assert pool_for("io") is perf_pool.get_pool()
+        assert pool_for("serial").size == 1
+        assert pool_for("cpu") is perf_pool.get_pool()
+        with pytest.raises(ReproError):
+            backend_for("quantum")
+
+    def test_cpu_resolves_to_process_when_up(self, proc_env):
+        _procpool_or_skip()
+        assert backend_for("cpu") == "process"
+        pool = pool_for("cpu")
+        assert pool is not None and pool.backend == "process"
+
+    def test_degradation_is_counted(self, fresh_obs, no_proc_env):
+        registry, _ = fresh_obs
+        procpool._mark_unavailable("forced by test")
+        text = render_prometheus(registry)
+        assert (
+            'perf_pool_degraded_total{got="thread",wanted="process"}' in text
+            or 'perf_pool_degraded_total{wanted="process",got="thread"}' in text
+        )
+
+    def test_probe_failure_reported(self, monkeypatch):
+        monkeypatch.setenv(procpool.PROCPOOL_ENV, "0")
+        procpool.reset_probe()
+        assert procpool.available() is False
+        assert procpool.get_process_pool() is None
+        procpool.reset_probe()
+
+
+# ----------------------------------------------------------------------
+# Error propagation
+# ----------------------------------------------------------------------
+
+
+class TestErrorPropagation:
+    def test_original_type_traceback_and_errors_total(self, fresh_obs, proc_env):
+        _procpool_or_skip()
+        registry, _ = fresh_obs
+        pool = procpool.ProcessWorkerPool(size=2, name="err-test")
+        try:
+            with pytest.raises(ValueError, match="bad 0") as excinfo:
+                pool.map_batched(_boom, [0, 1, 2], label="boom")
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, procpool.PoolTaskError)
+            assert "_boom" in cause.remote_traceback
+            assert "ValueError" in cause.remote_traceback
+            text = render_prometheus(registry)
+            assert 'errors_total{component="procpool"}' in text
+            # a task bug is not an infrastructure failure: still up
+            assert procpool.available() is True
+            # and the pool still works afterwards
+            assert pool.map_batched(_double, [1, 2], label="ok") == [2, 4]
+        finally:
+            pool.shutdown()
+
+    def test_failure_position_matches_serial_contract(self, proc_env):
+        _procpool_or_skip()
+        pool = procpool.ProcessWorkerPool(size=2, name="pos-test")
+        try:
+            with pytest.raises(KeyError):
+                pool.map_batched(_boom_on_three, list(range(8)), label="pos")
+        finally:
+            pool.shutdown()
+
+    def test_parallel_map_cpu_surfaces_original_exception(self, proc_env):
+        _procpool_or_skip()
+        with pytest.raises(ValueError, match="bad"):
+            parallel_map(_boom, list(range(6)), kind="cpu")
+
+    def test_serial_and_cpu_raise_same_type(self, no_proc_env):
+        with pytest.raises(ValueError, match="bad"):
+            parallel_map(_boom, list(range(6)), kind="cpu")
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def test_picklable_preflight(self):
+        assert procpool.picklable(_double, [1, 2]) is True
+        assert procpool.picklable(lambda v: v) is False
+
+    def test_chunk_ranges_cover_everything(self):
+        bounds = chunk_ranges(103, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 103
+        covered = sum(stop - start for start, stop in bounds)
+        assert covered == 103
+
+    def test_default_size_env_validation(self, monkeypatch):
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "not-a-number")
+        with pytest.raises(ReproError):
+            procpool.default_process_pool_size()
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "0")
+        with pytest.raises(ReproError):
+            procpool.default_process_pool_size()
+        monkeypatch.setenv(procpool.PROCPOOL_SIZE_ENV, "3")
+        assert procpool.default_process_pool_size() == 3
