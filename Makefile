@@ -43,7 +43,9 @@ bench-planner:
 bench-procpool:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
 
-## Observability gate: unit tests + web surfaces + the overhead budget.
+## Observability gate: unit tests + web surfaces + time series/SLOs +
+## dashboard SVG well-formedness + the overhead budget (which now also
+## covers the sampler thread and SLO evaluation in its enabled mode).
 obs-check:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_obs.py tests/test_obs_log.py tests/test_provenance.py tests/test_slowlog.py tests/test_web.py -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_obs.py tests/test_obs_log.py tests/test_provenance.py tests/test_slowlog.py tests/test_timeseries.py tests/test_slo.py tests/test_web.py tests/test_svg_wellformed.py -q
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q

@@ -249,6 +249,28 @@ class PageRankRanker:
         )
         return normalize_solution(problem, y)
 
+    def record_staleness(self) -> int:
+        """Export the mutation lag as ``ranking_staleness_generations``.
+
+        The lag is how many SMR mutations the cached ranking has not yet
+        absorbed (the full mutation count when nothing was ever ranked).
+        Called each tick by the metrics sampler's engine probe, this
+        turns ranker freshness into the time series the ROADMAP's
+        streaming-ingestion item asks for — staleness *lag over time*,
+        not just the boolean the ``/healthz`` probe reports — and the
+        series the ``ranker_freshness`` SLO burns its budget against.
+        """
+        current = getattr(self.smr, "mutation_count", 0) or 0
+        built = self._built_at_mutation
+        lag = current if built is None else max(0, current - built)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "ranking_staleness_generations",
+                "SMR mutations not yet reflected in the PageRank ranking.",
+            ).set(float(lag))
+        return lag
+
     def freshness(self) -> Dict[str, Any]:
         """Ranker staleness vs. the SMR generation, for ``/healthz``.
 

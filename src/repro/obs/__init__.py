@@ -25,14 +25,24 @@ single substrate they flow through:
   with their plans and trace ids (``/debug/slow``);
 - :mod:`repro.obs.exposition` — Prometheus and OpenMetrics text formats
   (the latter with trace-id exemplars on histogram buckets) and JSON
-  snapshots (served by ``GET /metrics`` and ``/api/stats``).
+  snapshots (served by ``GET /metrics`` and ``/api/stats``);
+- :mod:`repro.obs.timeseries` — the background :class:`MetricsSampler`
+  scraping the registry into bounded ring-buffer time series with
+  reset-aware rates and windowed histogram percentiles
+  (``/api/timeseries``, ``/debug/dashboard``);
+- :mod:`repro.obs.slo` — declarative service-level objectives with
+  rolling error budgets and multi-window burn-rate alerting
+  (``/api/alerts``, the ``slo`` health probe);
+- :mod:`repro.obs.process` — pull-style process self-metrics gauges
+  (uptime, RSS, CPU seconds, threads, GC), refreshed as a sampler
+  probe.
 
 Instrumented modules call :func:`get_registry` / :func:`get_tracer` /
 :func:`get_event_log` / :func:`get_convergence_recorder` /
-:func:`get_provenance_recorder` / :func:`get_slow_query_log` at the
-point of use, so tests inject fresh instances with the matching
-``set_*`` hooks and production code can disable any of them for
-near-zero overhead.
+:func:`get_provenance_recorder` / :func:`get_slow_query_log` /
+:func:`get_sampler` at the point of use, so tests inject fresh
+instances with the matching ``set_*`` hooks and production code can
+disable any of them for near-zero overhead.
 
 Metric naming conventions (documented in README "Observability"):
 ``<subsystem>_<quantity>_<unit|total>`` with snake_case names, e.g.
@@ -50,6 +60,7 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
     NOOP_METRIC,
+    estimate_quantile,
     get_registry,
     set_registry,
     time_block,
@@ -95,6 +106,25 @@ from repro.obs.slowlog import (
     get_slow_query_log,
     set_slow_query_log,
 )
+from repro.obs.timeseries import (
+    HistogramSeries,
+    MetricsSampler,
+    TimeSeries,
+    TimeSeriesStore,
+    get_sampler,
+    set_sampler,
+)
+from repro.obs.slo import (
+    Alert,
+    AvailabilitySlo,
+    BurnWindow,
+    FreshnessSlo,
+    LatencySlo,
+    SloDefinition,
+    SloEvaluator,
+    default_slos,
+)
+from repro.obs.process import process_metrics_probe, update_process_metrics
 from repro.obs.exposition import (
     OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
@@ -105,6 +135,9 @@ from repro.obs.exposition import (
 )
 
 __all__ = [
+    "Alert",
+    "AvailabilitySlo",
+    "BurnWindow",
     "ConstraintStage",
     "ConvergenceRecorder",
     "ConvergenceRun",
@@ -114,33 +147,45 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "ERROR",
     "EventLog",
+    "FreshnessSlo",
     "Gauge",
     "Histogram",
+    "HistogramSeries",
     "INFO",
+    "LatencySlo",
     "LogRecord",
     "MetricFamily",
     "MetricsRegistry",
+    "MetricsSampler",
     "NOOP_METRIC",
     "NOOP_SPAN",
     "OPENMETRICS_CONTENT_TYPE",
     "PROMETHEUS_CONTENT_TYPE",
     "ProvenanceRecorder",
     "QueryProvenance",
+    "SloDefinition",
+    "SloEvaluator",
     "SlowQueryLog",
     "Span",
+    "TimeSeries",
+    "TimeSeriesStore",
     "Tracer",
     "WARNING",
     "bind_trace_id",
     "current_trace_id",
+    "default_slos",
+    "estimate_quantile",
     "format_profile",
     "get_convergence_recorder",
     "get_event_log",
     "get_provenance_recorder",
     "get_registry",
+    "get_sampler",
     "get_slow_query_log",
     "get_tracer",
     "level_number",
     "mint_trace_id",
+    "process_metrics_probe",
     "profile_spans",
     "profile_tracer",
     "render_openmetrics",
@@ -149,10 +194,12 @@ __all__ = [
     "set_event_log",
     "set_provenance_recorder",
     "set_registry",
+    "set_sampler",
     "set_slow_query_log",
     "set_tracer",
     "snapshot",
     "snapshot_json",
     "time_block",
     "unbind_trace_id",
+    "update_process_metrics",
 ]

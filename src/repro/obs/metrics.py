@@ -52,6 +52,43 @@ _VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
 _VALID_REST = _VALID_FIRST | set("0123456789")
 
 
+def estimate_quantile(
+    bounds: Sequence[float], interval_counts: Sequence[int], q: float
+) -> float:
+    """Bucket-interpolation quantile estimate over histogram intervals.
+
+    ``bounds`` are the finite bucket upper bounds; ``interval_counts``
+    holds one count per interval *plus* the trailing +Inf bucket (so
+    ``len(interval_counts) == len(bounds) + 1``). The estimate assumes a
+    uniform distribution inside each bucket — the standard Prometheus
+    ``histogram_quantile`` model — and clamps the +Inf bucket to the
+    last finite bound.
+
+    This is the single percentile implementation shared by
+    :meth:`Histogram.quantile` (hence ``/api/stats``) and the windowed
+    percentiles in :mod:`repro.obs.timeseries` (hence the dashboard), so
+    the two surfaces cannot drift apart.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    total = sum(interval_counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(interval_counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(bounds):
+                return float(bounds[-1])  # +Inf bucket: clamp to last bound
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            fraction = min(1.0, max(0.0, (rank - previous) / count))
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])
+
+
 def _check_name(name: str) -> str:
     if not name or name[0] not in _VALID_FIRST or any(c not in _VALID_REST for c in name):
         raise ObservabilityError(f"invalid metric name {name!r}")
@@ -258,6 +295,16 @@ class Histogram:
     def count(self) -> int:
         return self._count
 
+    def interval_counts(self) -> List[int]:
+        """Per-interval counts (not cumulative), the +Inf bucket last.
+
+        This is the raw form :func:`estimate_quantile` consumes; the
+        time-series sampler snapshots it every tick so windowed
+        percentiles can difference two snapshots.
+        """
+        with self._lock:
+            return list(self._counts)
+
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
         cumulative = 0
@@ -277,26 +324,9 @@ class Histogram:
         uniform distribution inside each bucket — the standard Prometheus
         ``histogram_quantile`` model.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             counts = list(self._counts)
-            total = self._count
-        if total == 0:
-            return 0.0
-        rank = q * total
-        cumulative = 0
-        for index, count in enumerate(counts):
-            previous = cumulative
-            cumulative += count
-            if cumulative >= rank and count > 0:
-                upper = self.buckets[index] if index < len(self.buckets) else self.buckets[-1]
-                lower = self.buckets[index - 1] if index > 0 else 0.0
-                if index >= len(self.buckets):
-                    return float(upper)  # +Inf bucket: clamp to the last bound
-                fraction = min(1.0, max(0.0, (rank - previous) / count))
-                return lower + (upper - lower) * fraction
-        return float(self.buckets[-1])
+        return estimate_quantile(self.buckets, counts, q)
 
 
 class MetricFamily:
@@ -394,6 +424,10 @@ class MetricFamily:
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Bucket counts of the unlabelled child (histograms only)."""
         return self._solo().bucket_counts()
+
+    def interval_counts(self) -> List[int]:
+        """Per-interval counts of the unlabelled child (histograms only)."""
+        return self._solo().interval_counts()
 
     def exemplars(self) -> List[Tuple[float, Optional[Dict[str, Any]]]]:
         """Exemplars of the unlabelled child (histograms only)."""

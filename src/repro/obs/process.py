@@ -1,0 +1,109 @@
+"""Process self-metrics: host-side gauges for the operations dashboard.
+
+The paper's demo ran as a long-lived community service; the service-side
+questions an operator asks first — is the process growing, is it CPU
+bound, did the GC start thrashing — need host-level series next to the
+application ones. :func:`update_process_metrics` refreshes a small set
+of gauges from stdlib sources only (``resource``, ``/proc``, ``gc``,
+``threading``), and :func:`process_metrics_probe` packages it as a
+sampler probe so every tick lands the values in the time-series store
+for free:
+
+- ``process_uptime_seconds`` — wall time since this module was imported;
+- ``process_resident_memory_bytes`` — current RSS from
+  ``/proc/self/statm`` (falls back to the ``ru_maxrss`` high-water mark
+  where /proc is unavailable, e.g. macOS);
+- ``process_cpu_user_seconds_total`` / ``process_cpu_system_seconds_total``
+  — cumulative CPU split from ``resource.getrusage``;
+- ``process_threads`` — live Python thread count;
+- ``python_gc_collections_total{generation}`` — collections per GC
+  generation.
+
+All values are cheap reads (one small file, a few C calls); the probe is
+safe at any sampling interval.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from typing import Callable, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Import time doubles as the process start for uptime purposes — close
+#: enough, and free of platform-specific process-start lookups.
+_STARTED_AT = time.time()
+
+_PAGE_SIZE = 4096
+try:  # pragma: no cover - sysconf may be missing on exotic platforms
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover
+    pass
+
+
+def _resident_bytes() -> Optional[float]:
+    """Current RSS in bytes, or the high-water mark, or None."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return float(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    if resource is not None:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; Linux is the target.
+        return float(usage.ru_maxrss) * 1024
+    return None
+
+
+def update_process_metrics(
+    registry: MetricsRegistry, now: Optional[float] = None
+) -> None:
+    """Refresh the process self-metric gauges in ``registry``."""
+    if not registry.enabled:
+        return
+    if now is None:
+        now = time.time()
+    registry.gauge(
+        "process_uptime_seconds", "Wall-clock seconds since process start."
+    ).set(now - _STARTED_AT)
+    rss = _resident_bytes()
+    if rss is not None:
+        registry.gauge(
+            "process_resident_memory_bytes", "Resident set size in bytes."
+        ).set(rss)
+    if resource is not None:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        registry.gauge(
+            "process_cpu_user_seconds_total", "Cumulative user CPU seconds."
+        ).set(usage.ru_utime)
+        registry.gauge(
+            "process_cpu_system_seconds_total", "Cumulative system CPU seconds."
+        ).set(usage.ru_stime)
+    registry.gauge("process_threads", "Live Python threads.").set(
+        float(threading.active_count())
+    )
+    gc_gauge = registry.gauge(
+        "python_gc_collections_total",
+        "Garbage collections per generation.",
+        labels=("generation",),
+    )
+    for generation, stats in enumerate(gc.get_stats()):
+        gc_gauge.labels(str(generation)).set(float(stats.get("collections", 0)))
+
+
+def process_metrics_probe() -> Callable[[MetricsRegistry], None]:
+    """The :func:`update_process_metrics` closure in sampler-probe shape."""
+
+    def probe(registry: MetricsRegistry) -> None:
+        update_process_metrics(registry)
+
+    return probe

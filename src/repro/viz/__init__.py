@@ -15,6 +15,8 @@ standalone SVG/HTML/DOT text:
 - :mod:`repro.viz.tagcloud` — tag clouds with clique coloring;
 - :mod:`repro.viz.waterfall` — constraint-narrowing waterfalls for the
   query-provenance explorer (``/explore``);
+- :mod:`repro.viz.sparkline` — sparkline grids for the live operations
+  dashboard (``/debug/dashboard``);
 - :mod:`repro.viz.svg` / :mod:`repro.viz.color` — the shared substrate.
 """
 
@@ -30,6 +32,7 @@ from repro.viz.graphviz import GraphRenderer, to_dot
 from repro.viz.hypergraph import Hypergraph, HypergraphRenderer
 from repro.viz.tagcloud import render_tag_cloud_html, render_tag_cloud_svg
 from repro.viz.waterfall import WaterfallChart
+from repro.viz.sparkline import SparklineGrid, SparklinePanel
 
 __all__ = [
     "SvgCanvas",
@@ -51,4 +54,6 @@ __all__ = [
     "render_tag_cloud_html",
     "render_tag_cloud_svg",
     "WaterfallChart",
+    "SparklineGrid",
+    "SparklinePanel",
 ]

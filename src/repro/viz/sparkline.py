@@ -1,0 +1,170 @@
+"""Sparkline grids — the `/debug/dashboard` operator page's chart form.
+
+Where Fig. 2 of the paper renders result maps and facet charts for end
+users, the operations dashboard needs the operator equivalent: many
+small time series at once, each readable at a glance (trend + latest
+value), laid out as a grid. A :class:`SparklinePanel` is one titled
+mini-chart over ``(timestamp, value)`` points with the latest value,
+min/max hints, an optional dashed threshold line and an optional red
+"alerting" state; :class:`SparklineGrid` arranges panels into rows and
+renders the whole board as a single SVG through the shared
+:class:`~repro.viz.svg.SvgCanvas` — no external charting dependency,
+consistent with every other ``repro.viz`` artifact.
+
+Panels degrade gracefully: an empty series renders its frame with a
+"no data" note instead of failing, because a freshly started sampler
+has nothing yet and the dashboard must still load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import VizError
+from repro.viz.svg import SvgCanvas
+
+_ACCENT = "#2c7fb8"
+_ACCENT_FILL = "#d7e9f5"
+_ALERT = "#c0392b"
+_FRAME = "#bbbbbb"
+_MUTED = "#777777"
+
+
+def _format_value(value: float, unit: str = "") -> str:
+    """Compact human formatting: 1234567 -> '1.23M', 0.00123 -> '1.23m'."""
+    magnitude = abs(value)
+    for bound, suffix, scale in (
+        (1e9, "G", 1e9),
+        (1e6, "M", 1e6),
+        (1e3, "k", 1e3),
+    ):
+        if magnitude >= bound:
+            return f"{value / scale:.2f}{suffix}{unit}"
+    if magnitude >= 1 or magnitude == 0:
+        return f"{value:.2f}".rstrip("0").rstrip(".") + unit
+    if magnitude >= 1e-3:
+        return f"{value * 1e3:.2f}m{unit}"
+    return f"{value * 1e6:.1f}µ{unit}"
+
+
+class SparklinePanel:
+    """One titled mini time series for the dashboard grid."""
+
+    def __init__(
+        self,
+        title: str,
+        points: Sequence[Tuple[float, float]],
+        unit: str = "",
+        threshold: Optional[float] = None,
+        alerting: bool = False,
+    ):
+        self.title = title
+        self.points = [
+            (float(t), float(v)) for t, v in points if v is not None
+        ]
+        self.unit = unit
+        self.threshold = threshold
+        self.alerting = alerting
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def render(self, canvas: SvgCanvas, x: float, y: float, w: float, h: float) -> None:
+        """Draw this panel into the given cell rectangle."""
+        stroke = _ALERT if self.alerting else _FRAME
+        canvas.rect(x, y, w, h, fill="#ffffff", stroke=stroke, rx=3)
+        canvas.text(x + 8, y + 16, self.title, size=11, weight="bold",
+                    fill=_ALERT if self.alerting else "#333333")
+        if not self.points:
+            canvas.text(x + w / 2, y + h / 2 + 8, "no data", size=10,
+                        fill=_MUTED, anchor="middle")
+            return
+        value_text = _format_value(self.points[-1][1], self.unit)
+        canvas.text(x + w - 8, y + 16, value_text, size=11, anchor="end",
+                    fill=_ALERT if self.alerting else _ACCENT, weight="bold")
+
+        plot_x, plot_y = x + 8, y + 24
+        plot_w, plot_h = w - 16, h - 44
+        ts = [t for t, _ in self.points]
+        vs = [v for _, v in self.points]
+        t_min, t_max = min(ts), max(ts)
+        v_min, v_max = min(vs), max(vs)
+        if self.threshold is not None:
+            v_min = min(v_min, self.threshold)
+            v_max = max(v_max, self.threshold)
+        if t_max == t_min:
+            t_max = t_min + 1.0
+        if v_max == v_min:
+            v_max = v_min + (abs(v_min) or 1.0) * 0.1
+            v_min = v_min - (abs(v_min) or 1.0) * 0.1
+
+        def px(t: float) -> float:
+            return plot_x + (t - t_min) / (t_max - t_min) * plot_w
+
+        def py(v: float) -> float:
+            return plot_y + (v_max - v) / (v_max - v_min) * plot_h
+
+        if len(self.points) > 1:
+            line = " L ".join(f"{px(t):.2f} {py(v):.2f}" for t, v in self.points)
+            # Filled area under the line, then the line itself on top.
+            area = (
+                f"M {px(ts[0]):.2f} {py(v_min):.2f} L {line} "
+                f"L {px(ts[-1]):.2f} {py(v_min):.2f} Z"
+            )
+            canvas.path(area, fill=_ACCENT_FILL)
+            canvas.path(f"M {line}", stroke=_ALERT if self.alerting else _ACCENT,
+                        width=1.4)
+        last_t, last_v = self.points[-1]
+        canvas.circle(px(last_t), py(last_v), 2.2,
+                      fill=_ALERT if self.alerting else _ACCENT)
+        if self.threshold is not None and v_min <= self.threshold <= v_max:
+            canvas.line(plot_x, py(self.threshold), plot_x + plot_w,
+                        py(self.threshold), stroke=_ALERT, width=0.8, dash="4,3")
+        canvas.text(x + 8, y + h - 6, f"min {_format_value(min(vs), self.unit)}",
+                    size=9, fill=_MUTED)
+        canvas.text(x + w - 8, y + h - 6, f"max {_format_value(max(vs), self.unit)}",
+                    size=9, fill=_MUTED, anchor="end")
+
+
+class SparklineGrid:
+    """A titled grid of :class:`SparklinePanel` cells rendered as one SVG."""
+
+    def __init__(
+        self,
+        panels: Sequence[SparklinePanel],
+        columns: int = 3,
+        title: str = "",
+        subtitle: str = "",
+        cell_width: int = 250,
+        cell_height: int = 110,
+        gap: int = 12,
+    ):
+        if columns <= 0:
+            raise VizError(f"grid needs a positive column count, got {columns}")
+        self.panels = list(panels)
+        self.columns = columns
+        self.title = title
+        self.subtitle = subtitle
+        self.cell_width = cell_width
+        self.cell_height = cell_height
+        self.gap = gap
+
+    def to_svg(self) -> str:
+        """Render the grid as an SVG document string."""
+        columns = min(self.columns, max(1, len(self.panels)))
+        rows = max(1, -(-len(self.panels) // columns))
+        header = 48 if (self.title or self.subtitle) else 12
+        width = columns * self.cell_width + (columns + 1) * self.gap
+        height = header + rows * self.cell_height + (rows + 1) * self.gap
+        canvas = SvgCanvas(width, height, background="#fafafa")
+        if self.title:
+            canvas.text(self.gap, 24, self.title, size=16, weight="bold")
+        if self.subtitle:
+            canvas.text(self.gap, 42, self.subtitle, size=10, fill=_MUTED)
+        for index, panel in enumerate(self.panels):
+            row, col = divmod(index, columns)
+            x = self.gap + col * (self.cell_width + self.gap)
+            y = header + self.gap + row * (self.cell_height + self.gap)
+            panel.render(canvas, x, y, self.cell_width, self.cell_height)
+        return canvas.to_string()

@@ -28,6 +28,10 @@ Observability (outside ``/api``):
          (&format=openmetrics or an OpenMetrics Accept header switches
           to OpenMetrics 1.0 with trace-id exemplars on histogram
           buckets — the p99 bucket links to a recorded trace)
+    GET  /api/timeseries?metric=&window=      sampled history (JSON):
+         points per label set, counter rates, windowed percentiles
+    GET  /api/alerts                          SLO status, firing burn-rate
+         alerts and the bounded alert history
     GET  /explore?q=                          slow-query explorer (HTML):
          constraint waterfall + link-contribution breakdown
     GET  /explore/waterfall.svg?q=            the waterfall as SVG
@@ -39,7 +43,16 @@ Observability (outside ``/api``):
     GET  /debug/plan?sql=|q=                  cost-based plans + catalog
     GET  /debug/slow                          slowest-query reservoir
     GET  /debug/provenance?trace_id=&k=       recent provenance records
+    GET  /debug                               index of every operator
+         surface with a one-line description
+    GET  /debug/dashboard                     live operations dashboard
+         (HTML: firing alerts, SLO burn rates, and the sparkline grid
+          served by /debug/dashboard.svg — QPS, latency percentiles,
+          cache hit ratio, pool queue depth, solver iterations,
+          ingestion staleness lag, process RSS)
     GET  /healthz                             component health probes
+         (including an ``slo`` probe: a firing fast-burn alert reports
+          the service degraded even when every component passes)
 
 Every request passes through :class:`MetricsMiddleware`, which mints a
 request-scoped **trace id**, attaches it to the root span, every log
@@ -76,6 +89,7 @@ from repro.tagging.interface import TaggingSystem
 from repro.viz.bar import BarChart
 from repro.viz.maprender import MapMarker, MapRenderer
 from repro.viz.pie import PieChart
+from repro.viz.sparkline import SparklineGrid, SparklinePanel
 from repro.viz.tagcloud import render_tag_cloud_svg
 from repro.viz.waterfall import WaterfallChart
 from repro.web.http import (
@@ -115,7 +129,11 @@ _INDEX_HTML = """<!doctype html>
   <li><a href="/metrics">/metrics</a> (Prometheus;
       <a href="/metrics?format=openmetrics">?format=openmetrics</a> adds exemplars) |
       <a href="/healthz">/healthz</a> (component health)</li>
+  <li><a href="/api/timeseries?metric=http_requests_total">/api/timeseries?metric=&amp;window=</a> (sampled history) |
+      <a href="/api/alerts">/api/alerts</a> (SLO burn-rate alerts)</li>
   <li><a href="/explore?q=kind%3Dsensor">/explore?q=</a> (query provenance explorer)</li>
+  <li><a href="/debug">/debug</a> (operator surface index) |
+      <a href="/debug/dashboard">/debug/dashboard</a> (live dashboard)</li>
   <li><a href="/debug/trace">/debug/trace</a> (recent spans) |
       <a href="/debug/logs">/debug/logs</a> (event log) |
       <a href="/debug/profile">/debug/profile</a> (span profile) |
@@ -128,6 +146,146 @@ _INDEX_HTML = """<!doctype html>
 order=desc limit=20 offset=20 relaxed=true bbox=46,6.8,47,10.5</code></p>
 </body></html>
 """
+
+
+#: Default trailing window the dashboard plots (ten minutes of ticks).
+_DASHBOARD_WINDOW_SECONDS = 600.0
+
+#: Every operator surface, for the ``/debug`` index page. Paths may carry
+#: illustrative query strings; descriptions are one line each.
+_DEBUG_SURFACES = [
+    ("/debug/dashboard",
+     "Live operations dashboard: sparkline grid, SLO burn rates, firing alerts."),
+    ("/api/alerts", "SLO status, firing alerts and alert history (JSON)."),
+    ("/api/timeseries?metric=http_requests_total",
+     "Sampled metric history: points, rates, windowed percentiles (JSON)."),
+    ("/explore?q=kind%3Dsensor",
+     "Slow-query explorer: constraint waterfall + score provenance (HTML)."),
+    ("/debug/trace", "Recent span trees, filterable by trace_id (JSON)."),
+    ("/debug/logs", "Structured event log: level=, trace_id=, component=, k= (JSON)."),
+    ("/debug/profile", "Span-path self/cumulative time profile (JSON)."),
+    ("/debug/convergence", "PageRank solver residual histories (JSON)."),
+    ("/debug/plan?q=kind%3Dstation",
+     "Cost-based query plans and catalog statistics: sql= or q= (JSON)."),
+    ("/debug/slow", "Slowest-query reservoir with trace ids and plan snapshots (JSON)."),
+    ("/debug/provenance", "Recent query-provenance records (JSON)."),
+    ("/metrics", "Prometheus/OpenMetrics exposition (text)."),
+    ("/healthz", "Component + SLO health probes (JSON; open, ungated)."),
+    ("/api/stats", "Corpus, cache and latency statistics snapshot (JSON)."),
+]
+
+
+def _sampler_status(sampler) -> Dict[str, Any]:
+    """The sampler's self-description, shared by several JSON payloads."""
+    return {
+        "running": sampler.running,
+        "interval_seconds": sampler.interval,
+        "ticks": sampler.ticks,
+        "last_tick_at": sampler.last_tick_at,
+        "last_scrape_seconds": sampler.last_scrape_seconds,
+        "series": len(sampler.store),
+        "dropped_series": sampler.store.dropped_series,
+        "probe_errors": sampler.probe_errors,
+    }
+
+
+def _fmt_burn(value) -> str:
+    return "n/a" if value is None else f"{value:.2f}x"
+
+
+def _dashboard_panels(sampler, window: float, now=None) -> list:
+    """Assemble the dashboard's sparkline panels from the sampler's store.
+
+    Panels read only the :class:`~repro.obs.timeseries.TimeSeriesStore` —
+    the dashboard shows what the sampler retained, never a fresh scrape —
+    so rendering is cheap and agrees with ``/api/timeseries``. A metric
+    the store has not seen yet renders as that panel's "no data" state
+    instead of failing.
+    """
+    store = sampler.store
+    evaluator = sampler.evaluator
+    firing = (
+        {alert["slo"] for alert in evaluator.firing()}
+        if evaluator is not None
+        else set()
+    )
+    # Percentiles are over a short trailing window per tick; a handful of
+    # sampler intervals keeps them responsive without being jittery.
+    quantile_window = max(30.0, sampler.interval * 6)
+
+    def quantile_points(name: str, q: float) -> list:
+        series = store.get(name)
+        if not isinstance(series, obs.HistogramSeries):
+            return []
+        return series.quantile_series(q, quantile_window, window, now)
+
+    panels = [
+        SparklinePanel(
+            "HTTP requests /s",
+            store.summed_rate_series("http_requests_total", window, now),
+            unit="/s",
+            alerting="availability" in firing,
+        ),
+        SparklinePanel(
+            "query latency p50", quantile_points("engine_query_seconds", 0.5), unit="s"
+        ),
+        SparklinePanel(
+            "query latency p95",
+            quantile_points("engine_query_seconds", 0.95),
+            unit="s",
+            threshold=0.25,
+            alerting="search_latency" in firing,
+        ),
+        SparklinePanel(
+            "query latency p99", quantile_points("engine_query_seconds", 0.99), unit="s"
+        ),
+    ]
+
+    # Cache hit ratio: per-tick hit rate over per-tick lookup rate. The
+    # summed-rate series are merged by timestamp, so one division per
+    # tick reconstructs the family-level ratio.
+    hits = dict(store.summed_rate_series("perf_cache_hits_total", window, now))
+    lookups = dict(hits)
+    for name in ("perf_cache_misses_total", "perf_cache_stale_total"):
+        for t, r in store.summed_rate_series(name, window, now):
+            lookups[t] = lookups.get(t, 0.0) + r
+    panels.append(
+        SparklinePanel(
+            "cache hit ratio",
+            [
+                (t, hits.get(t, 0.0) / total)
+                for t, total in sorted(lookups.items())
+                if total > 0
+            ],
+        )
+    )
+    panels.append(
+        SparklinePanel(
+            "pool queue depth",
+            store.summed_points("perf_pool_queue_depth", window, now),
+        )
+    )
+    panels.append(
+        SparklinePanel(
+            "solver iterations",
+            store.summed_points("pagerank_convergence_last_iterations", window, now),
+        )
+    )
+    panels.append(
+        SparklinePanel(
+            "ranker staleness lag",
+            store.summed_points("ranking_staleness_generations", window, now),
+            alerting="ranker_freshness" in firing,
+        )
+    )
+    panels.append(
+        SparklinePanel(
+            "resident memory",
+            store.summed_points("process_resident_memory_bytes", window, now),
+            unit="B",
+        )
+    )
+    return panels
 
 
 def _html_escape(text: str) -> str:
@@ -171,6 +329,8 @@ def create_app(
     tagging: Optional[TaggingSystem] = None,
     observations=None,
     debug: bool = True,
+    sampler=None,
+    start_sampler: bool = False,
 ):
     """Build the WSGI application over ``engine``.
 
@@ -181,9 +341,30 @@ def create_app(
     traces, profile, convergence) behind 403s for deployments where that
     detail must not be public; ``/metrics`` and ``/healthz`` stay open as
     they carry only aggregates and statuses.
+
+    ``sampler`` is the :class:`~repro.obs.timeseries.MetricsSampler`
+    feeding ``/api/timeseries``, ``/api/alerts`` and the dashboard
+    (default: the process-wide :func:`repro.obs.get_sampler`). Its
+    background thread is **not** started unless ``start_sampler=True`` —
+    tests build apps constantly and must not leak threads; production
+    entrypoints (:func:`serve`) opt in. The app exposes the sampler as
+    ``app.sampler`` and an ``app.close()`` that stops the thread only if
+    this call started it.
     """
     tagging = tagging or TaggingSystem()
     router = Router()
+
+    sampler = sampler if sampler is not None else obs.get_sampler()
+
+    def _engine_probe(registry) -> None:
+        # Refresh pull-style gauges just before each scrape: the ranker's
+        # staleness lag is computed from generation stamps, not pushed by
+        # events, so without this the series would never update.
+        engine.ranker.record_staleness()
+
+    # Keyed registration: repeated create_app() calls replace this probe
+    # on the shared default sampler instead of stacking duplicates.
+    sampler.set_probe("engine", _engine_probe)
 
     def _debug_guard() -> Optional[Response]:
         if debug:
@@ -590,6 +771,205 @@ def create_app(
             {"enabled": recorder.enabled, "count": len(records), "records": records}
         )
 
+    @router.get("/api/timeseries")
+    def api_timeseries(request: Request) -> Response:
+        """Sampled history for one metric: points, rates, percentiles.
+
+        Counter/gauge series return their raw points plus reset-aware
+        ``delta`` and ``rate_per_second`` over the window; histogram
+        series return per-tick (count, sum) points plus windowed
+        p50/p95/p99 — the quantiles of only the observations that landed
+        inside the window, not cumulative-since-start.
+        """
+        store = sampler.store
+        metric = request.params.get("metric")
+        if not metric:
+            return JsonResponse(
+                {
+                    "error": "pass metric=<name> (see `metrics` for what is sampled)",
+                    "metrics": store.names(),
+                    "sampler": _sampler_status(sampler),
+                },
+                status="400 Bad Request",
+            )
+        window = float(request.params.get("window", "300"))
+        entries = store.series(metric)
+        if not entries:
+            return JsonResponse(
+                {
+                    "error": f"no sampled series for metric {metric!r}",
+                    "metrics": store.names(),
+                },
+                status="404 Not Found",
+            )
+        payload = []
+        for labels, series in entries:
+            if isinstance(series, obs.HistogramSeries):
+                payload.append(
+                    {
+                        "labels": labels,
+                        "kind": "histogram",
+                        "rate_per_second": series.rate(window),
+                        "window_mean_seconds": series.window_mean(window),
+                        "percentiles": {
+                            "p50": series.window_quantile(0.5, window),
+                            "p95": series.window_quantile(0.95, window),
+                            "p99": series.window_quantile(0.99, window),
+                        },
+                        "points": [
+                            {"t": p[0], "count": p[3], "sum": p[2]}
+                            for p in series.points(window)
+                        ],
+                    }
+                )
+            else:
+                latest = series.latest()
+                payload.append(
+                    {
+                        "labels": labels,
+                        "kind": series.kind,
+                        "latest": latest[1] if latest else None,
+                        "delta": series.delta(window),
+                        "rate_per_second": series.rate(window),
+                        "points": [[t, v] for t, v in series.points(window)],
+                    }
+                )
+        return JsonResponse(
+            {"metric": metric, "window_seconds": window, "series": payload}
+        )
+
+    @router.get("/api/alerts")
+    def api_alerts(request: Request) -> Response:
+        """SLO state: firing alerts, bounded history, live burn rates."""
+        evaluator = sampler.evaluator
+        if evaluator is None:
+            return JsonResponse(
+                {
+                    "enabled": False,
+                    "firing": [],
+                    "history": [],
+                    "slos": [],
+                    "sampler": _sampler_status(sampler),
+                }
+            )
+        k = int(request.params.get("k", "50"))
+        return JsonResponse(
+            {
+                "enabled": evaluator.enabled,
+                "firing": evaluator.firing(),
+                "history": evaluator.history(k),
+                "slos": evaluator.snapshot(sampler.store, time.time()),
+                "sampler": _sampler_status(sampler),
+            }
+        )
+
+    @router.get("/debug")
+    def debug_index(request: Request) -> Response:
+        """Index of every operator surface with a one-line description."""
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        body = [
+            "<!doctype html><html><head><title>Operator surfaces</title></head><body>",
+            "<h1>Operator surfaces</h1>",
+            "<p>Everything the demo exposes for debugging and operating "
+            "the service, in one place.</p>",
+            "<ul>",
+        ]
+        for path, description in _DEBUG_SURFACES:
+            body.append(
+                f'<li><a href="{_html_escape(path)}">'
+                f"{_html_escape(path.split('?')[0])}</a> — "
+                f"{_html_escape(description)}</li>"
+            )
+        body.append("</ul></body></html>")
+        return HtmlResponse("".join(body))
+
+    @router.get("/debug/dashboard.svg")
+    def debug_dashboard_svg(request: Request) -> Response:
+        """The dashboard's sparkline grid as a standalone SVG document."""
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        window = float(
+            request.params.get("window", str(_DASHBOARD_WINDOW_SECONDS))
+        )
+        firing = (
+            sampler.evaluator.firing() if sampler.evaluator is not None else []
+        )
+        subtitle = (
+            f"sampler {'running' if sampler.running else 'stopped'} | "
+            f"interval {sampler.interval:g}s | ticks {sampler.ticks} | "
+            f"{len(sampler.store)} series | {len(firing)} firing alert(s)"
+        )
+        grid = SparklineGrid(
+            _dashboard_panels(sampler, window),
+            columns=3,
+            title="Operations dashboard",
+            subtitle=subtitle,
+        )
+        return SvgResponse(grid.to_svg())
+
+    @router.get("/debug/dashboard")
+    def debug_dashboard(request: Request) -> Response:
+        """The operator dashboard: alerts + SLO table + sparkline grid.
+
+        Auto-refreshes every 10 s; the grid itself is the sibling
+        ``/debug/dashboard.svg`` so it can be embedded or validated
+        standalone.
+        """
+        guard = _debug_guard()
+        if guard is not None:
+            return guard
+        evaluator = sampler.evaluator
+        firing = evaluator.firing() if evaluator is not None else []
+        body = [
+            "<!doctype html><html><head><title>Operations dashboard</title>",
+            '<meta http-equiv="refresh" content="10"/></head><body>',
+            "<h1>Operations dashboard</h1>",
+            f"<p>sampler: <b>{'running' if sampler.running else 'stopped'}</b>, "
+            f"interval {sampler.interval:g}s, ticks {sampler.ticks}, "
+            f"{len(sampler.store)} series retained. See "
+            '<a href="/api/alerts">/api/alerts</a>, '
+            '<a href="/api/timeseries?metric=http_requests_total">/api/timeseries</a>, '
+            '<a href="/debug">/debug</a>.</p>',
+        ]
+        if firing:
+            body.append('<h2 style="color:#c0392b">Firing alerts</h2><ul>')
+            for alert in firing:
+                body.append(
+                    f'<li style="color:#c0392b"><b>'
+                    f"{_html_escape(str(alert['severity']))}</b> "
+                    f"{_html_escape(str(alert['message']))}</li>"
+                )
+            body.append("</ul>")
+        else:
+            body.append("<p>No firing alerts.</p>")
+        body.append('<img src="/debug/dashboard.svg" alt="sparkline grid"/>')
+        if evaluator is not None:
+            body.append(
+                "<h2>Service level objectives</h2>"
+                "<table border='1' cellpadding='4'>"
+                "<tr><th>slo</th><th>objective</th><th>window</th>"
+                "<th>burn rate (long / short)</th><th>state</th></tr>"
+            )
+            for entry in evaluator.snapshot(sampler.store, time.time()):
+                for rule in entry["windows"]:
+                    style = ' style="color:#c0392b"' if rule["firing"] else ""
+                    body.append(
+                        f"<tr{style}><td>{_html_escape(entry['name'])}</td>"
+                        f"<td>{entry['objective']:.1%}</td>"
+                        f"<td>{rule['severity']} "
+                        f"({rule['long_seconds']:g}s/{rule['short_seconds']:g}s "
+                        f"@ {rule['factor']:g}x)</td>"
+                        f"<td>{_fmt_burn(rule['burn_rate_long'])} / "
+                        f"{_fmt_burn(rule['burn_rate_short'])}</td>"
+                        f"<td>{'FIRING' if rule['firing'] else 'ok'}</td></tr>"
+                    )
+            body.append("</table>")
+        body.append("</body></html>")
+        return HtmlResponse("".join(body))
+
     def _explained(request: Request):
         """Shared ``/explore`` helper: run the query with provenance."""
         text = request.params.get("q", "")
@@ -775,12 +1155,31 @@ def create_app(
             info["status"] = "degraded" if lagging else "ok"
             return info
 
+        def slo_probe() -> Dict[str, Any]:
+            evaluator = sampler.evaluator
+            if evaluator is None or not evaluator.enabled:
+                return {"status": "ok", "enabled": False}
+            firing = evaluator.firing()
+            fast = [a["slo"] for a in firing if a["severity"] == "fast"]
+            return {
+                # A firing fast-burn alert means the error budget is
+                # draining at page-now speed: the service is degraded
+                # even when every component probe below still passes.
+                "status": "degraded" if fast else "ok",
+                "enabled": True,
+                "slos": len(evaluator.slos),
+                "firing": len(firing),
+                "fast_burn": fast,
+                "sampler_running": sampler.running,
+            }
+
         probe("smr", smr_probe)
         probe("relational", relational_probe)
         probe("rdf", rdf_probe)
         probe("ranker", ranker_probe)
         probe("cache", cache_probe)
         probe("indexes", indexes_probe)
+        probe("slo", slo_probe)
         statuses = {check["status"] for check in checks.values()}
         overall = (
             "error" if "error" in statuses
@@ -899,7 +1298,19 @@ def create_app(
         start_response(response.status, response.headers)
         return [response.body]
 
-    return MetricsMiddleware(application, router)
+    app = MetricsMiddleware(application, router)
+    app.sampler = sampler
+    owns_thread = bool(start_sampler) and sampler.start()
+
+    def close() -> None:
+        """Stop the sampler thread iff this app started it (idempotent)."""
+        nonlocal owns_thread
+        if owns_thread:
+            sampler.stop()
+            owns_thread = False
+
+    app.close = close
+    return app
 
 
 class MetricsMiddleware:
@@ -987,9 +1398,14 @@ def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:
     Turns on histogram exemplar collection for the served process, so
     ``/metrics?format=openmetrics`` bucket lines and the ``/api/stats``
     percentiles link to concrete trace ids out of the box (the library
-    default stays off for embedders that never scrape exemplars).
+    default stays off for embedders that never scrape exemplars). Also
+    starts the app's metrics sampler so ``/api/timeseries`` and
+    ``/debug/dashboard`` have history from the first request on.
     """
     obs.get_registry().enable_exemplars()
+    sampler = getattr(app, "sampler", None)
+    if sampler is not None:
+        sampler.start()
     with make_server(host, port, app) as server:
         print(f"serving on http://{host}:{port}")
         server.serve_forever()

@@ -14,9 +14,11 @@ visualizations (Fig. 2) render plausible clusters.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.errors import ReproError
 from repro.workloads import names
 
@@ -104,6 +106,7 @@ def generate_corpus(spec: CorpusSpec | None = None) -> SyntheticCorpus:
     """Generate the corpus described by ``spec`` (defaults apply otherwise)."""
     spec = spec or CorpusSpec()
     spec.validate()
+    started = time.perf_counter()
     rng = random.Random(spec.seed)
     corpus = SyntheticCorpus(spec=spec)
 
@@ -190,6 +193,27 @@ def generate_corpus(spec: CorpusSpec | None = None) -> SyntheticCorpus:
     }
 
     _derive_links(corpus, rng)
+    registry = obs.get_registry()
+    if registry.enabled:
+        # Workload-side telemetry: how much synthetic load this process
+        # has manufactured, and at what cost — the generator is the
+        # ingestion source the sampler's staleness-lag series races.
+        registry.counter(
+            "workloads_pages_generated_total",
+            "Synthetic corpus pages generated by this process.",
+        ).inc(corpus.page_count)
+        registry.counter(
+            "workloads_links_generated_total",
+            "Synthetic web+semantic links generated by this process.",
+        ).inc(len(corpus.page_links) + len(corpus.semantic_links))
+        registry.gauge(
+            "workloads_last_corpus_pages",
+            "Page count of the most recently generated corpus.",
+        ).set(float(corpus.page_count))
+        registry.histogram(
+            "workloads_generate_seconds",
+            "Wall time to generate one synthetic corpus.",
+        ).observe(time.perf_counter() - started)
     return corpus
 
 

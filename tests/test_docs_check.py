@@ -33,6 +33,12 @@ REQUIRED_DOCS = [
     "docs/PARALLELISM.md",
 ]
 
+#: Sections a document promises (heading text, verbatim). A doc that
+#: exists but lost a promised section is as stale as a missing doc.
+REQUIRED_SECTIONS = {
+    "docs/OBSERVABILITY.md": ["Time series, SLOs and the dashboard"],
+}
+
 #: Modules whose docstrings must state their operating invariants, and a
 #: phrase each docstring must contain (evidence the invariant is written
 #: down, not just that a docstring exists).
@@ -119,6 +125,19 @@ def test_required_docs_exist_and_are_linked_from_readme():
     for doc in REQUIRED_DOCS:
         assert os.path.exists(os.path.join(REPO_ROOT, doc)), f"missing {doc}"
         assert doc in readme, f"README.md must link to {doc}"
+
+
+@pytest.mark.parametrize(
+    "rel_path,sections",
+    sorted(REQUIRED_SECTIONS.items()),
+    ids=sorted(REQUIRED_SECTIONS),
+)
+def test_required_sections_present(rel_path, sections):
+    path = os.path.join(REPO_ROOT, rel_path)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [section for section in sections if section not in text]
+    assert not missing, f"{rel_path} must contain the section(s) {missing}"
 
 
 @pytest.mark.parametrize("name", sorted(INVARIANT_DOCSTRINGS))

@@ -1,0 +1,340 @@
+"""Tests for SLOs and burn-rate alerting (repro.obs.slo), including the
+end-to-end acceptance path: a synthetic latency regression trips the
+fast-burn alert, degrades /healthz, and shows up in /api/alerts and on
+/debug/dashboard."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import AdvancedSearchEngine
+from repro.errors import ObservabilityError
+from repro.obs import (
+    AvailabilitySlo,
+    BurnWindow,
+    FreshnessSlo,
+    LatencySlo,
+    MetricsRegistry,
+    MetricsSampler,
+    SloDefinition,
+    SloEvaluator,
+    TimeSeriesStore,
+    default_slos,
+    set_registry,
+    set_sampler,
+)
+from repro.smr import SensorMetadataRepository
+from repro.web import create_app
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def _store_from(registry: MetricsRegistry, *ticks: float) -> TimeSeriesStore:
+    """Scrape the registry once per tick timestamp (caller mutates between)."""
+    store = TimeSeriesStore()
+    for t in ticks:
+        store.observe_registry(registry, now=t)
+    return store
+
+
+class TestSloDefinitions:
+    def test_objective_must_be_a_fraction(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ObservabilityError):
+                AvailabilitySlo(objective=bad)
+
+    def test_budget_is_complement(self):
+        assert AvailabilitySlo(objective=0.999).budget == pytest.approx(0.001)
+
+    def test_latency_threshold_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            LatencySlo("l", 0.95, threshold_seconds=0.0)
+
+    def test_default_slos_shape(self):
+        slos = default_slos()
+        assert [s.kind for s in slos] == ["availability", "latency", "freshness"]
+        assert {s.name for s in slos} == {
+            "availability", "search_latency", "ranker_freshness",
+        }
+
+
+class TestAvailabilitySlo:
+    def test_error_fraction_counts_5xx_only(self, registry):
+        family = registry.counter(
+            "http_requests_total", labels=("endpoint", "method", "status")
+        )
+        # Children must exist before the first scrape: a series needs two
+        # points before it can produce a delta.
+        for status in ("200", "404", "500"):
+            family.labels("/a", "GET", status).inc(0)
+        store = TimeSeriesStore()
+        store.observe_registry(registry, now=0.0)
+        family.labels("/a", "GET", "200").inc(90)
+        family.labels("/a", "GET", "404").inc(5)  # caller's fault: not an error
+        family.labels("/a", "GET", "500").inc(5)
+        store.observe_registry(registry, now=10.0)
+        slo = AvailabilitySlo()
+        assert slo.error_fraction(store, window=30.0, now=10.0) == pytest.approx(0.05)
+
+    def test_no_traffic_is_none(self, registry):
+        store = _store_from(registry, 0.0, 10.0)
+        assert AvailabilitySlo().error_fraction(store, 30.0, 10.0) is None
+
+
+class TestLatencySlo:
+    def test_error_fraction_from_bucket_deltas(self, registry):
+        family = registry.histogram(
+            "http_request_seconds", labels=("endpoint",), buckets=(0.1, 0.25, 1.0)
+        )
+        child = family.labels("/api/search")
+        store = TimeSeriesStore()
+        store.observe_registry(registry, now=0.0)
+        for _ in range(8):
+            child.observe(0.05)  # fast
+        for _ in range(2):
+            child.observe(0.5)  # over the 0.25 s threshold
+        store.observe_registry(registry, now=10.0)
+        slo = LatencySlo(
+            "search_latency", 0.95, 0.25, labels={"endpoint": "/api/search"}
+        )
+        assert slo.error_fraction(store, 30.0, 10.0) == pytest.approx(0.2)
+
+    def test_other_endpoints_do_not_count(self, registry):
+        family = registry.histogram(
+            "http_request_seconds", labels=("endpoint",), buckets=(0.1, 0.25, 1.0)
+        )
+        store = TimeSeriesStore()
+        store.observe_registry(registry, now=0.0)
+        family.labels("/other").observe(5.0)
+        store.observe_registry(registry, now=10.0)
+        slo = LatencySlo(
+            "search_latency", 0.95, 0.25, labels={"endpoint": "/api/search"}
+        )
+        assert slo.error_fraction(store, 30.0, 10.0) is None
+
+
+class TestFreshnessSlo:
+    def test_fraction_of_stale_samples(self, registry):
+        gauge = registry.gauge("ranking_staleness_generations")
+        store = TimeSeriesStore()
+        for t, lag in ((0.0, 0.0), (5.0, 0.0), (10.0, 3.0), (15.0, 0.0)):
+            gauge.set(lag)
+            store.observe_registry(registry, now=t)
+        slo = FreshnessSlo()
+        assert slo.error_fraction(store, 30.0, 15.0) == pytest.approx(0.25)
+
+    def test_no_samples_is_none(self, registry):
+        assert FreshnessSlo().error_fraction(TimeSeriesStore(), 30.0, 0.0) is None
+
+
+class _ScriptedSlo(SloDefinition):
+    """An SLO whose error fraction is scripted per evaluation call."""
+
+    kind = "scripted"
+
+    def __init__(self, fractions, objective=0.99, windows=None):
+        super().__init__(
+            "scripted", objective,
+            windows=windows or (BurnWindow("fast", 60.0, 15.0, 10.0),),
+        )
+        self.fractions = list(fractions)
+        self._calls = 0
+
+    def error_fraction(self, store, window, now):
+        # Both windows of one evaluation read the same scripted value.
+        index = min(self._calls // 2, len(self.fractions) - 1)
+        self._calls += 1
+        return self.fractions[index]
+
+
+class TestSloEvaluator:
+    def test_fires_when_both_windows_burn(self):
+        # budget 0.01, factor 10 -> fires at error fraction >= 0.1.
+        slo = _ScriptedSlo([0.5])
+        evaluator = SloEvaluator([slo])
+        changed = evaluator.evaluate(TimeSeriesStore(), now=100.0)
+        assert len(changed) == 1
+        alert = changed[0]
+        assert alert["slo"] == "scripted"
+        assert alert["severity"] == "fast"
+        assert alert["fired_at"] == 100.0
+        assert alert["resolved_at"] is None
+        assert evaluator.firing() == [alert]
+
+    def test_no_data_never_fires(self):
+        evaluator = SloEvaluator([_ScriptedSlo([None])])
+        assert evaluator.evaluate(TimeSeriesStore(), now=0.0) == []
+        assert evaluator.firing() == []
+
+    def test_resolves_on_short_window_recovery(self):
+        slo = _ScriptedSlo([0.5, 0.0])
+        evaluator = SloEvaluator([slo])
+        evaluator.evaluate(TimeSeriesStore(), now=0.0)
+        assert evaluator.firing()
+        changed = evaluator.evaluate(TimeSeriesStore(), now=10.0)
+        assert len(changed) == 1
+        assert changed[0]["resolved_at"] == 10.0
+        assert evaluator.firing() == []
+        # One history record carries the full lifecycle.
+        history = evaluator.history()
+        assert len(history) == 1
+        assert history[0]["fired_at"] == 0.0
+        assert history[0]["resolved_at"] == 10.0
+
+    def test_history_is_bounded(self):
+        fractions = [0.5, 0.0] * 10
+        slo = _ScriptedSlo(fractions)
+        evaluator = SloEvaluator([slo], history=4)
+        for i in range(20):
+            evaluator.evaluate(TimeSeriesStore(), now=float(i))
+        assert len(evaluator.history(100)) == 4
+
+    def test_disabled_evaluator_freezes_state(self):
+        slo = _ScriptedSlo([0.5])
+        evaluator = SloEvaluator([slo])
+        evaluator.disable()
+        assert evaluator.evaluate(TimeSeriesStore(), now=0.0) == []
+        assert evaluator.firing() == []
+        evaluator.enable()
+        assert evaluator.evaluate(TimeSeriesStore(), now=1.0)
+
+    def test_alert_transitions_counted(self, registry):
+        slo = _ScriptedSlo([0.5, 0.0])
+        evaluator = SloEvaluator([slo])
+        evaluator.evaluate(TimeSeriesStore(), now=0.0)
+        evaluator.evaluate(TimeSeriesStore(), now=10.0)
+        family = registry.get("slo_alerts_total")
+        assert family.labels("scripted", "fast", "fired").value == 1.0
+        assert family.labels("scripted", "fast", "resolved").value == 1.0
+
+    def test_history_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            SloEvaluator(history=0)
+
+    def test_snapshot_reports_live_burn_rates(self, registry):
+        gauge = registry.gauge("ranking_staleness_generations")
+        store = TimeSeriesStore()
+        gauge.set(5.0)
+        store.observe_registry(registry, now=0.0)
+        store.observe_registry(registry, now=10.0)
+        evaluator = SloEvaluator([FreshnessSlo(objective=0.9)])
+        evaluator.evaluate(store, now=10.0)
+        (entry,) = evaluator.snapshot(store, now=10.0)
+        assert entry["name"] == "ranker_freshness"
+        fast, slow = entry["windows"]
+        # Every sample stale: error fraction 1.0 over budget 0.1 = 10x —
+        # under the fast factor (14.4x) but over the slow one (6x).
+        assert fast["burn_rate_long"] == pytest.approx(10.0)
+        assert fast["firing"] is False
+        assert slow["firing"] is True
+
+
+def _call(app, path, query=""):
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "wsgi.input": io.BytesIO(b""),
+        "wsgi.errors": io.StringIO(),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+
+    body = b"".join(app(environ, start_response))
+    return captured["status"], body
+
+
+class TestAcceptanceRegressionToAlert:
+    """The ISSUE's acceptance path, fully deterministic (explicit ticks)."""
+
+    @pytest.fixture
+    def stack(self, registry):
+        smr = SensorMetadataRepository()
+        smr.register("station", "Station:A-001", [("name", "A-001")])
+        engine = AdvancedSearchEngine(smr)
+        sampler = MetricsSampler(evaluator=SloEvaluator(default_slos()))
+        previous = set_sampler(sampler)
+        app = create_app(engine)
+        yield app, sampler, registry
+        set_sampler(previous)
+
+    def test_latency_regression_trips_fast_burn_end_to_end(self, stack):
+        app, sampler, registry = stack
+        latency = registry.histogram(
+            "http_request_seconds",
+            "HTTP request latency per endpoint.",
+            labels=("endpoint",),
+        ).labels("/api/search")
+
+        # Baseline: healthy traffic, sampler ticking.
+        for _ in range(20):
+            latency.observe(0.01)
+        sampler.tick(now=1000.0)
+        sampler.tick(now=1005.0)
+        status, body = _call(app, "/healthz")
+        assert json.loads(body)["checks"]["slo"]["status"] == "ok"
+
+        # The regression: every /api/search request now takes ~1 s,
+        # blowing the "95% under 250 ms" objective (burn >> 14.4x).
+        for _ in range(50):
+            latency.observe(1.0)
+        sampler.tick(now=1010.0)
+        sampler.tick(now=1015.0)
+
+        firing = sampler.evaluator.firing()
+        assert any(
+            a["slo"] == "search_latency" and a["severity"] == "fast" for a in firing
+        )
+
+        # /healthz flips to degraded (still 200: degraded, not down).
+        status, body = _call(app, "/healthz")
+        payload = json.loads(body)
+        assert status == "200 OK"
+        assert payload["status"] == "degraded"
+        assert payload["checks"]["slo"]["status"] == "degraded"
+        assert "search_latency" in payload["checks"]["slo"]["fast_burn"]
+
+        # /api/alerts lists the firing alert with its burn rates.
+        status, body = _call(app, "/api/alerts")
+        payload = json.loads(body)
+        alert = next(a for a in payload["firing"] if a["slo"] == "search_latency")
+        assert alert["severity"] == "fast"
+        assert alert["burn_rate_long"] >= alert["factor"]
+        assert alert["resolved_at"] is None
+
+        # /debug/dashboard shows the alert and marks the SLO row FIRING.
+        status, body = _call(app, "/debug/dashboard")
+        page = body.decode()
+        assert "Firing alerts" in page
+        assert "search_latency" in page
+        assert "FIRING" in page
+
+        # Recovery: traffic goes fast again; the short window clears and
+        # the alert resolves into history.
+        for _ in range(500):
+            latency.observe(0.01)
+        sampler.tick(now=1020.0)
+        sampler.tick(now=1030.0)
+        sampler.tick(now=1040.0)
+        assert not any(
+            a["slo"] == "search_latency" for a in sampler.evaluator.firing()
+        )
+        status, body = _call(app, "/healthz")
+        payload = json.loads(body)
+        assert payload["checks"]["slo"]["status"] == "ok"
+        assert payload["checks"]["slo"]["fast_burn"] == []
+        status, body = _call(app, "/api/alerts")
+        payload = json.loads(body)
+        record = next(
+            r for r in payload["history"] if r["slo"] == "search_latency"
+        )
+        assert record["resolved_at"] is not None

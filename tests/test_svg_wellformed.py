@@ -92,3 +92,58 @@ class TestWellFormedness:
         results = engine.search(engine.parse("kind=station limit=0"))
         markers = [MapMarker(r.location, r.title, r.match_degree) for r in results.located()]
         assert_well_formed(MapRenderer().render(markers))
+
+    def test_sparkline_panel_and_grid(self):
+        from repro.viz import SparklineGrid, SparklinePanel
+
+        panels = [
+            SparklinePanel(NASTY, [(0.0, 1.0), (1.0, 2.5)], unit="s",
+                           threshold=2.0, alerting=True),
+            SparklinePanel("empty", []),  # must render its "no data" state
+            SparklinePanel("flat", [(0.0, 3.0), (1.0, 3.0)]),
+        ]
+        svg = SparklineGrid(panels, columns=2, title=NASTY, subtitle=NASTY).to_svg()
+        root = assert_well_formed(svg)
+        assert "no data" in svg
+        assert root.attrib["width"]
+
+    def test_dashboard_svg_from_live_app(self):
+        """End to end: /debug/dashboard.svg from a ticked sampler parses."""
+        import io
+
+        from repro import build_demo_engine, obs
+        from repro.web import create_app
+
+        fresh_registry = obs.MetricsRegistry()
+        previous_registry = obs.set_registry(fresh_registry)
+        sampler = obs.MetricsSampler(
+            evaluator=obs.SloEvaluator(obs.default_slos())
+        )
+        previous_sampler = obs.set_sampler(sampler)
+        try:
+            engine = build_demo_engine(seed=1, stations=12, sensors=30)
+            app = create_app(engine)
+            environ = {
+                "REQUEST_METHOD": "GET",
+                "PATH_INFO": "/api/search",
+                "QUERY_STRING": "q=kind%3Dstation",
+                "wsgi.input": io.BytesIO(b""),
+                "wsgi.errors": io.StringIO(),
+            }
+            app(environ, lambda status, headers: None)
+            sampler.tick(now=100.0)
+            sampler.tick(now=105.0)
+            environ["PATH_INFO"] = "/debug/dashboard.svg"
+            environ["QUERY_STRING"] = ""
+            captured = {}
+
+            def start_response(status, headers):
+                captured["status"] = status
+
+            body = b"".join(app(environ, start_response))
+            assert captured["status"] == "200 OK"
+            root = assert_well_formed(body.decode("utf-8"))
+            assert root.tag.endswith("svg")
+        finally:
+            obs.set_registry(previous_registry)
+            obs.set_sampler(previous_sampler)

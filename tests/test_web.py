@@ -414,7 +414,7 @@ class TestDeepObservability:
         assert status == "200 OK"
         assert body["status"] in ("ok", "degraded")  # ranker may be cold
         assert set(body["checks"]) == {
-            "smr", "relational", "rdf", "ranker", "cache", "indexes",
+            "smr", "relational", "rdf", "ranker", "cache", "indexes", "slo",
         }
         assert body["checks"]["smr"]["pages"] == 3
         assert body["checks"]["relational"]["status"] == "ok"
@@ -654,3 +654,141 @@ class TestProvenanceExplorer:
         # /explore is an operator UI but not a debug dump: stays open.
         status, _, _ = call(locked, "GET", "/explore")
         assert status == "200 OK"
+
+
+class TestTelemetryEndpoints:
+    @pytest.fixture
+    def fresh_sampler(self):
+        """Swap in a fresh registry + default sampler for one test."""
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        prev_registry = obs.set_registry(registry)
+        sampler = obs.MetricsSampler(
+            evaluator=obs.SloEvaluator(obs.default_slos())
+        )
+        prev_sampler = obs.set_sampler(sampler)
+        yield registry, sampler
+        sampler.stop()
+        obs.set_registry(prev_registry)
+        obs.set_sampler(prev_sampler)
+
+    def test_timeseries_requires_metric_and_lists_names(self, app, fresh_sampler):
+        registry, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        call(own_app, "GET", "/api/search", "q=kind%3Dstation")
+        sampler.tick(now=10.0)
+        status, _, body = call(own_app, "GET", "/api/timeseries")
+        assert status == "400 Bad Request"
+        assert "http_requests_total" in body["metrics"]
+        assert body["sampler"]["ticks"] == 1
+
+    def test_timeseries_counter_series(self, app, fresh_sampler):
+        registry, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        call(own_app, "GET", "/api/search", "q=kind%3Dstation")
+        sampler.tick(now=10.0)
+        call(own_app, "GET", "/api/search", "q=kind%3Dstation")
+        sampler.tick(now=20.0)
+        status, _, body = call(
+            own_app, "GET", "/api/timeseries",
+            "metric=http_requests_total&window=60",
+        )
+        assert status == "200 OK"
+        series = next(
+            s for s in body["series"]
+            if s["labels"].get("endpoint") == "/api/search"
+        )
+        assert series["kind"] == "counter"
+        assert series["delta"] == 1.0
+        assert series["rate_per_second"] == pytest.approx(0.1)
+        assert len(series["points"]) == 2
+
+    def test_timeseries_histogram_percentiles(self, app, fresh_sampler):
+        registry, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        histogram = registry.histogram("engine_query_seconds")
+        # Materialize the unlabelled child before the first scrape; an
+        # empty family has no children and therefore no series yet.
+        histogram.observe(0.03)
+        sampler.tick(now=0.0)
+        for _ in range(10):
+            histogram.observe(0.03)
+        sampler.tick(now=10.0)
+        status, _, body = call(
+            own_app, "GET", "/api/timeseries", "metric=engine_query_seconds"
+        )
+        assert status == "200 OK"
+        (series,) = body["series"]
+        assert series["kind"] == "histogram"
+        assert series["percentiles"]["p50"] is not None
+        assert series["rate_per_second"] == pytest.approx(1.0)
+
+    def test_timeseries_unknown_metric_404(self, app, fresh_sampler):
+        own_app = create_app(app.engine)
+        status, _, body = call(
+            own_app, "GET", "/api/timeseries", "metric=no_such_metric"
+        )
+        assert status == "404 Not Found"
+
+    def test_alerts_payload_shape(self, app, fresh_sampler):
+        registry, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        sampler.tick(now=10.0)
+        status, _, body = call(own_app, "GET", "/api/alerts")
+        assert status == "200 OK"
+        assert body["enabled"] is True
+        assert body["firing"] == []
+        assert {s["name"] for s in body["slos"]} == {
+            "availability", "search_latency", "ranker_freshness",
+        }
+        assert body["sampler"]["running"] is False
+
+    def test_debug_index_lists_every_surface(self, app):
+        status, _, page = call(app, "GET", "/debug")
+        assert status == "200 OK"
+        for path in (
+            "/debug/dashboard", "/debug/trace", "/debug/logs",
+            "/debug/profile", "/debug/convergence", "/debug/plan",
+            "/debug/slow", "/debug/provenance", "/explore",
+            "/api/alerts", "/api/timeseries", "/metrics", "/healthz",
+        ):
+            assert path in page
+
+    def test_dashboard_html_embeds_svg(self, app, fresh_sampler):
+        registry, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        sampler.tick(now=10.0)
+        status, _, page = call(own_app, "GET", "/debug/dashboard")
+        assert status == "200 OK"
+        assert "/debug/dashboard.svg" in page
+        assert "Service level objectives" in page
+        assert "No firing alerts" in page
+
+    def test_dashboard_svg_renders_without_data(self, app, fresh_sampler):
+        import xml.etree.ElementTree as ET
+
+        own_app = create_app(app.engine)
+        status, headers, svg = call(own_app, "GET", "/debug/dashboard.svg")
+        assert status == "200 OK"
+        assert "svg" in headers["Content-Type"]
+        ET.fromstring(svg)  # an empty store must still render panels
+
+    def test_healthz_has_slo_probe(self, app, fresh_sampler):
+        _, sampler = fresh_sampler
+        own_app = create_app(app.engine)
+        status, _, body = call(own_app, "GET", "/healthz")
+        assert status == "200 OK"
+        assert body["checks"]["slo"]["status"] == "ok"
+        assert body["checks"]["slo"]["slos"] == 3
+
+    def test_telemetry_surfaces_gated_by_debug_flag(self, app, fresh_sampler):
+        locked = create_app(app.engine, debug=False)
+        for path in ("/debug", "/debug/dashboard", "/debug/dashboard.svg"):
+            status, _, _ = call(locked, "GET", path)
+            assert status == "403 Forbidden"
+        # The JSON telemetry APIs carry aggregates only: stay open.
+        for path in ("/api/alerts", "/api/timeseries?metric=x"):
+            status, _, _ = call(locked, "GET", path.split("?")[0],
+                                path.partition("?")[2])
+            assert status in ("200 OK", "400 Bad Request", "404 Not Found")
