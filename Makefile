@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-cache bench-planner bench-procpool obs-check
+.PHONY: test docs-check bench bench-smoke bench-cache bench-planner bench-procpool bench-sharding obs-check
 
 ## Tier-1: the full unit/integration suite (includes docs-check).
 test:
@@ -42,6 +42,12 @@ bench-planner:
 ## and (on >= 2 CPUs) process pool4 >= 2x over pool1.
 bench-procpool:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
+
+## The docs/SHARDING.md gates: sharded-vs-unsharded byte identity on
+## every query shape, process fan-out >= 2x over the serial cell path on
+## >= 2 CPUs, and bounded per-shard staleness lag under the write stream.
+bench-sharding:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_sharding.py -q --benchmark-disable
 
 ## Observability gate: unit tests + web surfaces + time series/SLOs +
 ## dashboard SVG well-formedness + the overhead budget (which now also

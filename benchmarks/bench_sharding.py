@@ -1,0 +1,186 @@
+"""E14 — hash-sharded fan-out and the streaming-ingestion race.
+
+The tentpole claim of ``repro.shard`` is a *pure* performance move: a
+:class:`ShardedSearchEngine` over N hash-partitioned repositories must
+return byte-identical results to the stock engine over one repository,
+while constraint evaluation fans out per (constraint, shard) through the
+``repro.perf.pool`` process backend. This module measures both halves:
+
+- **Identity, always.** Every timed configuration is first checked
+  byte-identical to the unsharded engine (titles, floats, order,
+  totals). Runs in smoke mode and on 1-CPU containers too — degraded
+  backends must degrade to the same bytes.
+- **Fan-out >= 2x, when the hardware can.** The gate compares the
+  process-backed cell fan-out against the same engine forced serial
+  (identical merge overhead, so the ratio isolates the fan-out). It
+  arms only with >= 2 CPUs visible and the process backend available —
+  on a 1-CPU container interleaving cannot multiply, so the measured
+  ratio is committed transparently instead (the ``bench_procpool``
+  policy). The CPU count is recorded in the results file.
+- **The write stream stays caught up.** A seeded mutation stream
+  (``repro.workloads.stream``) applies observations/edits/creates while
+  the sharded incremental ranker refreshes every ``REFRESH_EVERY``
+  events; per-shard staleness lag must stay bounded by the refresh
+  interval and quiesce to zero, and throughput is committed.
+
+Results go to ``benchmarks/results/sharding.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.engine import AdvancedSearchEngine
+from repro.perf import procpool
+from repro.shard import ShardedPageRankRanker, ShardedRepository, ShardedSearchEngine
+from repro.smr.repository import SensorMetadataRepository
+from repro.workloads import CorpusSpec, MutationStream, StreamDriver, generate_corpus
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SPEC = (
+    CorpusSpec(seed=42)
+    if SMOKE
+    else CorpusSpec(stations=150, sensors=1200, deployments=30, seed=42)
+)
+SHARDS = 4
+QUERY_REPEATS = 2 if SMOKE else 10
+STREAM_EVENTS = 60 if SMOKE else 600
+REFRESH_EVERY = 20 if SMOKE else 50
+MIN_SPEEDUP = 2.0
+
+QUERIES = [
+    "keyword=temperature limit=20",
+    "kind=station elevation_m>=1500 status=online",
+    "kind=sensor sensor_type=wind accuracy>=0.5 relaxed=true",
+    "kind=station bbox=46,8,47,10",
+    "keyword=wind sort=pagerank limit=10",
+]
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _gate_armed() -> bool:
+    return not SMOKE and _cpus() >= 2 and procpool.available()
+
+
+def _fingerprint(results):
+    return [
+        (r.title, r.kind, r.score, r.relevance, r.pagerank, r.match_degree)
+        for r in results.results
+    ], results.total_candidates
+
+
+def _build():
+    corpus = generate_corpus(SPEC)
+    single = SensorMetadataRepository.from_corpus(corpus)
+    sharded = ShardedRepository.from_corpus(corpus, shard_count=SHARDS)
+    return corpus, single, sharded
+
+
+def test_shard_fanout(write_result):
+    """Cell fan-out: byte-identical always, >= 2x over serial when armed."""
+    corpus, single, sharded = _build()
+    reference = AdvancedSearchEngine(single, cache=None)
+    serial_fanout = ShardedSearchEngine(sharded, cache=None, fanout_kind="serial")
+    cpu_fanout = ShardedSearchEngine(
+        sharded, cache=None, ranker=serial_fanout.ranker, fanout_kind="cpu"
+    )
+    # Warm every ranking and memo outside the timed region, and fork the
+    # process pool only after the repositories exist so workers snapshot
+    # the populated shard registry.
+    procpool.shutdown_process_pool()
+    reference.ranker.scores()
+    serial_fanout.ranker.scores()
+    queries = [reference.parse(text) for text in QUERIES]
+
+    expected = [_fingerprint(reference.search(q)) for q in queries]
+    for engine in (serial_fanout, cpu_fanout):
+        got = [_fingerprint(engine.search(q)) for q in queries]
+        assert got == expected, "sharded results must be byte-identical"
+
+    def timed(engine) -> float:
+        start = time.perf_counter()
+        for _ in range(QUERY_REPEATS):
+            for query in queries:
+                engine.search(query)
+        return time.perf_counter() - start
+
+    reference_s = timed(reference)
+    serial_s = timed(serial_fanout)
+    cpu_s = timed(cpu_fanout)
+    fanout_ratio = serial_s / cpu_s if cpu_s > 0 else float("inf")
+    vs_unsharded = reference_s / cpu_s if cpu_s > 0 else float("inf")
+
+    lines = [
+        f"# E14 sharding: {single.page_count} pages, {SHARDS} shards, "
+        f"{len(QUERIES)} queries x {QUERY_REPEATS} repeats; cpus={_cpus()} "
+        f"procpool_available={procpool.available()} gate_armed={_gate_armed()}",
+        "identity=byte-identical (asserted across serial and cpu fan-out)",
+        f"unsharded_seconds={reference_s:.4f}",
+        f"sharded_serial_fanout_seconds={serial_s:.4f}",
+        f"sharded_cpu_fanout_seconds={cpu_s:.4f}",
+        f"fanout_cpu_vs_serial={fanout_ratio:.2f}x",
+        f"fanout_cpu_vs_unsharded={vs_unsharded:.2f}x",
+    ]
+    if _gate_armed():
+        assert fanout_ratio >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x from the process fan-out over the "
+            f"serial cell path on {_cpus()} CPUs, got {fanout_ratio:.2f}x"
+        )
+    procpool.shutdown_process_pool()
+
+    write_result("sharding.txt", "\n".join(lines) + "\n")
+
+
+def test_write_stream(write_result):
+    """Streaming ingestion: bounded per-shard lag, zero after quiesce."""
+    corpus, single, sharded = _build()
+    ranker = ShardedPageRankRanker(sharded)
+    ranker.scores()
+    events = MutationStream(corpus, seed=29).events(STREAM_EVENTS)
+    report = StreamDriver(refresh_every=REFRESH_EVERY).run(
+        sharded, events, ranker=ranker
+    )
+
+    assert report.applied == STREAM_EVENTS
+    assert report.final_lag == 0, "quiesce refresh must catch up"
+    assert report.max_lag <= REFRESH_EVERY, (
+        f"aggregate lag {report.max_lag} exceeded the refresh interval"
+    )
+    assert report.max_shard_lag <= REFRESH_EVERY, (
+        f"per-shard lag {report.max_shard_lag} exceeded the refresh interval"
+    )
+
+    # The stream leaves the sharded store byte-identical to an unsharded
+    # one fed the same events — ingestion is not a second code path.
+    for event in events:
+        event.apply(single)
+    hits_single = single.keyword_search("stream")
+    hits_sharded = sharded.keyword_search("stream")
+    assert [(h.doc_id, h.score) for h in hits_single] == [
+        (h.doc_id, h.score) for h in hits_sharded
+    ]
+
+    lines = [
+        f"# E14 write stream: {STREAM_EVENTS} events over {SHARDS} shards, "
+        f"refresh every {REFRESH_EVERY}; cpus={_cpus()}",
+        f"stream_events_per_second={report.events_per_second:.0f}",
+        f"stream_max_lag_generations={report.max_lag}",
+        f"stream_mean_lag_generations={report.mean_lag:.2f}",
+        f"stream_max_shard_lag_generations={report.max_shard_lag}",
+        f"stream_final_lag_generations={report.final_lag}",
+        "stream_identity=byte-identical keyword scores after identical streams",
+    ]
+    path = os.path.join(os.path.dirname(__file__), "results", "sharding.txt")
+    existing = ""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = handle.read()
+    write_result("sharding.txt", existing + "\n".join(lines) + "\n")

@@ -260,6 +260,35 @@ class AdvancedSearchEngine:
         self.query_log.record(description, results.total_candidates, latency=elapsed)
         return results
 
+    def _evaluate_constraints(
+        self, query: SearchQuery, timed: bool
+    ) -> Tuple[List[Any], List[float]]:
+        """Evaluate the query's independent constraints, in declaration order.
+
+        Fans out the keyword search, each SQL/SPARQL property filter, and
+        the bbox scan — onto the worker pool; the SMR's reader–writer lock
+        keeps the concurrent reads safe under writes. parallel_map
+        preserves input order (and raises the first failure by input
+        position), so reassembly in :meth:`_search` is identical to the
+        serial loop. ``timed=True`` additionally returns per-constraint
+        wall seconds for provenance. The sharded engine overrides this
+        seam to fan out per (constraint, shard) instead.
+        """
+        jobs: List[Callable[[], Any]] = []
+        if query.keyword:
+            jobs.append(partial(self.smr.keyword_search, query.keyword))
+        jobs.extend(partial(self._titles_matching_filter, flt) for flt in query.filters)
+        if query.bbox is not None:
+            jobs.append(partial(self._titles_in_bbox, query.bbox))
+        if timed:
+            jobs = [_timed_job(job) for job in jobs]
+        outputs = parallel_map(
+            lambda job: job(), jobs, pool=self.pool, label="engine.constraint"
+        )
+        if timed:
+            return [value for _, value in outputs], [seconds for seconds, _ in outputs]
+        return list(outputs), []
+
     def _search(
         self,
         query: SearchQuery,
@@ -285,27 +314,8 @@ class AdvancedSearchEngine:
         relevance: Dict[str, float] = {}
         constraint_sets: List[Set[str]] = []
 
-        # Fan out the independent constraint evaluations — the keyword
-        # search, each SQL/SPARQL property filter, and the bbox scan —
-        # onto the worker pool; the SMR's reader–writer lock keeps the
-        # concurrent reads safe under writes. parallel_map preserves
-        # input order (and raises the first failure by input position),
-        # so the reassembly below is identical to the serial loop.
-        jobs: List[Callable[[], Any]] = []
-        if query.keyword:
-            jobs.append(partial(self.smr.keyword_search, query.keyword))
-        jobs.extend(partial(self._titles_matching_filter, flt) for flt in query.filters)
-        if query.bbox is not None:
-            jobs.append(partial(self._titles_in_bbox, query.bbox))
+        outputs, job_seconds = self._evaluate_constraints(query, timed=prov is not None)
         if prov is not None:
-            jobs = [_timed_job(job) for job in jobs]
-        outputs = parallel_map(
-            lambda job: job(), jobs, pool=self.pool, label="engine.constraint"
-        )
-        job_seconds: List[float] = []
-        if prov is not None:
-            job_seconds = [seconds for seconds, _ in outputs]
-            outputs = [value for _, value in outputs]
             corpus = len(self.smr.titles())
         set_names: List[str] = []
 

@@ -168,7 +168,7 @@ class PageRankRanker:
             x0 = x0 / k
             mode = "warm"
             if not self._force_full:
-                scores_vec = self._try_incremental(problem, x0)
+                scores_vec = self._try_incremental(problem, x0, titles)
                 if scores_vec is not None:
                     mode = "incremental"
         elif x0 is not None:
@@ -193,7 +193,19 @@ class PageRankRanker:
         self._built_at_mutation = mutation
         self._force_full = False
 
-    def _try_incremental(self, problem, y0: np.ndarray) -> Optional[np.ndarray]:
+    def _note_dirty(self, dirty: np.ndarray, titles: List[str]) -> None:
+        """Hook: observe which rows the incremental refresh marked dirty.
+
+        ``dirty`` holds dense row indices into ``titles`` (the snapshot
+        the current problem was built from). The base ranker does nothing
+        extra — the aggregate ``ranking_dirty_pages`` gauge is already
+        set — but the sharded ranker overrides this to attribute dirty
+        pages to their owning shard.
+        """
+
+    def _try_incremental(
+        self, problem, y0: np.ndarray, titles: Optional[List[str]] = None
+    ) -> Optional[np.ndarray]:
         """Localized dirty-set recompute; None when a full solve is due.
 
         Declines when the initial residual marks more than
@@ -226,6 +238,8 @@ class PageRankRanker:
             "ranking_dirty_pages",
             "Rows marked dirty by the most recent incremental refresh attempt.",
         ).set(float(dirty.size))
+        if titles is not None:
+            self._note_dirty(dirty, titles)
         if dirty.size > self.incremental_threshold * problem.n:
             return None
         result = refine_incremental(

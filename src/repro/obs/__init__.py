@@ -33,6 +33,8 @@ single substrate they flow through:
 - :mod:`repro.obs.slo` — declarative service-level objectives with
   rolling error budgets and multi-window burn-rate alerting
   (``/api/alerts``, the ``slo`` health probe);
+- :mod:`repro.obs.notify` — bounded log-sink / webhook-stub fan-out of
+  SLO alert transitions, with per-sink delivery counters;
 - :mod:`repro.obs.process` — pull-style process self-metrics gauges
   (uptime, RSS, CPU seconds, threads, GC), refreshed as a sampler
   probe.
@@ -124,6 +126,11 @@ from repro.obs.slo import (
     SloEvaluator,
     default_slos,
 )
+from repro.obs.notify import (
+    LogSinkNotifier,
+    NotificationHub,
+    WebhookStubNotifier,
+)
 from repro.obs.process import process_metrics_probe, update_process_metrics
 from repro.obs.exposition import (
     OPENMETRICS_CONTENT_TYPE,
@@ -154,6 +161,9 @@ __all__ = [
     "INFO",
     "LatencySlo",
     "LogRecord",
+    "LogSinkNotifier",
+    "NotificationHub",
+    "WebhookStubNotifier",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsSampler",

@@ -1,0 +1,157 @@
+"""Bounded alert-notification fan-out for SLO burn-rate transitions.
+
+An always-on demo service needs its pages to go *somewhere*: the
+:class:`SloEvaluator` detects burn-rate transitions, and this module
+routes each fired/resolved alert to a small set of sinks — a structured
+log sink for operators tailing ``/debug/logs`` and a webhook *stub*
+that records the JSON payload it would POST (this repo performs no
+network I/O; the stub keeps the integration seam testable offline).
+
+Delivery is best-effort and bounded: each sink keeps a fixed-size ring
+of recent notifications, a failing sink never blocks the sampler tick
+or the other sinks, and every attempt is counted
+(``slo_notifications_total{sink, phase}`` /
+``slo_notification_errors_total{sink}``) so missing pages are
+themselves observable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.log import get_event_log
+from repro.obs.metrics import get_registry
+
+
+def _notification(alert: Dict[str, Any], phase: str) -> Dict[str, Any]:
+    """The JSON-ready record a sink stores (a snapshot, not the live Alert)."""
+    return {
+        "phase": phase,
+        "slo": alert.get("slo"),
+        "severity": alert.get("severity"),
+        "message": alert.get("message"),
+        "fired_at": alert.get("fired_at"),
+        "resolved_at": alert.get("resolved_at"),
+    }
+
+
+class LogSinkNotifier:
+    """Emits each transition to the structured event log.
+
+    Fired alerts log at WARNING, resolutions at INFO — the same levels
+    the evaluator's own transition events use, so a log tail shows one
+    coherent story.
+    """
+
+    name = "log"
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ObservabilityError(f"sink capacity must be positive, got {capacity}")
+        self._recent: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def notify(self, alert: Dict[str, Any], phase: str) -> None:
+        """Emit the alert transition to the event log and the ring."""
+        record = _notification(alert, phase)
+        log = get_event_log()
+        emit = log.warning if phase == "fired" else log.info
+        emit(
+            "slo.notification",
+            sink=self.name,
+            slo=record["slo"],
+            severity=record["severity"],
+            phase=phase,
+        )
+        with self._lock:
+            self._recent.append(record)
+
+    def recent(self, k: int = 50) -> List[Dict[str, Any]]:
+        """The most recent ``k`` notifications, newest first."""
+        with self._lock:
+            records = list(self._recent)
+        return records[::-1][:k]
+
+
+class WebhookStubNotifier:
+    """Records the webhook POST it *would* make; never touches the network.
+
+    The payload matches what a PagerDuty/Slack-style bridge would
+    receive, so swapping in a real transport is a one-method change —
+    and tests can assert on exact payloads without sockets.
+    """
+
+    name = "webhook"
+
+    def __init__(
+        self, url: str = "http://alerts.invalid/hook", capacity: int = 256
+    ):
+        if capacity <= 0:
+            raise ObservabilityError(f"sink capacity must be positive, got {capacity}")
+        self.url = url
+        self._recent: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def notify(self, alert: Dict[str, Any], phase: str) -> None:
+        """Record the POST a real webhook transport would make."""
+        record = _notification(alert, phase)
+        payload = {"url": self.url, "body": json.dumps(record, sort_keys=True)}
+        with self._lock:
+            self._recent.append(payload)
+
+    def recent(self, k: int = 50) -> List[Dict[str, Any]]:
+        """The most recent ``k`` would-be POSTs, newest first."""
+        with self._lock:
+            records = list(self._recent)
+        return records[::-1][:k]
+
+
+class NotificationHub:
+    """Fans alert transitions out to every sink, isolating failures."""
+
+    def __init__(self, sinks: Optional[Sequence[Any]] = None):
+        self.sinks: List[Any] = list(sinks) if sinks is not None else [LogSinkNotifier()]
+
+    def dispatch(self, alerts: Sequence[Dict[str, Any]]) -> int:
+        """Deliver each changed alert to each sink; returns delivery count.
+
+        Called by :meth:`SloEvaluator.evaluate` *after* it releases its
+        state lock, so a slow sink cannot stall alert detection. A sink
+        that raises is counted and logged, and the remaining sinks still
+        receive the alert.
+        """
+        registry = get_registry()
+        sent = errors = None
+        if registry.enabled:
+            sent = registry.counter(
+                "slo_notifications_total",
+                "Alert notifications delivered, per sink and phase.",
+                labels=("sink", "phase"),
+            )
+            errors = registry.counter(
+                "slo_notification_errors_total",
+                "Alert notifications that raised in the sink, per sink.",
+                labels=("sink",),
+            )
+        delivered = 0
+        for alert in alerts:
+            phase = "resolved" if alert.get("resolved_at") is not None else "fired"
+            for sink in self.sinks:
+                name = getattr(sink, "name", type(sink).__name__)
+                try:
+                    sink.notify(alert, phase)
+                except Exception as exc:
+                    if errors is not None:
+                        errors.labels(name).inc()
+                    get_event_log().warning(
+                        "slo.notification_failed", sink=name, error=repr(exc)
+                    )
+                    continue
+                delivered += 1
+                if sent is not None:
+                    sent.labels(name, phase).inc()
+        return delivered

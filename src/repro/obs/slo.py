@@ -305,11 +305,15 @@ class SloEvaluator:
         self,
         slos: Optional[Sequence[SloDefinition]] = None,
         history: int = 256,
+        notifier: Optional[Any] = None,
     ):
         if history <= 0:
             raise ObservabilityError(f"alert history must be positive, got {history}")
         self.slos: List[SloDefinition] = list(slos or [])
         self.enabled = True
+        #: Optional :class:`repro.obs.notify.NotificationHub`; receives
+        #: every changed alert after the evaluation lock is released.
+        self.notifier = notifier
         self._active: Dict[tuple, Alert] = {}
         self._history: deque = deque(maxlen=history)
         self._lock = threading.Lock()
@@ -389,6 +393,10 @@ class SloEvaluator:
                             del self._active[key]
                             changed.append(active)
                             self._alert_event(active, fired=False)
+        # Outside the lock: a slow or broken sink must never stall the
+        # next evaluation pass (the hub isolates per-sink failures too).
+        if changed and self.notifier is not None:
+            self.notifier.dispatch(changed)
         return changed
 
     @staticmethod

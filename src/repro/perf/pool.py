@@ -274,8 +274,12 @@ def chunk_ranges(n: int, chunks: int) -> List[Tuple[int, int]]:
 def parallel_matvec(matrix, x, *, chunks: int, pool=None):
     """Row-partitioned ``matrix @ x`` over the selected backend.
 
-    Each chunk computes rows ``[start, stop)`` independently; the
-    request thread concatenates the slices. When ``pool`` is a
+    Each chunk computes rows ``[start, stop)`` independently and lands
+    directly in its disjoint slice of one preallocated output vector —
+    there is no serial concatenate step in the parent; the process
+    backend likewise streams chunks in completion order
+    (:meth:`~repro.perf.procpool.ProcessWorkerPool.run_kernel_into`).
+    When ``pool`` is a
     :class:`~repro.perf.procpool.ProcessWorkerPool` (or ``None`` and the
     process backend is up), chunks run in worker processes over the
     matrix's cached shared-memory CSR slabs
@@ -302,14 +306,16 @@ def parallel_matvec(matrix, x, *, chunks: int, pool=None):
             pass  # marked down; recompute on the thread/serial path
     thread_pool = pool if isinstance(pool, WorkerPool) else None
     bounds = chunk_ranges(matrix.nrows, chunks)
-    parts = parallel_map(
-        lambda b: matrix.matvec_rows(x, b[0], b[1]),
-        bounds,
-        min_chunk=2,
-        pool=thread_pool,
-        label="matvec",
-    )
-    return np.concatenate(parts)
+    out = np.empty(matrix.nrows, dtype=float)
+
+    def _fill(bound: Tuple[int, int]) -> None:
+        # Disjoint slices: each worker writes only its own rows, so the
+        # concurrent assignments need no lock and the filled vector is
+        # bitwise identical to concatenating the parts in bound order.
+        out[bound[0] : bound[1]] = matrix.matvec_rows(x, bound[0], bound[1])
+
+    parallel_map(_fill, bounds, min_chunk=2, pool=thread_pool, label="matvec")
+    return out
 
 
 # ----------------------------------------------------------------------

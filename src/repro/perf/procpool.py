@@ -565,6 +565,74 @@ class ProcessWorkerPool:
             results.append(payload)
         return results
 
+    def run_kernel_into(
+        self,
+        kernel: Callable,
+        arrays: Dict[str, Any],
+        tasks: Sequence[tuple],
+        out: np.ndarray,
+        label: str = "kernel",
+    ) -> np.ndarray:
+        """:meth:`run_kernel` with *streamed* reduction into ``out``.
+
+        Every task must be a ``(start, stop, ...)`` tuple whose kernel
+        result is exactly ``out[start:stop]``; each chunk is written into
+        its disjoint slice **in completion order** (``as_completed``), so
+        the parent overlaps the reduction with still-running workers
+        instead of concatenating serially after the slowest one. Slices
+        are disjoint by construction (``chunk_ranges``), so completion
+        order cannot change the filled vector — results stay bitwise
+        identical to :meth:`run_kernel` + ``np.concatenate``. The error
+        contract is unchanged: task failures re-raise the first failure
+        *in task order* (after all tasks settle), infrastructure
+        failures mark the backend down and raise
+        :class:`ProcpoolUnavailable`.
+        """
+        from concurrent.futures import as_completed
+
+        ephemeral: List[SharedSlab] = []
+        metas: Dict[str, tuple] = {}
+        errors: Dict[int, tuple] = {}
+        try:
+            for key, value in arrays.items():
+                if isinstance(value, SharedSlab):
+                    metas[key] = value.meta
+                else:
+                    slab = SharedSlab.create(np.asarray(value))
+                    ephemeral.append(slab)
+                    metas[key] = slab.meta
+            trace_id = obs.current_trace_id()
+            with obs.get_tracer().span(
+                "pool.task", pool=self.name, task=label, backend=self.backend,
+                tasks=len(tasks),
+            ):
+                executor = self._ensure_executor()
+                index_of = {
+                    executor.submit(
+                        _invoke_kernel, kernel, metas, tuple(task), trace_id
+                    ): index
+                    for index, task in enumerate(tasks)
+                }
+                for future in as_completed(index_of):
+                    index = index_of[future]
+                    proxy = _ProxyFuture(future, self, f"{label}[{index}]")
+                    status, payload = proxy.envelope()
+                    if status == "err":
+                        errors[index] = payload
+                        continue
+                    start, stop = tasks[index][0], tasks[index][1]
+                    out[start:stop] = payload
+        except BaseException as exc:  # broken pool / cannot share / cannot start
+            _mark_unavailable(repr(exc))
+            raise ProcpoolUnavailable(repr(exc)) from exc
+        finally:
+            for slab in ephemeral:
+                slab.release()
+        if errors:
+            first = min(errors)
+            self._raise_remote(errors[first], f"{label}[{first}]")
+        return out
+
     def map_batched(
         self, fn: Callable, items: Sequence[Any], label: str = "map"
     ) -> List[Any]:
@@ -706,8 +774,11 @@ def shared_matvec(matrix, x, chunks: int, pool: ProcessWorkerPool) -> np.ndarray
 
     The CSR slabs are shared once per matrix (cached); ``x`` is shared
     for this call only. Each chunk runs :func:`_matvec_kernel` — the
-    exact ``matvec_rows`` kernel — so the concatenated result is bitwise
-    identical to ``matrix.matvec(x)``.
+    exact ``matvec_rows`` kernel — and streams into its disjoint slice
+    of one preallocated output as workers finish
+    (:meth:`ProcessWorkerPool.run_kernel_into`), so the result is
+    bitwise identical to ``matrix.matvec(x)`` with no serial
+    concatenate in the parent.
     """
     from repro.perf.pool import chunk_ranges
 
@@ -715,8 +786,8 @@ def shared_matvec(matrix, x, chunks: int, pool: ProcessWorkerPool) -> np.ndarray
     arrays: Dict[str, Any] = dict(shared_csr_slabs(matrix))
     arrays["x"] = x
     bounds = chunk_ranges(matrix.nrows, chunks)
-    parts = pool.run_kernel(_matvec_kernel, arrays, bounds, label="matvec")
-    return np.concatenate(parts)
+    out = np.empty(matrix.nrows, dtype=float)
+    return pool.run_kernel_into(_matvec_kernel, arrays, bounds, out, label="matvec")
 
 
 def picklable(*objects: Any) -> bool:

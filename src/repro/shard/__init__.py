@@ -1,0 +1,32 @@
+"""Hash-sharded repository federation behind one query surface.
+
+The paper's Fig. 6/7 workload bulk-loads sensor-metadata pages into one
+repository and queries them through one search interface; this package
+is the scaling step the ROADMAP names on top of it. Pages are
+partitioned by a hash of their canonical title into N independent
+:class:`~repro.smr.repository.SensorMetadataRepository` shards — each
+with its own rwlock, inverted-index segment, relational tables,
+RDF export, R-tree and incremental-PageRank dirty set — and
+:class:`~repro.shard.repository.ShardedRepository` /
+:class:`~repro.shard.engine.ShardedSearchEngine` federate them back into
+exactly the facade the unsharded engine speaks, with results asserted
+*byte-identical* to a single global repository. Constraint evaluation
+fans out per (constraint, shard) through ``repro.perf.pool`` — a
+coarse-grained, picklable unit of work the process backend can finally
+chew on — and per-shard candidates merge through the engine's existing
+top-k heap. This is the federation move of the "Virtual Internet
+Repositories" paper: many repositories, one query surface, merged at
+the edge.
+"""
+
+from repro.shard.engine import ShardedSearchEngine
+from repro.shard.fanout import shard_of
+from repro.shard.ranking import ShardedPageRankRanker
+from repro.shard.repository import ShardedRepository
+
+__all__ = [
+    "ShardedRepository",
+    "ShardedSearchEngine",
+    "ShardedPageRankRanker",
+    "shard_of",
+]

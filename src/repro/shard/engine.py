@@ -1,0 +1,98 @@
+"""The sharded search engine: per-(constraint, shard) fan-out, same bytes.
+
+:class:`ShardedSearchEngine` is the unsharded
+:class:`~repro.core.engine.AdvancedSearchEngine` with exactly one seam
+overridden — constraint evaluation. Where the base engine runs one job
+per constraint against its repository, this one expands each constraint
+into per-shard cells (:mod:`repro.shard.fanout`), fans them out through
+the same ``repro.perf.pool`` backend-selection matrix (thread, process
+or serial — cells are picklable by design, so the process backend's
+fork-snapshot path finally gets coarse-grained CPU work), and merges the
+per-shard partials back into the base engine's exact constraint
+outputs. Everything downstream — candidate intersection, BM25/PageRank
+blending, the top-k heap, caching, provenance — is inherited untouched,
+which is what makes the byte-identity guarantee (and its test) cheap:
+only the constraint outputs need proving, and those merge exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.core.engine import AdvancedSearchEngine
+from repro.core.query import SearchQuery
+from repro.errors import ReproError
+from repro.perf.pool import TASK_KINDS, parallel_map
+from repro.shard import fanout
+from repro.shard.ranking import ShardedPageRankRanker
+
+
+class ShardedSearchEngine(AdvancedSearchEngine):
+    """Advanced search over a :class:`ShardedRepository`, byte-identical."""
+
+    def __init__(
+        self,
+        smr: Any,
+        ranker: Any = None,
+        fanout_kind: str = "cpu",
+        **kwargs: Any,
+    ):
+        if fanout_kind not in TASK_KINDS:
+            raise ReproError(
+                f"unknown fan-out kind {fanout_kind!r}; expected one of "
+                f"{sorted(TASK_KINDS)}"
+            )
+        if ranker is None:
+            ranker = ShardedPageRankRanker(smr)
+        super().__init__(smr, ranker=ranker, **kwargs)
+        #: Which ``repro.perf.pool`` task kind shard cells are labelled
+        #: with — ``"cpu"`` lets the process backend claim them when the
+        #: degradation matrix allows, ``"io"`` pins the thread pool,
+        #: ``"serial"`` forces in-line evaluation (useful in tests).
+        self.fanout_kind = fanout_kind
+
+    def _evaluate_constraints(
+        self, query: SearchQuery, timed: bool
+    ) -> Tuple[List[Any], List[float]]:
+        """Fan each constraint out per shard and merge the partials.
+
+        Both paths build generation-stamped cells and let the pool
+        schedule them; ``merge_cells`` re-evaluates any
+        stale/miss/dropped cell locally, so every backend degradation
+        level returns identical outputs. In timed (provenance) mode each
+        cell reports its own wall seconds and a constraint's stage cost
+        is the *sum* over its shards — aggregate work, not elapsed time,
+        since the cells ran concurrently.
+        """
+        specs = fanout.constraint_specs(query, spatial_index=self.spatial_index)
+        if not specs:
+            return [], []
+        cells = fanout.build_cells(self.smr, specs)
+        evaluator = fanout.evaluate_cell_timed if timed else fanout.evaluate_cell
+        raw = parallel_map(
+            evaluator,
+            cells,
+            pool=self.pool,
+            kind=self.fanout_kind,
+            label="shard.fanout",
+        )
+        job_seconds: List[float] = []
+        if timed:
+            shards = self.smr.shard_count
+            timed_raw = [entry if entry is not None else (0.0, None) for entry in raw]
+            job_seconds = [
+                sum(seconds for seconds, _ in timed_raw[i * shards : (i + 1) * shards])
+                for i in range(len(specs))
+            ]
+            raw = [result for _, result in timed_raw]
+        return fanout.merge_cells(self.smr, specs, cells, raw), job_seconds
+
+    def spatial_index_info(self) -> dict:
+        """Per-shard R-tree state (the global memo is never built here)."""
+        return {
+            "enabled": self.spatial_index,
+            "sharded": True,
+            "generation": None,
+            "current_generation": self.smr.mutation_count,
+            "shards": self.smr.shard_spatial_info(),
+        }

@@ -1,0 +1,304 @@
+"""Per-(constraint, shard) fan-out cells for the sharded query path.
+
+The unsharded engine fans one job per *constraint* onto the pool
+(Section II's SQL + SPARQL + keyword + spatial combination, Fig. 1);
+here each constraint splits further into one **cell** per shard — a
+small, picklable ``(registry_key, shard, generation, spec)`` tuple that
+:func:`evaluate_cell` (a module-level function, so it crosses a process
+boundary by name) resolves against a registered
+:class:`~repro.shard.repository.ShardedRepository`.
+
+Process-backend snapshot protocol: forked workers inherit the registry —
+and through it a copy-on-write snapshot of every shard — at fork time.
+Each cell carries the shard generation the parent observed when it built
+the cell; a worker whose snapshot has a different generation answers
+``"stale"`` instead of computing on old data, and a worker that never
+saw the repository answers ``"miss"``. The parent re-evaluates those
+cells locally in :func:`merge_cells`, so every degradation level returns
+the same merged constraint outputs — only the wall clock changes,
+exactly the ``repro.perf.pool`` contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import weakref
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.core.query import PropertyFilter, SearchQuery
+from repro.errors import QueryError, ReproError
+from repro.text.inverted_index import analyze, merged_search
+
+
+def shard_of(title: str, shard_count: int) -> int:
+    """The shard owning ``title``: crc32 of the canonical title key.
+
+    Uses the same ``strip().lower()`` canonicalization as the wiki's
+    title keys, so the case-insensitive aliases of one page always land
+    on one shard. crc32 is stable across processes and Python versions
+    (unlike ``hash``), which the fork-snapshot protocol requires.
+    """
+    key = title.strip().lower().encode("utf-8")
+    return zlib.crc32(key) % max(1, shard_count)
+
+
+# ----------------------------------------------------------------------
+# Repository registry (parent-side handles; fork-time snapshots)
+# ----------------------------------------------------------------------
+
+_registry: Dict[str, Tuple[Any, int]] = {}
+_registry_lock = threading.Lock()
+_registry_seq = itertools.count(1)
+
+
+def register_repository(repo: Any) -> str:
+    """Register ``repo`` for cell evaluation; returns its registry key.
+
+    The registry holds a weak reference — registration never extends a
+    repository's lifetime, and cells naming a collected repository
+    resolve to ``"miss"``.
+    """
+    key = f"shard-repo-{os.getpid()}-{next(_registry_seq)}"
+    with _registry_lock:
+        _registry[key] = (weakref.ref(repo), os.getpid())
+    return key
+
+
+def _lookup(key: str) -> Tuple[Optional[Any], int]:
+    with _registry_lock:
+        entry = _registry.get(key)
+    if entry is None:
+        return None, 0
+    ref, owner_pid = entry
+    return ref(), owner_pid
+
+
+# ----------------------------------------------------------------------
+# Constraint specs and cells
+# ----------------------------------------------------------------------
+
+
+def constraint_specs(query: SearchQuery, spatial_index: bool = True) -> List[tuple]:
+    """The query's independent constraints as picklable specs.
+
+    Order matches the unsharded engine's job list exactly — keyword,
+    filters in declaration order, bbox — because :meth:`_search`
+    reassembles outputs positionally.
+    """
+    specs: List[tuple] = []
+    if query.keyword:
+        specs.append(("keyword", query.keyword, tuple(analyze(query.keyword))))
+    specs.extend(("filter", flt) for flt in query.filters)
+    if query.bbox is not None:
+        box = query.bbox
+        specs.append(
+            ("bbox", (box.south, box.north, box.west, box.east), bool(spatial_index))
+        )
+    return specs
+
+
+def build_cells(repo: Any, specs: Sequence[tuple]) -> List[tuple]:
+    """One cell per (spec, shard), stamped with the shard's generation."""
+    return [
+        (repo.registry_key, shard, repo.shard_generation(shard), spec)
+        for spec in specs
+        for shard in range(repo.shard_count)
+    ]
+
+
+def evaluate_cell(cell: tuple) -> Tuple[str, Any]:
+    """Evaluate one (constraint, shard) cell; never raises for staleness.
+
+    Returns ``(verdict, value)`` where the verdict is ``"ok"`` (value is
+    the shard's partial result), ``"stale"`` (the evaluating process's
+    view of the shard is at a different generation than the cell
+    expects) or ``"miss"`` (this process never saw the repository —
+    e.g. a pool worker forked before it was built).
+    """
+    key, shard, expected_generation, spec = cell
+    repo, owner_pid = _lookup(key)
+    if repo is None:
+        return ("miss", None)
+    # In a forked worker the repository is a frozen copy-on-write
+    # snapshot: nothing mutates it there, and its locks may have been
+    # captured mid-acquisition by an unrelated parent thread — so worker
+    # processes read lock-free, guarded by the generation check instead.
+    locked = os.getpid() == owner_pid
+    if repo.shard_generation(shard) != expected_generation:
+        return ("stale", None)
+    return ("ok", evaluate_spec_on_shard(repo, shard, spec, locked=locked))
+
+
+def evaluate_cell_timed(cell: tuple) -> Tuple[float, Tuple[str, Any]]:
+    """:func:`evaluate_cell` plus its own wall seconds (provenance mode).
+
+    Module-level like :func:`evaluate_cell`, so the timed path crosses a
+    process boundary the same way. The sharded engine sums a
+    constraint's cell seconds into its provenance stage cost —
+    aggregate work across shards, not elapsed wall clock (the cells ran
+    concurrently).
+    """
+    import time
+
+    started = time.perf_counter()
+    result = evaluate_cell(cell)
+    return (time.perf_counter() - started, result)
+
+
+def evaluate_spec_on_shard(
+    repo: Any, shard: int, spec: tuple, locked: bool = True
+) -> Any:
+    """One shard's partial result for one constraint spec."""
+    if spec[0] == "keyword":
+        return repo.shard_keyword_segment(shard, spec[2], locked=locked)
+    if spec[0] == "filter":
+        return repo.shard_filter_matches(shard, spec[1], locked=locked)
+    if spec[0] == "bbox":
+        return repo.shard_bbox_titles(shard, spec[1], use_index=spec[2], locked=locked)
+    raise ReproError(f"unknown constraint spec {spec[0]!r}")
+
+
+def evaluate_spec_local(repo: Any, spec: tuple) -> Any:
+    """Evaluate one spec over every shard serially and merge (no cells).
+
+    The provenance (timed) path uses this so each constraint's wall time
+    covers its full per-shard evaluation, and :func:`merge_cells` uses
+    it per cell as the stale/miss fallback.
+    """
+    parts = [
+        evaluate_spec_on_shard(repo, shard, spec)
+        for shard in range(repo.shard_count)
+    ]
+    return merge_spec(repo, spec, parts)
+
+
+def merge_cells(
+    repo: Any, specs: Sequence[tuple], cells: Sequence[tuple], raw: Sequence[Any]
+) -> List[Any]:
+    """Merge raw cell results back into one output per spec.
+
+    ``raw`` is spec-major (``build_cells`` order). Cells that came back
+    ``stale``/``miss`` — or ``None``, when a backend degradation dropped
+    them — are re-evaluated locally against the live repository, so the
+    merged outputs never mix generations silently.
+    """
+    registry = obs.get_registry()
+    counter = None
+    if registry.enabled:
+        counter = registry.counter(
+            "shard_fanout_cells_total",
+            "Per-(constraint, shard) fan-out cells by worker verdict.",
+            labels=("verdict",),
+        )
+    outputs: List[Any] = []
+    count = repo.shard_count
+    for i, spec in enumerate(specs):
+        parts: List[Any] = []
+        for shard in range(count):
+            result = raw[i * count + shard]
+            verdict, value = result if result is not None else ("miss", None)
+            if counter is not None:
+                counter.labels(verdict).inc()
+            if verdict != "ok":
+                value = evaluate_spec_on_shard(repo, shard, spec)
+            parts.append(value)
+        outputs.append(merge_spec(repo, spec, parts))
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Merging per-shard partials
+# ----------------------------------------------------------------------
+
+
+class _SegmentView:
+    """Duck-typed :class:`InvertedIndex` over one shard's postings snapshot.
+
+    Provides exactly the accessors :func:`merged_search` consumes, backed
+    by the integers and postings a ``shard_keyword_segment`` snapshot
+    carries — so merging fork-worker snapshots scores identically to
+    merging the live segments.
+    """
+
+    __slots__ = ("document_count", "total_token_count", "_postings", "_lengths")
+
+    def __init__(self, snapshot: tuple):
+        (
+            self.document_count,
+            self.total_token_count,
+            self._postings,
+            self._lengths,
+        ) = snapshot
+
+    def term_documents(self, term: str) -> Dict[str, int]:
+        return self._postings.get(term, {})
+
+    def doc_length(self, doc_id: str) -> int:
+        return self._lengths.get(doc_id, 0)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._lengths
+
+
+def merge_spec(repo: Any, spec: tuple, parts: Sequence[Any]) -> Any:
+    """Combine per-shard partial results into the global constraint output.
+
+    Keyword partials merge through :func:`merged_search` (exact integer
+    statistics — byte-identical to one global index); filter partials
+    union their matches with the unsharded error semantics preserved;
+    bbox partials are a plain set union (the hash partition is disjoint).
+    """
+    if spec[0] == "keyword":
+        views = [_SegmentView(part) for part in parts]
+        return merged_search(views, spec[1])
+    if spec[0] == "filter":
+        return _merge_filter(repo, spec[1], parts)
+    if spec[0] == "bbox":
+        matches: Set[str] = set()
+        for part in parts:
+            matches |= part
+        return matches
+    raise ReproError(f"unknown constraint spec {spec[0]!r}")
+
+
+def _merge_filter(repo: Any, flt: PropertyFilter, parts: Sequence[Any]) -> Set[str]:
+    """Union per-shard filter matches, reproducing unsharded errors.
+
+    SQL partials carry ``(matches, errors_by_kind)``; the merged filter
+    fails — with the exact unsharded message — only when every mapped
+    kind failed somewhere and nothing matched anywhere, mirroring
+    ``AdvancedSearchEngine._sql_filter``. (Shards share one schema, so a
+    kind that fails at plan time fails identically on every shard.)
+    SPARQL partials carry subject-IRI values, mapped back to titles
+    through the repository's generation-memoized IRI map.
+    """
+    if parts and parts[0][0] == "sparql":
+        iris: Set[str] = set()
+        for _, part_iris, _ in parts:
+            iris |= part_iris
+        iri_to_title = repo.iri_title_map()
+        matches = set()
+        for value in iris:
+            title = iri_to_title.get(value)
+            if title is not None:
+                matches.add(title)
+        return matches
+    kinds = [
+        kind
+        for kind in repo.mapping.kinds
+        if repo.mapping.column_for_property(kind, flt.prop) is not None
+    ]
+    matches = set()
+    errors_by_kind: Dict[str, str] = {}
+    for _, part_matches, part_errors in parts:
+        matches |= part_matches
+        for kind, message in part_errors.items():
+            errors_by_kind.setdefault(kind, message)
+    if errors_by_kind and not matches and len(errors_by_kind) == len(kinds):
+        joined = "; ".join(f"{kind}: {errors_by_kind[kind]}" for kind in kinds)
+        raise QueryError(f"filter {flt.describe()} failed on every kind: {joined}")
+    return matches

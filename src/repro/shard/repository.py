@@ -1,0 +1,749 @@
+"""A hash-partitioned federation of SensorMetadataRepositories.
+
+:class:`ShardedRepository` owns N independent
+:class:`~repro.smr.repository.SensorMetadataRepository` shards and
+presents the *exact* unsharded facade on top of them — same methods,
+same orderings, same error messages — so
+:class:`repro.core.engine.AdvancedSearchEngine`,
+:class:`repro.core.ranking.PageRankRanker` and the web layer run
+unchanged against it. The paper's single repository (Section II)
+becomes a federation merged at the edge:
+
+- **Routing.** :func:`~repro.shard.fanout.shard_of` hashes the
+  canonical title key (crc32), so a page and all its case variants live
+  on exactly one shard; writers lock *one* shard, readers that need a
+  global snapshot lock all of them in index order (deadlock-free).
+- **Global orderings are reproduced, not approximated.** The federated
+  wiki view sorts the union of per-shard titles with the same
+  case-insensitive key the single wiki uses, so page indices, link
+  graphs (and hence PageRank), RDF triple insertion order (and hence
+  SPARQL row order) are all byte-identical to the unsharded build.
+- **Segment statistics sum exactly.** BM25's corpus statistics are
+  integers; :func:`repro.text.inverted_index.merged_search` recovers
+  the global scores bitwise from the per-shard segments.
+- **Staleness is per shard.** Every shard keeps its own mutation
+  counter; the global generation is their sum (monotone), and the
+  per-shard counters drive the sharded ranker's staleness-lag gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RelationalError, SmrError
+from repro.rdf.graph import Graph
+from repro.rdf.sparql import SparqlEngine, SparqlResult
+from repro.relational.database import ResultSet
+from repro.shard import fanout
+from repro.shard.fanout import shard_of
+from repro.smr.model import KIND_ORDER, record_class_for
+from repro.smr.repository import SensorMetadataRepository, default_schema_mapping
+from repro.text.inverted_index import InvertedIndex, SearchHit, merged_search
+from repro.wiki.schema_map import SchemaMapping
+
+import re
+
+
+class FederatedLock:
+    """All shard locks as one: acquire every shard in index order.
+
+    Readers that need a cross-shard snapshot (global titles, link
+    graphs, RDF export) hold every shard's read lock at once; writers
+    through the federated facade would hold every write lock (only
+    maintenance paths do — :meth:`ShardedRepository.register` locks just
+    the owning shard). The fixed 0..n-1 acquisition order makes the
+    composite deadlock-free against single-shard writers, and the
+    underlying per-shard locks stay reentrant for readers.
+    """
+
+    def __init__(self, locks: Sequence[Any]):
+        self._locks = list(locks)
+
+    @contextmanager
+    def read(self):
+        """Acquire every shard's read lock, in shard order."""
+        with ExitStack() as stack:
+            for lock in self._locks:
+                stack.enter_context(lock.read())
+            yield
+
+    @contextmanager
+    def write(self):
+        """Acquire every shard's write lock, in shard order."""
+        with ExitStack() as stack:
+            for lock in self._locks:
+                stack.enter_context(lock.write())
+            yield
+
+
+class FederatedWikiView:
+    """The read surface of a single :class:`WikiSite`, over all shards.
+
+    Per-page methods route to the owning shard; corpus-wide methods
+    iterate the *global* case-insensitively sorted title list, exactly
+    replicating the single wiki's loops — including edge and triple
+    insertion order. Mutations must go through
+    :meth:`ShardedRepository.register`; ``save``/``delete`` raise.
+
+    Callers needing a consistent cross-shard snapshot must hold the
+    repository's federated read lock (the SMR facade methods and the
+    ranker's ``_recompute`` already do).
+    """
+
+    def __init__(self, repo: "ShardedRepository"):
+        self._repo = repo
+
+    @staticmethod
+    def _key(title: str) -> str:
+        return title.strip().lower()
+
+    def _owner(self, title: str):
+        return self._repo.shards[shard_of(title, self._repo.shard_count)].wiki
+
+    # -- page access ---------------------------------------------------
+
+    def has(self, title: str) -> bool:
+        """True when the owning shard holds ``title``."""
+        return self._owner(title).has(title)
+
+    def get(self, title: str):
+        """Fetch the page from its owning shard."""
+        return self._owner(title).get(title)
+
+    def parsed(self, title: str):
+        """Parsed wikitext of the page, from its owning shard."""
+        return self._owner(title).parsed(title)
+
+    def annotations(self, title: str) -> List[Tuple[str, Any]]:
+        """Semantic annotations of the page, from its owning shard."""
+        return self._owner(title).annotations(title)
+
+    def save(self, *args: Any, **kwargs: Any):
+        """Rejected: the federated view is read-only."""
+        raise SmrError(
+            "the federated wiki view is read-only; write through "
+            "ShardedRepository.register()"
+        )
+
+    def delete(self, *args: Any, **kwargs: Any):
+        """Rejected: the federated view is read-only."""
+        raise SmrError(
+            "the federated wiki view is read-only; write through "
+            "ShardedRepository.register()"
+        )
+
+    # -- corpus-wide views (global title order) -------------------------
+
+    @property
+    def page_count(self) -> int:
+        return sum(shard.wiki.page_count for shard in self._repo.shards)
+
+    def titles(self) -> List[str]:
+        """Union of shard titles, in the single wiki's global sort order."""
+        merged: List[str] = []
+        for shard in self._repo.shards:
+            merged.extend(shard.wiki.titles())
+        merged.sort(key=str.lower)
+        return merged
+
+    def pages(self) -> Iterator[Any]:
+        """Iterate pages in the global (sorted-union) title order."""
+        for title in self.titles():
+            yield self.get(title)
+
+    def titles_in_namespace(self, namespace: str) -> List[str]:
+        """Global titles restricted to one namespace."""
+        wanted = namespace.lower()
+        return [t for t in self.titles() if self.get(t).namespace.lower() == wanted]
+
+    def categories(self) -> Dict[str, List[str]]:
+        """Category -> member titles over the whole federation."""
+        members: Dict[str, List[str]] = {}
+        for title in self.titles():
+            for category in self.parsed(title).categories:
+                members.setdefault(category, []).append(title)
+        return members
+
+    def pages_in_category(self, category: str) -> List[str]:
+        """Member titles of one category over the whole federation."""
+        wanted = category.lower()
+        return [
+            title
+            for title in self.titles()
+            if any(c.lower() == wanted for c in self.parsed(title).categories)
+        ]
+
+    def page_index(self) -> Dict[str, int]:
+        """Global title -> row index, in global title order."""
+        return {self._key(title): i for i, title in enumerate(self.titles())}
+
+    def link_graph(self):
+        """Hyperlink graph over global titles (unsharded iteration order)."""
+        from repro.pagerank.webgraph import LinkGraph
+
+        index = self.page_index()
+        graph = LinkGraph(len(index))
+        for title in self.titles():
+            src = index[self._key(title)]
+            for target in self.parsed(title).links:
+                dst = index.get(self._key(target))
+                if dst is not None and dst != src:
+                    graph.add_edge(src, dst)
+        return graph
+
+    def semantic_graph(self):
+        """Typed-link graph over global titles (unsharded iteration order)."""
+        from repro.pagerank.webgraph import LinkGraph
+
+        index = self.page_index()
+        graph = LinkGraph(len(index))
+        for title in self.titles():
+            src = index[self._key(title)]
+            for _, value in self.parsed(title).annotations:
+                if not isinstance(value, str):
+                    continue
+                dst = index.get(self._key(value))
+                if dst is not None and dst != src:
+                    graph.add_edge(src, dst)
+        return graph
+
+    def property_names(self) -> List[str]:
+        """Sorted union of semantic property names across shards."""
+        names: Set[str] = set()
+        for shard in self._repo.shards:
+            names.update(shard.wiki.property_names())
+        return sorted(names)
+
+    def property_values(self, prop: str) -> List[Any]:
+        """Distinct values of one property across shards, unsharded order."""
+        wanted = prop.lower()
+        values: List[Any] = []
+        for title in self.titles():
+            values.extend(self.parsed(title).annotation_values(wanted))
+        return values
+
+    def export_rdf(self, resolver: Any = None) -> Graph:
+        """Global RDF export, iterating titles in the single wiki's order.
+
+        Each page's triples are emitted by its owning shard with *this
+        federation* as the resolver, so cross-shard references become
+        IRIs exactly as they would in one global wiki — and the triple
+        insertion order (hence SPARQL result order) matches bitwise.
+        """
+        site = self if resolver is None else resolver
+        graph = Graph()
+        for title in self.titles():
+            self._owner(title).export_page_rdf(graph, title, resolver=site)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"FederatedWikiView(shards={self._repo.shard_count}, pages={self.page_count})"
+
+
+_AGGREGATE_RE = re.compile(r"\b(COUNT|SUM|AVG|MIN|MAX)\s*\(", re.IGNORECASE)
+_LIMIT_RE = re.compile(r"\bLIMIT\s+(\d+)\s*;?\s*$", re.IGNORECASE)
+_ORDER_RE = re.compile(r"\bORDER\s+BY\b", re.IGNORECASE)
+
+
+class FederatedDatabaseView:
+    """Fan-union SQL over the shards' identical relational schemas.
+
+    ``SELECT`` statements run on every shard and concatenate rows in
+    shard order (a trailing ``LIMIT k`` is re-applied to the union);
+    ``EXPLAIN`` answers from shard 0, whose planner and schema are
+    representative. Aggregates, ``ORDER BY`` and writes raise — per-shard
+    aggregation does not merge losslessly and writes must route through
+    :meth:`ShardedRepository.register` to keep all stores in sync. The
+    engine's filter fan-out never hits these limits: its probes are
+    plain ``SELECT title FROM kind WHERE ...`` per shard.
+    """
+
+    def __init__(self, repo: "ShardedRepository"):
+        self._repo = repo
+
+    @property
+    def table_names(self) -> List[str]:
+        return self._repo.shards[0].db.table_names
+
+    def catalog_stats(self) -> Dict[str, Any]:
+        """Per-shard catalog statistics, marked ``sharded``."""
+        return {
+            "sharded": True,
+            "shards": [shard.db.catalog_stats() for shard in self._repo.shards],
+        }
+
+    def execute(self, sql: str) -> ResultSet:
+        """Fan a SELECT across shards and concatenate rows (LIMIT trimmed after the union)."""
+        text = sql.strip()
+        upper = text.upper()
+        if upper.startswith("EXPLAIN"):
+            return self._repo.shards[0].db.execute(sql)
+        if not upper.startswith("SELECT"):
+            raise SmrError(
+                "the federated SQL view is read-only; write through "
+                "ShardedRepository.register()"
+            )
+        if _AGGREGATE_RE.search(text):
+            raise SmrError(
+                "aggregates are not supported on the federated SQL view "
+                "(per-shard aggregates do not merge losslessly); "
+                "query shards individually"
+            )
+        if _ORDER_RE.search(text):
+            raise SmrError(
+                "ORDER BY is not supported on the federated SQL view "
+                "(per-shard order does not merge); sort client-side"
+            )
+        limit = _LIMIT_RE.search(text)
+        columns: Optional[List[str]] = None
+        rows: List[Tuple[Any, ...]] = []
+        for shard in self._repo.shards:
+            result = shard.db.execute(sql)
+            if columns is None:
+                columns = list(result.columns)
+            rows.extend(result.rows)
+        if limit is not None:
+            rows = rows[: int(limit.group(1))]
+        return ResultSet(columns or [], rows)
+
+    def __repr__(self) -> str:
+        return f"FederatedDatabaseView(shards={self._repo.shard_count})"
+
+
+class ShardedRepository:
+    """N hash-partitioned SMR shards behind the unsharded SMR facade."""
+
+    def __init__(
+        self, shard_count: int = 4, mapping: Optional[SchemaMapping] = None
+    ):
+        if shard_count < 1:
+            raise SmrError(f"shard count must be >= 1, got {shard_count}")
+        self.shard_count = int(shard_count)
+        self.mapping = mapping or default_schema_mapping()
+        self.shards = [
+            SensorMetadataRepository(mapping=self.mapping)
+            for _ in range(self.shard_count)
+        ]
+        self.wiki = FederatedWikiView(self)
+        self.db = FederatedDatabaseView(self)
+        self.lock = FederatedLock([shard.lock for shard in self.shards])
+        #: Handle under which process-pool workers resolve this
+        #: repository from their fork-time snapshot (see repro.shard.fanout).
+        self.registry_key = fanout.register_repository(self)
+        # Generation-keyed memos. The global RDF export and IRI map key on
+        # the *global* mutation count; the per-shard RDF exports do too,
+        # because a page added to any shard can flip another shard's
+        # Literal objects into IRIs (the resolver is the federation). Only
+        # the per-shard spatial indexes key on their own shard's counter —
+        # locations are strictly shard-local.
+        self._rdf_lock = threading.Lock()
+        self._global_rdf: Optional[Tuple[int, Graph]] = None
+        self._shard_rdf: List[Optional[Tuple[int, Graph]]] = [None] * self.shard_count
+        self._spatial_lock = threading.Lock()
+        self._shard_spatial: List[Optional[Tuple[int, Any]]] = [None] * self.shard_count
+        self._iri_lock = threading.Lock()
+        self._iri_memo: Optional[Tuple[int, Dict[str, str]]] = None
+
+    # ------------------------------------------------------------------
+    # Registration (routes to the owning shard)
+    # ------------------------------------------------------------------
+
+    def shard_for(self, title: str) -> int:
+        """The shard index owning ``title``."""
+        return shard_of(title, self.shard_count)
+
+    def register(
+        self,
+        kind: str,
+        title: str,
+        annotations: Sequence[Tuple[str, Any]],
+        links: Sequence[str] = (),
+        description: str = "",
+        author: str = "",
+    ) -> None:
+        """Create or update one metadata page on its owning shard."""
+        self.shards[self.shard_for(title)].register(
+            kind,
+            title,
+            annotations,
+            links=links,
+            description=description,
+            author=author,
+        )
+
+    def register_record(
+        self, kind: str, record: Dict[str, Any], links: Sequence[str] = ()
+    ) -> None:
+        """Register a typed record, routing the page to its owning shard."""
+        typed = record_class_for(kind).from_record(record)
+        self.register(kind, typed.title, typed.annotations(), links=links)
+
+    @classmethod
+    def from_corpus(cls, corpus, shard_count: int = 4) -> "ShardedRepository":
+        """Load a synthetic corpus, mirroring the unsharded bulk load."""
+        repo = cls(shard_count=shard_count)
+        extra_links: Dict[str, List[str]] = {}
+        for source, target in corpus.page_links:
+            extra_links.setdefault(source, []).append(target)
+        for kind in KIND_ORDER:
+            for record in corpus.records_of(kind):
+                repo.register_record(
+                    kind, record, links=extra_links.get(record["title"], ())
+                )
+        return repo
+
+    # ------------------------------------------------------------------
+    # The unsharded SMR facade
+    # ------------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return sum(shard.page_count for shard in self.shards)
+
+    @property
+    def mutation_count(self) -> int:
+        """Sum of the shard mutation counters — monotone, like the original.
+
+        Every write bumps exactly one shard's counter, so the sum only
+        grows; generation-stamped caches (results, memos, rankings) work
+        unchanged against it.
+        """
+        return sum(shard.mutation_count for shard in self.shards)
+
+    def kind_of(self, title: str) -> str:
+        """Record kind of the page, from its owning shard."""
+        return self.shards[self.shard_for(title)].kind_of(title)
+
+    def kind_map(self) -> Dict[str, str]:
+        """One federated-read-locked snapshot of title-key -> kind."""
+        merged: Dict[str, str] = {}
+        with self.lock.read():
+            for shard in self.shards:
+                merged.update(shard.kind_map())
+        return merged
+
+    def titles(self, kind: Optional[str] = None) -> List[str]:
+        """Global titles, optionally restricted to one record kind."""
+        with self.lock.read():
+            titles = self.wiki.titles()
+            if kind is None:
+                return titles
+            wanted = kind.lower()
+            kinds: Dict[str, str] = {}
+            for shard in self.shards:
+                kinds.update(shard.kind_map())
+            return [t for t in titles if kinds[t.strip().lower()] == wanted]
+
+    def annotations(self, title: str) -> List[Tuple[str, Any]]:
+        """Semantic annotations of the page, from its owning shard."""
+        return self.shards[self.shard_for(title)].annotations(title)
+
+    def property_names(self) -> List[str]:
+        """Sorted union of semantic property names across shards."""
+        with self.lock.read():
+            return self.wiki.property_names()
+
+    def sql(self, query: str) -> ResultSet:
+        """Run a federated SELECT under the federated read lock."""
+        with self.lock.read():
+            return self.db.execute(query)
+
+    def rdf_graph(self) -> Graph:
+        """The global RDF export, memoized per (global) generation."""
+        generation = self.mutation_count
+        memo = self._global_rdf
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        with self._rdf_lock:
+            memo = self._global_rdf
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            with self.lock.read():
+                graph = self.wiki.export_rdf()
+            self._global_rdf = (generation, graph)
+            return graph
+
+    def sparql(self, query: str) -> SparqlResult:
+        """Run SPARQL over the federation-wide RDF graph."""
+        with self.lock.read():
+            return SparqlEngine(self.rdf_graph()).query(query)
+
+    def keyword_search(self, query: str, limit: Optional[int] = None) -> List[SearchHit]:
+        """Merged-segment keyword search, byte-identical to one index."""
+        with self.lock.read():
+            return merged_search(
+                [shard.text_index for shard in self.shards], query, limit=limit
+            )
+
+    # ------------------------------------------------------------------
+    # Per-shard accessors (the fan-out cells' substrate)
+    #
+    # ``locked=False`` is the fork-snapshot mode: a process-pool worker
+    # reads its frozen copy without touching any lock (the copied locks
+    # may be unreleasable there); repro.shard.fanout guards those reads
+    # with the cell's generation stamp instead.
+    # ------------------------------------------------------------------
+
+    def shard_generation(self, index: int) -> int:
+        """Shard ``index``'s own mutation counter."""
+        return self.shards[index].mutation_count
+
+    def shard_keyword_segment(
+        self, index: int, terms: Sequence[str], locked: bool = True
+    ) -> tuple:
+        """One shard's postings snapshot for already-analyzed ``terms``.
+
+        Returns ``(document_count, total_token_count, postings, lengths)``
+        — the exact integers :func:`merged_search` needs to reproduce
+        global BM25 scores bitwise.
+        """
+        shard = self.shards[index]
+        if locked:
+            with shard.lock.read():
+                return _keyword_segment(shard.text_index, terms)
+        return _keyword_segment(shard.text_index, terms)
+
+    def shard_filter_matches(
+        self, index: int, flt: Any, locked: bool = True
+    ) -> tuple:
+        """One shard's property-filter partial.
+
+        Mapped properties probe the shard's SQL tables per kind (same
+        condition rendering as the unsharded engine) and return
+        ``("sql", matches, errors_by_kind)``; unmapped properties run
+        the engine's per-subject SPARQL shape over the shard's RDF
+        export and return ``("sparql", subject_iri_values, {})``.
+        """
+        from repro.core.engine import _sql_condition
+
+        mapped = [
+            kind
+            for kind in self.mapping.kinds
+            if self.mapping.column_for_property(kind, flt.prop) is not None
+        ]
+        shard = self.shards[index]
+        if mapped:
+            matches: Set[str] = set()
+            errors: Dict[str, str] = {}
+            for kind in mapped:
+                column = self.mapping.column_for_property(kind, flt.prop)
+                condition = _sql_condition(column, flt)
+                statement = f"SELECT title FROM {kind} WHERE {condition}"
+                try:
+                    if locked:
+                        result = shard.sql(statement)
+                    else:
+                        result = shard.db.execute(statement)
+                except RelationalError as exc:
+                    errors[kind] = str(exc)
+                    continue
+                matches.update(row[0] for row in result)
+            return ("sql", matches, errors)
+        return ("sparql", self._shard_sparql_subjects(index, flt, locked=locked), {})
+
+    def _shard_sparql_subjects(
+        self, index: int, flt: Any, locked: bool = True
+    ) -> Set[str]:
+        from repro.core.engine import _sparql_condition
+
+        prop_local = flt.prop.strip().lower().replace(" ", "_")
+        condition = _sparql_condition(flt)
+        query = (
+            "PREFIX prop: <http://repro.example.org/property/> "
+            f"SELECT ?s WHERE {{ ?s prop:{prop_local} ?v . FILTER({condition}) }}"
+        )
+        graph = self.shard_rdf_graph(index, locked=locked)
+        result = SparqlEngine(graph).query(query)
+        return {
+            term.value
+            for term in result.column("s")
+            if getattr(term, "value", None) is not None
+        }
+
+    def shard_rdf_graph(self, index: int, locked: bool = True) -> Graph:
+        """Shard ``index``'s RDF export, memoized per *global* generation.
+
+        Global, not per-shard: the resolver is the federation, so a page
+        registered on any other shard can turn this shard's Literal
+        objects into page IRIs.
+        """
+        generation = self.mutation_count
+        memo = self._shard_rdf[index]
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        if not locked:
+            graph = self._build_shard_rdf(index)
+            self._shard_rdf[index] = (generation, graph)
+            return graph
+        with self._rdf_lock:
+            memo = self._shard_rdf[index]
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            with self.lock.read():
+                graph = self._build_shard_rdf(index)
+            self._shard_rdf[index] = (generation, graph)
+            return graph
+
+    def _build_shard_rdf(self, index: int) -> Graph:
+        graph = Graph()
+        shard = self.shards[index]
+        for title in shard.wiki.titles():
+            shard.wiki.export_page_rdf(graph, title, resolver=self.wiki)
+        return graph
+
+    def shard_bbox_titles(
+        self,
+        index: int,
+        box: Tuple[float, float, float, float],
+        use_index: bool = True,
+        locked: bool = True,
+    ) -> Set[str]:
+        """Titles of shard ``index``'s pages inside ``(south, north, west, east)``.
+
+        The R-tree probe and the linear scan share the same inclusive
+        axis test, so ``use_index`` changes the access path only —
+        exactly like the unsharded engine's ``spatial_index`` flag.
+        """
+        south, north, west, east = box
+        shard = self.shards[index]
+        if use_index:
+            rtree = self._shard_spatial_index(
+                index, shard.mutation_count, locked=locked
+            )
+            return set(rtree.box(south, north, west, east))
+        if locked:
+            with shard.lock.read():
+                return _bbox_scan(shard.wiki, south, north, west, east)
+        return _bbox_scan(shard.wiki, south, north, west, east)
+
+    def _shard_spatial_index(self, index: int, generation: int, locked: bool = True):
+        memo = self._shard_spatial[index]
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        if not locked:
+            rtree = _build_spatial_index(self.shards[index].wiki, index)
+            self._shard_spatial[index] = (generation, rtree)
+            return rtree
+        with self._spatial_lock:
+            memo = self._shard_spatial[index]
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            shard = self.shards[index]
+            with shard.lock.read():
+                rtree = _build_spatial_index(shard.wiki, index)
+            self._shard_spatial[index] = (generation, rtree)
+            return rtree
+
+    def iri_title_map(self) -> Dict[str, str]:
+        """IRI value -> title over all shards, memoized per generation."""
+        from repro.wiki.site import title_to_iri
+
+        generation = self.mutation_count
+        memo = self._iri_memo
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        with self._iri_lock:
+            memo = self._iri_memo
+            if memo is not None and memo[0] == generation:
+                return memo[1]
+            mapping = {title_to_iri(title).value: title for title in self.titles()}
+            self._iri_memo = (generation, mapping)
+            return mapping
+
+    # ------------------------------------------------------------------
+    # Diagnostics (``/api/stats``, ``/healthz``, the dashboard)
+    # ------------------------------------------------------------------
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard size and generation counters."""
+        return [
+            {
+                "shard": i,
+                "pages": shard.page_count,
+                "mutations": shard.mutation_count,
+                "documents": shard.text_index.document_count,
+                "terms": shard.text_index.term_count,
+            }
+            for i, shard in enumerate(self.shards)
+        ]
+
+    def shard_spatial_info(self) -> List[Dict[str, Any]]:
+        """Per-shard R-tree memo state (mirrors ``spatial_index_info``)."""
+        info: List[Dict[str, Any]] = []
+        for i, shard in enumerate(self.shards):
+            memo = self._shard_spatial[i]
+            entry: Dict[str, Any] = {
+                "shard": i,
+                "generation": memo[0] if memo is not None else None,
+                "current_generation": shard.mutation_count,
+            }
+            if memo is not None:
+                entry.update(memo[1].statistics())
+            info.append(entry)
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRepository(shards={self.shard_count}, pages={self.page_count})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Lock-free per-shard kernels (callers hold the shard lock, or read a
+# frozen fork snapshot)
+# ----------------------------------------------------------------------
+
+
+def _keyword_segment(index: InvertedIndex, terms: Sequence[str]) -> tuple:
+    postings = {term: dict(index.term_documents(term)) for term in terms}
+    lengths: Dict[str, int] = {}
+    for term_postings in postings.values():
+        for doc_id in term_postings:
+            if doc_id not in lengths:
+                lengths[doc_id] = index.doc_length(doc_id)
+    return (index.document_count, index.total_token_count, postings, lengths)
+
+
+def _location_of(wiki, title: str):
+    """Replicates ``AdvancedSearchEngine._parse_location`` exactly."""
+    from repro.geo.point import GeoPoint
+
+    annotations = dict(
+        (prop.lower(), value) for prop, value in wiki.annotations(title)
+    )
+    lat = annotations.get("latitude")
+    lon = annotations.get("longitude")
+    if isinstance(lat, (int, float)) and isinstance(lon, (int, float)):
+        try:
+            return GeoPoint(float(lat), float(lon))
+        except Exception:
+            return None
+    return None
+
+
+def _bbox_scan(
+    wiki, south: float, north: float, west: float, east: float
+) -> Set[str]:
+    matches: Set[str] = set()
+    for title in wiki.titles():
+        location = _location_of(wiki, title)
+        if location is None:
+            continue
+        if south <= location.lat <= north and west <= location.lon <= east:
+            matches.add(title)
+    return matches
+
+
+def _build_spatial_index(wiki, shard_index: int):
+    from repro.relational.indexes import RTreeIndex
+
+    rtree = RTreeIndex(
+        f"shard{shard_index}_spatial", columns=("latitude", "longitude")
+    )
+    for title in wiki.titles():
+        location = _location_of(wiki, title)
+        if location is not None:
+            rtree.insert((location.lat, location.lon), title)
+    return rtree

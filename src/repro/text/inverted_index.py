@@ -22,18 +22,23 @@ Invariants the rest of the system leans on:
   live terms only.
 - **Symmetric analysis.** Queries pass through the exact tokenize →
   stopword → Porter-stem pipeline documents were indexed under
-  (:func:`_analyze` both ways); a term that indexes differently than it
+  (:func:`analyze` both ways); a term that indexes differently than it
   queries can't exist.
 - **Deterministic ranking.** Ties in score break on ``doc_id``, so equal
   corpora return identical hit orderings across runs and backends — the
   property the engine's result cache and the differential tests rely on.
+- **Segment-mergeable scoring.** All corpus-level statistics BM25 and
+  TF-IDF consume (document frequency, document count, total token count)
+  are integers, so :func:`merged_search` over disjoint index segments
+  sums them exactly and reproduces single-index scores *bitwise* — the
+  property ``repro.shard`` leans on for byte-identical sharded search.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import ReproError
 from repro.text.stemmer import porter_stem
@@ -52,9 +57,34 @@ class SearchHit:
     score: float
 
 
-def _analyze(text: str) -> List[str]:
+def analyze(text: str) -> List[str]:
     """Tokenize, drop stopwords, stem — the shared indexing pipeline."""
     return [porter_stem(token) for token in tokenize(text) if not is_stopword(token)]
+
+
+# Backwards-compatible private alias (pre-sharding callers import this name).
+_analyze = analyze
+
+
+def bm25_idf(df: int, n: int) -> float:
+    """BM25 idf for a term with document frequency ``df`` in ``n`` docs.
+
+    BM25+ style floor keeps idf positive even for very common terms. Both
+    inputs are exact integers, so per-segment sums feed this identically
+    to a single global index.
+    """
+    return math.log(1.0 + (n - df + 0.5) / (df + 0.5)) if df else 0.0
+
+
+def bm25_term_score(tf: int, idf: float, length: int, avg_len: float) -> float:
+    """One term's Okapi BM25 contribution for a document of ``length`` tokens."""
+    denom = tf + _BM25_K1 * (1 - _BM25_B + _BM25_B * length / max(avg_len, 1e-9))
+    return idf * tf * (_BM25_K1 + 1) / denom
+
+
+def tfidf_term_score(tf: int, idf: float, length: int) -> float:
+    """One term's TF-IDF contribution (length-normalized term frequency)."""
+    return (tf / max(1, length)) * idf
 
 
 class InvertedIndex:
@@ -73,7 +103,7 @@ class InvertedIndex:
         """Index ``text`` under ``doc_id``; re-adding replaces the document."""
         if doc_id in self._doc_lengths:
             self.remove(doc_id)
-        terms = _analyze(text)
+        terms = analyze(text)
         self._doc_lengths[doc_id] = len(terms)
         for term in terms:
             self._postings.setdefault(term, {})
@@ -100,12 +130,36 @@ class InvertedIndex:
     def term_count(self) -> int:
         return len(self._postings)
 
+    @property
+    def total_token_count(self) -> int:
+        """Sum of indexed document lengths (the BM25 average's numerator)."""
+        return sum(self._doc_lengths.values())
+
     def document_frequency(self, term: str) -> int:
         """Documents containing ``term`` (after analysis of the term)."""
-        analyzed = _analyze(term)
+        analyzed = analyze(term)
         if not analyzed:
             return 0
         return len(self._postings.get(analyzed[0], {}))
+
+    # ------------------------------------------------------------------
+    # Segment accessors (used by merged_search / repro.shard)
+    # ------------------------------------------------------------------
+
+    def term_documents(self, term: str) -> Dict[str, int]:
+        """Postings of an *already analyzed* term: doc_id -> tf.
+
+        Returns the live mapping for speed; callers must treat it as
+        read-only and hold whatever lock guards this segment.
+        """
+        return self._postings.get(term, {})
+
+    def doc_length(self, doc_id: str) -> int:
+        """Token count of ``doc_id`` (0 when the document is absent)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
 
     # ------------------------------------------------------------------
     # Search
@@ -125,7 +179,7 @@ class InvertedIndex:
         """
         if scoring not in ("bm25", "tfidf"):
             raise ReproError(f"unknown scoring {scoring!r}; use 'bm25' or 'tfidf'")
-        terms = _analyze(query)
+        terms = analyze(query)
         if not terms:
             return []
         candidates: Set[str] = set()
@@ -143,30 +197,105 @@ class InvertedIndex:
         return hits[:limit] if limit is not None else hits
 
     def _idf(self, term: str) -> float:
-        df = len(self._postings.get(term, {}))
-        n = self.document_count
-        # BM25+ style floor keeps idf positive even for very common terms.
-        return math.log(1.0 + (n - df + 0.5) / (df + 0.5)) if df else 0.0
+        return bm25_idf(len(self._postings.get(term, {})), self.document_count)
 
     def _bm25(self, terms: List[str], doc_id: str) -> float:
-        avg_len = sum(self._doc_lengths.values()) / max(1, self.document_count)
+        avg_len = self.total_token_count / max(1, self.document_count)
         length = self._doc_lengths[doc_id]
         score = 0.0
         for term in terms:
             tf = self._postings.get(term, {}).get(doc_id, 0)
             if tf == 0:
                 continue
-            idf = self._idf(term)
-            denom = tf + _BM25_K1 * (1 - _BM25_B + _BM25_B * length / max(avg_len, 1e-9))
-            score += idf * tf * (_BM25_K1 + 1) / denom
+            score += bm25_term_score(tf, self._idf(term), length, avg_len)
         return score
 
     def _tfidf_score(self, terms: List[str], doc_id: str) -> float:
-        length = max(1, self._doc_lengths[doc_id])
+        length = self._doc_lengths[doc_id]
         score = 0.0
         for term in terms:
             tf = self._postings.get(term, {}).get(doc_id, 0)
             if tf == 0:
                 continue
-            score += (tf / length) * self._idf(term)
+            score += tfidf_term_score(tf, self._idf(term), length)
         return score
+
+
+def merged_search(
+    indexes: Sequence[InvertedIndex],
+    query: str,
+    limit: Optional[int] = None,
+    scoring: str = "bm25",
+    require_all: bool = False,
+) -> List[SearchHit]:
+    """Search several disjoint index segments as one logical index.
+
+    Documents must be partitioned across ``indexes`` (no ``doc_id`` lives
+    in two segments — the ``repro.shard`` routing guarantees this). Global
+    statistics are recovered by *integer* summation — document frequency
+    is the size of the unioned postings, document count and total token
+    count are per-segment sums — and per-term scores reuse the exact
+    expressions of :meth:`InvertedIndex.search`, so the merged hit list is
+    byte-identical to indexing the union in one segment.
+    """
+    if scoring not in ("bm25", "tfidf"):
+        raise ReproError(f"unknown scoring {scoring!r}; use 'bm25' or 'tfidf'")
+    terms = analyze(query)
+    if not terms:
+        return []
+    n = sum(index.document_count for index in indexes)
+    total_tokens = sum(index.total_token_count for index in indexes)
+    avg_len = total_tokens / max(1, n)
+    merged: Dict[str, Dict[str, int]] = {}
+    for term in terms:
+        if term in merged:
+            continue
+        postings: Dict[str, int] = {}
+        for index in indexes:
+            postings.update(index.term_documents(term))
+        merged[term] = postings
+    per_term_docs = [set(merged[term]) for term in terms]
+    if require_all:
+        candidates = set.intersection(*per_term_docs) if per_term_docs else set()
+    else:
+        candidates = set()
+        for docs in per_term_docs:
+            candidates |= docs
+    if not candidates:
+        return []
+    lengths: Dict[str, int] = {}
+    for doc_id in candidates:
+        for index in indexes:
+            if doc_id in index:
+                lengths[doc_id] = index.doc_length(doc_id)
+                break
+    idf_of = {term: bm25_idf(len(postings), n) for term, postings in merged.items()}
+    hits = []
+    for doc_id in candidates:
+        length = lengths.get(doc_id, 0)
+        score = 0.0
+        for term in terms:
+            tf = merged[term].get(doc_id, 0)
+            if tf == 0:
+                continue
+            if scoring == "bm25":
+                score += bm25_term_score(tf, idf_of[term], length, avg_len)
+            else:
+                score += tfidf_term_score(tf, idf_of[term], length)
+        hits.append(SearchHit(doc_id, score))
+    hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+    return hits[:limit] if limit is not None else hits
+
+
+def merge_hits(
+    hit_lists: Iterable[List[SearchHit]], limit: Optional[int] = None
+) -> List[SearchHit]:
+    """Merge pre-scored per-segment hit lists into one ranked list.
+
+    Only valid when every segment scored with *global* statistics (e.g.
+    lists produced by :func:`merged_search` on sub-federations); scores
+    are taken as-is and re-sorted with the standard tie-break.
+    """
+    hits = [hit for hits in hit_lists for hit in hits]
+    hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+    return hits[:limit] if limit is not None else hits

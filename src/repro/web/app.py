@@ -280,6 +280,12 @@ def _dashboard_panels(sampler, window: float, now=None) -> list:
     )
     panels.append(
         SparklinePanel(
+            "shard staleness lag (sum)",
+            store.summed_points("ranking_shard_staleness_generations", window, now),
+        )
+    )
+    panels.append(
+        SparklinePanel(
             "resident memory",
             store.summed_points("process_resident_memory_bytes", window, now),
             unit="B",
@@ -609,6 +615,18 @@ def create_app(
         query_latency["mean_seconds"] = (
             latency.sum / latency.count if latency.count else 0.0
         )
+        shards = None
+        shard_stats = getattr(engine.smr, "shard_stats", None)
+        if callable(shard_stats):
+            shards = shard_stats()
+            shard_staleness = getattr(engine.ranker, "shard_staleness", None)
+            if callable(shard_staleness):
+                staleness = {s["shard"]: s for s in shard_staleness()}
+                for entry in shards:
+                    lag = staleness.get(entry["shard"])
+                    if lag is not None:
+                        entry["ranking_lag"] = lag["lag"]
+                        entry["ranking_built_at"] = lag["built_at_mutation"]
         return JsonResponse(
             {
                 "page_count": report.page_count,
@@ -625,6 +643,7 @@ def create_app(
                 "query_cache": engine.cache_info(),
                 "catalog": engine.smr.db.catalog_stats(),
                 "spatial_index": engine.spatial_index_info(),
+                "shards": shards,
                 "slow_queries": [
                     {"query": q, "seconds": s}
                     for q, s in engine.query_log.slow_queries(5)
@@ -1173,6 +1192,27 @@ def create_app(
                 "sampler_running": sampler.running,
             }
 
+        def shards_probe() -> Dict[str, Any]:
+            stats = engine.smr.shard_stats()
+            staleness: Dict[int, Dict[str, Any]] = {}
+            shard_staleness = getattr(engine.ranker, "shard_staleness", None)
+            if callable(shard_staleness):
+                staleness = {s["shard"]: s for s in shard_staleness()}
+            shards = []
+            for entry in stats:
+                lag = staleness.get(entry["shard"])
+                shards.append(
+                    {
+                        "shard": entry["shard"],
+                        "pages": entry["pages"],
+                        "generation": entry["mutations"],
+                        "ranking_lag": lag["lag"] if lag else None,
+                    }
+                )
+            # Staleness is self-healing (the next scoring call refreshes),
+            # so a lagging shard reads as lag > 0 here, never as an error.
+            return {"status": "ok", "count": len(shards), "shards": shards}
+
         probe("smr", smr_probe)
         probe("relational", relational_probe)
         probe("rdf", rdf_probe)
@@ -1180,6 +1220,8 @@ def create_app(
         probe("cache", cache_probe)
         probe("indexes", indexes_probe)
         probe("slo", slo_probe)
+        if callable(getattr(engine.smr, "shard_stats", None)):
+            probe("shards", shards_probe)
         statuses = {check["status"] for check in checks.values()}
         overall = (
             "error" if "error" in statuses

@@ -12,7 +12,10 @@ generates statistically similar substitutes under a seeded RNG:
   realistic property distributions, coordinates in the Swiss Alps, and
   inter-page links;
 - :mod:`repro.workloads.tags` — tag assignment workloads with planted
-  cliques for the Fig. 5 study.
+  cliques for the Fig. 5 study;
+- :mod:`repro.workloads.stream` — a continuous, seeded mutation stream
+  (sensor observations, page edits, new registrations) that races the
+  incremental ranker and feeds the staleness-lag gauges.
 """
 
 from repro.workloads.webgraphs import (
@@ -21,6 +24,12 @@ from repro.workloads.webgraphs import (
     preferential_attachment_graph,
 )
 from repro.workloads.generator import CorpusSpec, SyntheticCorpus, generate_corpus
+from repro.workloads.stream import (
+    MutationEvent,
+    MutationStream,
+    StreamDriver,
+    StreamReport,
+)
 from repro.workloads.tags import TagWorkload, generate_tag_workload
 
 __all__ = [
@@ -30,6 +39,10 @@ __all__ = [
     "CorpusSpec",
     "SyntheticCorpus",
     "generate_corpus",
+    "MutationEvent",
+    "MutationStream",
+    "StreamDriver",
+    "StreamReport",
     "TagWorkload",
     "generate_tag_workload",
 ]

@@ -31,6 +31,7 @@ REQUIRED_DOCS = [
     "docs/OBSERVABILITY.md",
     "docs/QUERY_PLANNING.md",
     "docs/PARALLELISM.md",
+    "docs/SHARDING.md",
 ]
 
 #: Sections a document promises (heading text, verbatim). A doc that

@@ -1,0 +1,126 @@
+"""Alert-notification fan-out: sinks, counters, failure isolation."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Alert,
+    LogSinkNotifier,
+    MetricsRegistry,
+    NotificationHub,
+    SloEvaluator,
+    WebhookStubNotifier,
+    set_registry,
+)
+
+
+def _alert(resolved=False):
+    return Alert(
+        slo="availability",
+        kind="availability",
+        severity="fast",
+        factor=14.4,
+        burn_rate_long=20.0,
+        burn_rate_short=22.0,
+        long_seconds=60.0,
+        short_seconds=15.0,
+        objective=0.999,
+        fired_at=100.0,
+        resolved_at=130.0 if resolved else None,
+        message="availability: error budget burning at 20.0x",
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    set_registry(MetricsRegistry())
+
+
+class TestSinks:
+    def test_log_sink_records_and_bounds(self):
+        sink = LogSinkNotifier(capacity=3)
+        for _ in range(5):
+            sink.notify(_alert(), "fired")
+        assert len(sink.recent()) == 3
+        assert sink.recent()[0]["slo"] == "availability"
+        assert sink.recent()[0]["phase"] == "fired"
+
+    def test_webhook_stub_never_needs_network(self):
+        sink = WebhookStubNotifier(url="http://ops.invalid/pager")
+        sink.notify(_alert(resolved=True), "resolved")
+        payload = sink.recent()[0]
+        assert payload["url"] == "http://ops.invalid/pager"
+        assert '"phase": "resolved"' in payload["body"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            LogSinkNotifier(capacity=0)
+        with pytest.raises(ObservabilityError):
+            WebhookStubNotifier(capacity=-1)
+
+
+class TestHub:
+    def test_dispatch_counts_per_sink_and_phase(self, fresh_registry):
+        log, hook = LogSinkNotifier(), WebhookStubNotifier()
+        hub = NotificationHub([log, hook])
+        delivered = hub.dispatch([_alert(), _alert(resolved=True)])
+        assert delivered == 4
+        counter = fresh_registry.counter(
+            "slo_notifications_total",
+            "Alert notifications delivered, per sink and phase.",
+            labels=("sink", "phase"),
+        )
+        assert counter.labels("log", "fired").value == 1
+        assert counter.labels("webhook", "resolved").value == 1
+
+    def test_failing_sink_is_isolated_and_counted(self, fresh_registry):
+        class Broken:
+            name = "broken"
+
+            def notify(self, alert, phase):
+                raise RuntimeError("sink down")
+
+        healthy = LogSinkNotifier()
+        hub = NotificationHub([Broken(), healthy])
+        delivered = hub.dispatch([_alert()])
+        assert delivered == 1
+        assert len(healthy.recent()) == 1
+        errors = fresh_registry.counter(
+            "slo_notification_errors_total",
+            "Alert notifications that raised in the sink, per sink.",
+            labels=("sink",),
+        )
+        assert errors.labels("broken").value == 1
+
+    def test_default_hub_has_log_sink(self):
+        hub = NotificationHub()
+        assert any(isinstance(s, LogSinkNotifier) for s in hub.sinks)
+
+
+class TestEvaluatorIntegration:
+    def test_evaluator_dispatches_changed_alerts(self, fresh_registry):
+        """A fired transition reaches the hub; a quiet pass does not."""
+        from repro.obs import AvailabilitySlo, TimeSeriesStore
+
+        requests = fresh_registry.counter(
+            "http_requests_total", "HTTP requests.", labels=("status",)
+        )
+        store = TimeSeriesStore()
+        for t in range(0, 75, 5):
+            requests.labels("200").inc()
+            requests.labels("500").inc(5)  # budget torched
+            store.observe_registry(fresh_registry, now=float(t))
+
+        hook = WebhookStubNotifier()
+        evaluator = SloEvaluator(
+            [AvailabilitySlo()], notifier=NotificationHub([hook])
+        )
+        changed = evaluator.evaluate(store, now=70.0)
+        assert changed, "burn this hot must fire"
+        assert len(hook.recent()) == len(changed)
+        # Steady state: same burn, no *transition*, so no new notification.
+        evaluator.evaluate(store, now=71.0)
+        assert len(hook.recent()) == len(changed)

@@ -1,0 +1,453 @@
+"""Sharded-vs-unsharded equivalence: the tentpole's byte-identity gate.
+
+The contract under test: a :class:`ShardedRepository` behind a
+:class:`ShardedSearchEngine` returns *byte-identical* results to one
+:class:`SensorMetadataRepository` behind the stock engine — same titles,
+same floats, same order, same totals, same errors — for every query
+shape, across shard counts, before and after writes, and under a live
+writer. Identity is what lets the sharded path claim to be a pure
+performance move.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdvancedSearchEngine, PageRankRanker
+from repro.core.query import PropertyFilter, SearchQuery
+from repro.errors import QueryError, SmrError
+from repro.geo.bbox import BoundingBox
+from repro.shard import (
+    ShardedPageRankRanker,
+    ShardedRepository,
+    ShardedSearchEngine,
+    shard_of,
+)
+from repro.shard import fanout
+from repro.smr import SensorMetadataRepository
+from repro.workloads import CorpusSpec, generate_corpus
+
+SPEC = CorpusSpec(seed=7)
+
+
+def _seed_extra(repo) -> None:
+    """Pages with an unmapped property, to push the SPARQL filter path."""
+    for i, owner in enumerate(["alice", "bob", "alice"]):
+        repo.register(
+            "station",
+            f"Station:OWNED-{i}",
+            [
+                ("name", f"OWNED-{i}"),
+                ("latitude", 46.5 + i * 0.01),
+                ("longitude", 9.0 + i * 0.01),
+                ("elevation_m", 1800 + i),
+                ("status", "online"),
+                ("maintainer", owner),
+            ],
+        )
+
+
+def _build_pair(shard_count=4):
+    corpus = generate_corpus(SPEC)
+    single = SensorMetadataRepository.from_corpus(corpus)
+    sharded = ShardedRepository.from_corpus(corpus, shard_count=shard_count)
+    _seed_extra(single)
+    _seed_extra(sharded)
+    return single, sharded
+
+
+@pytest.fixture(scope="module")
+def pair():
+    single, sharded = _build_pair(shard_count=4)
+    return (
+        AdvancedSearchEngine(single, cache=None),
+        ShardedSearchEngine(sharded, cache=None),
+    )
+
+
+QUERY_SHAPES = [
+    "kind=station elevation_m>=1500 status=online",
+    "kind=sensor sensor_type=wind accuracy>=0.5 relaxed=true",
+    "keyword=wind limit=15",
+    "kind=station bbox=46,8,47,10",
+    "maintainer=alice elevation_m>=1500 relaxed=true",
+    "kind=sensor sort=pagerank limit=5",
+    "kind=sensor sort=installed_year order=asc limit=10",
+    "kind=sensor limit=10 offset=5",
+    "kind=station sort=relevance order=asc limit=7",
+    "keyword=temperature sensor limit=10 offset=3",
+]
+
+
+def _fingerprint(results):
+    return [
+        (
+            r.title,
+            r.kind,
+            r.score,
+            r.relevance,
+            r.pagerank,
+            r.match_degree,
+            r.location,
+            tuple(sorted(r.annotations.items(), key=lambda kv: kv[0])),
+        )
+        for r in results.results
+    ], results.total_candidates
+
+
+class TestShardOf:
+    def test_case_and_whitespace_insensitive(self):
+        assert shard_of("Station:WAN-001", 7) == shard_of("  station:wan-001 ", 7)
+
+    def test_single_shard_degenerates(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_all_shards_reachable(self):
+        corpus = generate_corpus(SPEC)
+        owners = {shard_of(t, 4) for t in corpus.all_titles()}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestRepositoryFacadeParity:
+    def test_titles_and_counts(self, pair):
+        e1, e2 = pair
+        assert e2.smr.titles() == e1.smr.titles()
+        assert e2.smr.titles("sensor") == e1.smr.titles("sensor")
+        assert e2.smr.page_count == e1.smr.page_count
+        assert e2.smr.wiki.page_count == e1.smr.wiki.page_count
+
+    def test_keyword_search_bitwise(self, pair):
+        e1, e2 = pair
+        for query in ["temperature", "wind sensor", "alice", "zzz-nothing"]:
+            h1 = e1.smr.keyword_search(query)
+            h2 = e2.smr.keyword_search(query)
+            assert [(h.doc_id, h.score) for h in h1] == [
+                (h.doc_id, h.score) for h in h2
+            ]
+
+    def test_rdf_export_identical(self, pair):
+        e1, e2 = pair
+        assert len(e1.smr.rdf_graph()) == len(e2.smr.rdf_graph())
+        q = (
+            "PREFIX prop: <http://repro.example.org/property/> "
+            'SELECT ?s WHERE { ?s prop:maintainer ?v . FILTER(?v = "alice") }'
+        )
+        r1 = [t.value for t in e1.smr.sparql(q).column("s")]
+        r2 = [t.value for t in e2.smr.sparql(q).column("s")]
+        assert r1 == r2
+
+    def test_link_graphs_identical(self, pair):
+        e1, e2 = pair
+        assert repr(e1.smr.wiki.link_graph()) == repr(e2.smr.wiki.link_graph())
+        assert repr(e1.smr.wiki.semantic_graph()) == repr(
+            e2.smr.wiki.semantic_graph()
+        )
+
+    def test_property_names_and_annotations(self, pair):
+        e1, e2 = pair
+        assert e1.smr.property_names() == e2.smr.property_names()
+        title = e1.smr.titles("station")[0]
+        assert e1.smr.annotations(title) == e2.smr.annotations(title)
+        assert e1.smr.kind_of(title) == e2.smr.kind_of(title)
+
+    def test_missing_page_error_parity(self, pair):
+        e1, e2 = pair
+        with pytest.raises(SmrError) as exc1:
+            e1.smr.kind_of("Station:NO-SUCH")
+        with pytest.raises(SmrError) as exc2:
+            e2.smr.kind_of("Station:NO-SUCH")
+        assert str(exc1.value) == str(exc2.value)
+
+
+class TestFederatedSqlView:
+    def test_select_fans_and_limits(self, pair):
+        e1, e2 = pair
+        r1 = e1.smr.sql("SELECT title FROM sensor WHERE sampling_rate_s <= 60")
+        r2 = e2.smr.sql("SELECT title FROM sensor WHERE sampling_rate_s <= 60")
+        assert sorted(r1.rows) == sorted(r2.rows)
+        limited = e2.smr.sql("SELECT title FROM sensor LIMIT 5")
+        assert len(limited.rows) == 5
+
+    def test_explain_answers_from_shard_zero(self, pair):
+        _, e2 = pair
+        plan = e2.smr.sql("EXPLAIN SELECT title FROM sensor WHERE serial = 'SN1'")
+        assert plan.columns == ["plan"]
+        assert plan.rows
+
+    def test_writes_and_aggregates_rejected(self, pair):
+        _, e2 = pair
+        with pytest.raises(SmrError):
+            e2.smr.sql("INSERT INTO sensor (title) VALUES ('x')")
+        with pytest.raises(SmrError):
+            e2.smr.sql("SELECT COUNT(title) FROM sensor")
+        with pytest.raises(SmrError):
+            e2.smr.sql("SELECT title FROM sensor ORDER BY title")
+        with pytest.raises(SmrError):
+            e2.smr.wiki.save("Station:X", "text")
+
+
+class TestEngineByteIdentity:
+    @pytest.mark.parametrize("text", QUERY_SHAPES)
+    def test_query_shapes_identical(self, pair, text):
+        e1, e2 = pair
+        query = e1.parse(text)
+        assert _fingerprint(e2.search(query)) == _fingerprint(e1.search(query))
+
+    @pytest.mark.parametrize("shard_count", [1, 3])
+    def test_identity_across_shard_counts(self, shard_count):
+        single, sharded = _build_pair(shard_count=shard_count)
+        e1 = AdvancedSearchEngine(single, cache=None)
+        e2 = ShardedSearchEngine(sharded, cache=None)
+        for text in QUERY_SHAPES[:4]:
+            query = e1.parse(text)
+            assert _fingerprint(e2.search(query)) == _fingerprint(e1.search(query))
+
+    def test_identity_survives_writes(self, pair):
+        e1, e2 = pair
+        page = [
+            ("name", "LIVE-1"),
+            ("latitude", 46.61),
+            ("longitude", 9.41),
+            ("elevation_m", 2222),
+            ("status", "online"),
+        ]
+        e1.smr.register("station", "Station:LIVE-1", page)
+        e2.smr.register("station", "Station:LIVE-1", page)
+        for text in ["keyword=LIVE-1", "kind=station elevation_m>=2222"]:
+            query = e1.parse(text)
+            assert _fingerprint(e2.search(query)) == _fingerprint(e1.search(query))
+
+    def test_data_independent_sql_error_parity(self, pair):
+        e1, e2 = pair
+        flt = PropertyFilter("elevation_m", "~", "x")  # LIKE on a number
+        with pytest.raises(QueryError) as exc1:
+            e1.search(SearchQuery(filters=(flt,)))
+        with pytest.raises(QueryError) as exc2:
+            e2.search(SearchQuery(filters=(flt,)))
+        assert str(exc1.value) == str(exc2.value)
+
+    def test_data_dependent_sql_error_still_raises(self, pair):
+        e1, e2 = pair
+        flt = PropertyFilter("elevation_m", ">", "abc")
+        with pytest.raises(QueryError):
+            e1.search(SearchQuery(filters=(flt,)))
+        with pytest.raises(QueryError):
+            e2.search(SearchQuery(filters=(flt,)))
+
+    def test_fanout_kinds_identical(self):
+        single, sharded = _build_pair(shard_count=3)
+        reference = AdvancedSearchEngine(single, cache=None)
+        for kind in ("serial", "io", "cpu"):
+            engine = ShardedSearchEngine(sharded, cache=None, fanout_kind=kind)
+            for text in QUERY_SHAPES[:4]:
+                query = reference.parse(text)
+                assert _fingerprint(engine.search(query)) == _fingerprint(
+                    reference.search(query)
+                )
+
+
+_WORDS = ["temperature", "wind", "sensor", "snow", "alice", "station", "zzz"]
+_FILTERS = [
+    ("elevation_m", ">=", 1500),
+    ("status", "=", "online"),
+    ("sensor_type", "=", "wind"),
+    ("maintainer", "=", "alice"),
+    ("sampling_rate_s", "<=", 60),
+]
+
+
+@st.composite
+def queries(draw):
+    keyword = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.sampled_from(_WORDS), min_size=1, max_size=3).map(" ".join),
+        )
+    )
+    kind = draw(st.sampled_from([None, "station", "sensor"]))
+    filters = tuple(
+        PropertyFilter(p, op, v)
+        for p, op, v in draw(
+            st.lists(st.sampled_from(_FILTERS), max_size=2, unique=True)
+        )
+    )
+    bbox = draw(st.sampled_from([None, (46.0, 8.0, 47.0, 10.0), (10.0, 10.0, 11.0, 11.0)]))
+    if not keyword and not filters and kind is None and bbox is None:
+        keyword = draw(st.sampled_from(_WORDS))  # an empty query is invalid
+    return SearchQuery(
+        keyword=keyword or "",
+        kind=kind,
+        filters=filters,
+        relaxed=draw(st.booleans()),
+        limit=draw(st.integers(min_value=1, max_value=30)),
+        offset=draw(st.integers(min_value=0, max_value=10)),
+        bbox=BoundingBox(*bbox) if bbox else None,
+    )
+
+
+class TestPropertyIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(query=queries())
+    def test_random_queries_identical(self, pair, query):
+        e1, e2 = pair
+        assert _fingerprint(e2.search(query)) == _fingerprint(e1.search(query))
+
+
+class TestStaleCellFallback:
+    def test_mutation_between_build_and_evaluate(self):
+        _, sharded = _build_pair(shard_count=4)
+        specs = fanout.constraint_specs(SearchQuery(keyword="wind"))
+        cells = fanout.build_cells(sharded, specs)
+        sharded.register(
+            "sensor",
+            "Sensor:RACE-1",
+            [("name", "race wind probe"), ("sensor_type", "wind"),
+             ("station", sharded.titles("station")[0])],
+            description="wind after the cells were stamped",
+        )
+        raw = [fanout.evaluate_cell(cell) for cell in cells]
+        verdicts = [verdict for verdict, _ in raw]
+        assert "stale" in verdicts  # the mutated shard must refuse
+        merged = fanout.merge_cells(sharded, specs, cells, raw)
+        direct = fanout.evaluate_spec_local(sharded, specs[0])
+        assert [(h.doc_id, h.score) for h in merged[0]] == [
+            (h.doc_id, h.score) for h in direct
+        ]
+
+    def test_unknown_repository_is_miss(self):
+        cell = ("shard-repo-0-999999", 0, 0, ("bbox", (0, 1, 0, 1), True))
+        assert fanout.evaluate_cell(cell) == ("miss", None)
+
+    def test_dropped_cells_recovered(self):
+        _, sharded = _build_pair(shard_count=3)
+        specs = fanout.constraint_specs(SearchQuery(keyword="wind"))
+        cells = fanout.build_cells(sharded, specs)
+        raw = [None] * len(cells)  # backend dropped everything
+        merged = fanout.merge_cells(sharded, specs, cells, raw)
+        direct = fanout.evaluate_spec_local(sharded, specs[0])
+        assert [(h.doc_id, h.score) for h in merged[0]] == [
+            (h.doc_id, h.score) for h in direct
+        ]
+
+
+class TestShardedStaleness:
+    def test_lag_attributed_to_owning_shard(self):
+        _, sharded = _build_pair(shard_count=4)
+        ranker = ShardedPageRankRanker(sharded)
+        ranker.scores()
+        assert all(s["lag"] == 0 for s in ranker.shard_staleness())
+        title = "Station:LAG-PROBE"
+        sharded.register(
+            "station",
+            title,
+            [("name", "LAG-PROBE"), ("latitude", 46.0), ("longitude", 9.0)],
+        )
+        owner = shard_of(title, 4)
+        staleness = {s["shard"]: s["lag"] for s in ranker.shard_staleness()}
+        assert staleness[owner] == 1
+        assert all(lag == 0 for shard, lag in staleness.items() if shard != owner)
+        ranker.scores()
+        assert all(s["lag"] == 0 for s in ranker.shard_staleness())
+
+    def test_freshness_reports_shards(self):
+        _, sharded = _build_pair(shard_count=2)
+        ranker = ShardedPageRankRanker(sharded)
+        ranker.scores()
+        freshness = ranker.freshness()
+        assert len(freshness["shards"]) == 2
+        assert freshness["fresh"]
+
+    def test_scores_match_unsharded(self):
+        single, sharded = _build_pair(shard_count=4)
+        base = PageRankRanker(single)
+        shardy = ShardedPageRankRanker(sharded)
+        titles = single.titles()
+        s1 = base.scores()
+        s2 = shardy.scores()
+        assert [s1[t] for t in titles] == [s2[t] for t in titles]
+
+
+class TestShardedReadersWithWriter:
+    """Stress: pooled readers vs a writer, torn reads detected per shard."""
+
+    EDIT_TITLE = "Station:EDIT-TARGET"
+    WRITES = 8
+
+    def _version(self, v):
+        return [
+            ("name", "EDIT-TARGET"),
+            ("latitude", 46.6),
+            ("longitude", 9.5),
+            ("elevation_m", 1000 + v),
+            ("status", f"v{v}"),
+        ]
+
+    def test_no_torn_reads_across_shards(self):
+        _, sharded = _build_pair(shard_count=4)
+        sharded.register("station", self.EDIT_TITLE, self._version(0))
+        engine = ShardedSearchEngine(sharded)
+        valid_pairs = {(1000 + v, f"v{v}") for v in range(self.WRITES + 1)}
+        errors, observed = [], []
+        stop = threading.Event()
+
+        reader_queries = [
+            engine.parse("kind=station name=EDIT-TARGET"),
+            engine.parse("kind=station elevation_m>=1000 status~v relaxed=true"),
+            engine.parse("maintainer=alice elevation_m>=1500 relaxed=true"),
+            engine.parse("kind=station bbox=46,8,47,10"),
+        ]
+
+        def reader(q):
+            try:
+                while not stop.is_set():
+                    for r in engine.search(q).results:
+                        if r.title == self.EDIT_TITLE:
+                            observed.append(
+                                (
+                                    r.annotations.get("elevation_m"),
+                                    r.annotations.get("status"),
+                                )
+                            )
+            except Exception as exc:  # pragma: no cover - assertion target
+                errors.append(exc)
+
+        def writer():
+            try:
+                for v in range(1, self.WRITES + 1):
+                    sharded.register("station", self.EDIT_TITLE, self._version(v))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(q,)) for q in reader_queries]
+        w = threading.Thread(target=writer)
+        for t in threads:
+            t.start()
+        w.start()
+        w.join(30.0)
+        stop.set()
+        for t in threads:
+            t.join(30.0)
+
+        assert not errors, errors
+        torn = [p for p in observed if p not in valid_pairs]
+        assert not torn, f"torn reads: {torn[:5]}"
+
+        final = engine.search(engine.parse("kind=station name=EDIT-TARGET"))
+        assert [r.title for r in final.results] == [self.EDIT_TITLE]
+        assert final.results[0].annotations["elevation_m"] == 1000 + self.WRITES
+
+    def test_per_shard_generation_monotone_under_writes(self):
+        _, sharded = _build_pair(shard_count=4)
+        before = [sharded.shard_generation(i) for i in range(4)]
+        sharded.register("station", self.EDIT_TITLE, self._version(0))
+        after = [sharded.shard_generation(i) for i in range(4)]
+        owner = shard_of(self.EDIT_TITLE, 4)
+        assert after[owner] == before[owner] + 1
+        assert [a for i, a in enumerate(after) if i != owner] == [
+            b for i, b in enumerate(before) if i != owner
+        ]
+        assert sharded.mutation_count == sum(after)
